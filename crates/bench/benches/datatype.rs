@@ -1,0 +1,46 @@
+//! Criterion: derived-datatype flattening and file-view mapping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcio_simpi::{Datatype, FileView};
+use std::hint::black_box;
+
+fn bench_flatten_subarray(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datatype/flatten_subarray");
+    for n in [16u64, 64, 128] {
+        // An n³ array, (n/2)³ block: (n/2)² segments.
+        let t = Datatype::subarray(
+            vec![n, n, n],
+            vec![n / 2, n / 2, n / 2],
+            vec![n / 4, n / 4, n / 4],
+            4,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(t.flatten().len()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_flatten_vector(c: &mut Criterion) {
+    let t = Datatype::vector(10_000, 3, 7, Datatype::bytes(8));
+    c.bench_function("datatype/flatten_vector_10k", |b| {
+        b.iter(|| black_box(t.flatten().len()));
+    });
+}
+
+fn bench_fileview_segments(c: &mut Criterion) {
+    // A strided view: 4 KiB data every 64 KiB.
+    let ft = Datatype::resized(Datatype::bytes(4096), 65_536);
+    let v = FileView::new(1 << 20, ft);
+    c.bench_function("fileview/segments_16MiB", |b| {
+        b.iter(|| black_box(v.segments(0, 16 << 20).len()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flatten_subarray,
+    bench_flatten_vector,
+    bench_fileview_segments
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: raw discrete-event engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcio_des::{Activity, Bandwidth, SimDuration, Simulation};
+use std::hint::black_box;
+
+/// A fan-in/fan-out DAG of `n` activities over `r` resources.
+fn run_dag(n: usize, r: usize) -> u64 {
+    let mut sim = Simulation::new();
+    let res: Vec<_> = (0..r)
+        .map(|i| sim.add_resource(format!("r{i}"), Bandwidth::bytes_per_sec(1e9)))
+        .collect();
+    let mut prev = None;
+    for i in 0..n {
+        let a = sim.add_activity(
+            Activity::new("a")
+                .stage(res[i % r], 1 << 16, SimDuration::from_nanos(100)),
+        );
+        if let Some(p) = prev {
+            if i % 3 == 0 {
+                sim.add_dep(p, a);
+            }
+        }
+        prev = Some(a);
+    }
+    sim.run().expect("acyclic").makespan().as_nanos()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des/dag");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(run_dag(n, 32)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion: planner throughput (the client-side CPU cost the paper's
+//! run-time aggregator determination adds).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcio_cluster::ProcessMap;
+use mcio_core::{mcio, twophase, CollectiveConfig, ProcMemory, Rw};
+use mcio_workloads::Ior;
+use std::hint::black_box;
+
+fn bench_planners(c: &mut Criterion) {
+    const MIB: u64 = 1 << 20;
+    let nranks = 120;
+    let map = ProcessMap::block_ppn(nranks, 12);
+    let ior = Ior::paper(nranks, 32 * MIB, 8);
+    let req = ior.request(Rw::Write);
+    let mem = ProcMemory::normal(nranks, 16 * MIB, 0.35, 1);
+    let per_node = req.total_bytes() / 10;
+    let cfg = CollectiveConfig::with_buffer(16 * MIB)
+        .msg_group(per_node)
+        .msg_ind(per_node / 2)
+        .mem_min(8 * MIB);
+
+    c.bench_function("plan/two_phase_ior120", |b| {
+        b.iter(|| black_box(twophase::plan(&req, &map, &mem, &cfg).naggs()));
+    });
+    c.bench_function("plan/memory_conscious_ior120", |b| {
+        b.iter(|| black_box(mcio::plan(&req, &map, &mem, &cfg).naggs()));
+    });
+    c.bench_function("plan/check_ior120", |b| {
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        b.iter(|| black_box(plan.check(&req).is_ok()));
+    });
+}
+
+criterion_group!(benches, bench_planners);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion: partition-tree construction and remerge throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcio_core::ptree::PartitionTree;
+use mcio_pfs::Extent;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptree/build");
+    for leaves in [16u64, 256, 4096] {
+        let region = Extent::new(0, leaves * 1024);
+        g.bench_with_input(BenchmarkId::from_parameter(leaves), &leaves, |b, _| {
+            let dense = |e: &Extent| e.len;
+            b.iter(|| {
+                let t = PartitionTree::build(black_box(region), 1024, &dense);
+                black_box(t.leaf_count())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_remerge_all(c: &mut Criterion) {
+    let region = Extent::new(0, 1 << 20);
+    let dense = |e: &Extent| e.len;
+    c.bench_function("ptree/remerge_to_one", |b| {
+        b.iter(|| {
+            let mut t = PartitionTree::build(region, 4096, &dense);
+            while t.leaf_count() > 1 {
+                let leaves = t.leaves();
+                t.remerge(leaves[leaves.len() / 2]).expect("mergeable");
+            }
+            black_box(t.leaf_count())
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_remerge_all);
+criterion_main!(benches);

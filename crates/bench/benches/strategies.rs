@@ -1,0 +1,43 @@
+//! Criterion: end-to-end simulated collectives — one Figure-7 point per
+//! strategy (plan + DES replay).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcio_bench::{Harness, TESTBED_PPN};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_core::{Rw, Strategy};
+use mcio_workloads::Ior;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    const MIB: u64 = 1 << 20;
+    let h = Harness::new(ClusterSpec::testbed_120(), 120, TESTBED_PPN, 7);
+    let ior = Ior::paper(120, 32 * MIB, 8);
+    let req = ior.request(Rw::Write);
+    let buf = 16 * MIB;
+    let cfg = h.config_for(&req, buf);
+
+    let mut g = c.benchmark_group("fig7_point");
+    g.sample_size(10);
+    g.bench_function("two_phase", |b| {
+        b.iter(|| {
+            black_box(
+                h.run_point(Strategy::TwoPhase, &req, buf, &cfg)
+                    .timing
+                    .bandwidth_mibs,
+            )
+        });
+    });
+    g.bench_function("memory_conscious", |b| {
+        b.iter(|| {
+            black_box(
+                h.run_point(Strategy::MemoryConscious, &req, buf, &cfg)
+                    .timing
+                    .bandwidth_mibs,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! A small experiment driver: run one collective with both strategies on
+//! a chosen workload/machine, entirely from the command line.
+//!
+//! ```sh
+//! mcio_cli --workload ior --ranks 120 --ppn 12 --per-proc 32M --buffer 8M
+//! mcio_cli --workload collperf --ranks 64 --scale 4 --buffer 4M --rw read
+//! mcio_cli --workload checkpoint --ranks 48 --per-proc 16M --pipeline double
+//! ```
+//!
+//! Flags (all optional; defaults in parentheses):
+//! `--workload ior|collperf|checkpoint` (ior), `--ranks N` (120),
+//! `--ppn N` (12), `--per-proc BYTES` (32M), `--segments N` (8),
+//! `--scale N` collperf dimension divisor (4), `--buffer BYTES` (16M),
+//! `--stddev F` (0.35), `--seed N` (42), `--rw read|write` (write),
+//! `--machine testbed|exascale|small` (testbed),
+//! `--pipeline serial|double` (serial), `--two-level`, `--trace FILE`
+//! (write a Chrome-trace JSON of the memory-conscious run).
+
+use mcio_bench::{format_bytes, improvement_pct};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::ProcessMap;
+use mcio_core::exec_sim::{simulate_opts, simulate_two_level, trace_plan, Pipeline};
+use mcio_core::hints::parse_bytes;
+use mcio_core::{
+    mcio as mc, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Rw,
+};
+use mcio_workloads::{science, CollPerf, Ior};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts: HashMap<String, String> = HashMap::new();
+    let mut flags: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            eprintln!("unexpected argument `{a}` (flags start with --)");
+            exit(2);
+        };
+        match key {
+            "two-level" | "help" => flags.push(key.to_string()),
+            _ => match it.next() {
+                Some(v) => {
+                    opts.insert(key.to_string(), v.clone());
+                }
+                None => {
+                    eprintln!("flag --{key} needs a value");
+                    exit(2);
+                }
+            },
+        }
+    }
+    if flags.iter().any(|f| f == "help") {
+        eprintln!("see the module docs at the top of crates/bench/src/bin/mcio_cli.rs");
+        exit(0);
+    }
+
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let bytes = |k: &str, d: &str| -> u64 {
+        parse_bytes(&get(k, d)).unwrap_or_else(|e| {
+            eprintln!("--{k}: {e}");
+            exit(2);
+        })
+    };
+    let num = |k: &str, d: &str| -> u64 {
+        get(k, d).parse().unwrap_or_else(|e| {
+            eprintln!("--{k}: {e}");
+            exit(2);
+        })
+    };
+
+    let ranks = num("ranks", "120") as usize;
+    let ppn = num("ppn", "12") as usize;
+    let buffer = bytes("buffer", "16M");
+    let per_proc = bytes("per-proc", "32M");
+    let stddev: f64 = get("stddev", "0.35").parse().unwrap_or(0.35);
+    let seed = num("seed", "42");
+    let rw = match get("rw", "write").as_str() {
+        "read" => Rw::Read,
+        "write" => Rw::Write,
+        other => {
+            eprintln!("--rw must be read|write, got `{other}`");
+            exit(2);
+        }
+    };
+    let pipeline = match get("pipeline", "serial").as_str() {
+        "serial" => Pipeline::Serial,
+        "double" => Pipeline::DoubleBuffered,
+        other => {
+            eprintln!("--pipeline must be serial|double, got `{other}`");
+            exit(2);
+        }
+    };
+
+    let map = ProcessMap::block_ppn(ranks, ppn);
+    let mut spec = match get("machine", "testbed").as_str() {
+        "testbed" => ClusterSpec::ttu_testbed(),
+        "exascale" => ClusterSpec::exascale_2018(),
+        "small" => ClusterSpec::small(map.nnodes(), ppn),
+        other => {
+            eprintln!("--machine must be testbed|exascale|small, got `{other}`");
+            exit(2);
+        }
+    };
+    if spec.nodes < map.nnodes() {
+        spec.nodes = map.nnodes();
+    }
+
+    let req: CollectiveRequest = match get("workload", "ior").as_str() {
+        "ior" => Ior::paper(ranks, per_proc, num("segments", "8")).request(rw),
+        "collperf" => {
+            let cp = CollPerf::paper(ranks, num("scale", "4"));
+            cp.request(rw)
+        }
+        "checkpoint" => {
+            let sizes: Vec<u64> = (0..ranks as u64)
+                .map(|r| per_proc / 2 + (r * 977) % per_proc)
+                .collect();
+            science::checkpoint(rw, 4096, &sizes)
+        }
+        other => {
+            eprintln!("--workload must be ior|collperf|checkpoint, got `{other}`");
+            exit(2);
+        }
+    };
+
+    let per_node = (req.total_bytes() / map.nnodes().max(1) as u64).max(1);
+    let cfg = CollectiveConfig::with_buffer(buffer)
+        .nah(2)
+        .msg_group(per_node)
+        .msg_ind((per_node / 2).max(1))
+        .mem_min(buffer / 2);
+    let env = ProcMemory::normal(ranks, buffer, stddev, seed);
+
+    println!(
+        "{} {} x {} ranks ({} nodes), {} total, buffer {} (stddev {stddev}), machine {}",
+        get("workload", "ior"),
+        rw.name(),
+        ranks,
+        map.nnodes(),
+        format_bytes(req.total_bytes()),
+        format_bytes(buffer),
+        spec.name,
+    );
+
+    let two_level = flags.iter().any(|f| f == "two-level");
+    let run = |plan: &mcio_core::CollectivePlan| {
+        if two_level {
+            simulate_two_level(plan, &map, &spec)
+        } else {
+            simulate_opts(plan, &map, &spec, pipeline)
+        }
+    };
+    let tp_plan = twophase::plan(&req, &map, &env, &cfg);
+    let mc_plan = mc::plan(&req, &map, &env, &cfg);
+    tp_plan.check(&req).expect("two-phase plan sound");
+    mc_plan.check(&req).expect("memory-conscious plan sound");
+    let tp = run(&tp_plan);
+    let mcr = run(&mc_plan);
+    println!(
+        "two-phase       : {:>9.1} MiB/s  ({} aggs, {} rounds, elapsed {})",
+        tp.bandwidth_mibs,
+        tp_plan.naggs(),
+        tp_plan.max_rounds(),
+        tp.elapsed,
+    );
+    println!(
+        "memory-conscious: {:>9.1} MiB/s  ({} aggs, {} rounds, elapsed {})  [{:+.1}%]",
+        mcr.bandwidth_mibs,
+        mc_plan.naggs(),
+        mc_plan.max_rounds(),
+        mcr.elapsed,
+        improvement_pct(tp.bandwidth_mibs, mcr.bandwidth_mibs),
+    );
+
+    if let Some(path) = opts.get("trace") {
+        let (_, json) = trace_plan(&mc_plan, &map, &spec);
+        std::fs::write(path, json).expect("trace file writable");
+        println!("memory-conscious timeline written to {path} (open in Perfetto)");
+    }
+}

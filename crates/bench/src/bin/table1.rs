@@ -1,0 +1,32 @@
+//! Table 1: potential exascale computer design and its relationship to
+//! current HPC designs, plus the derived memory-per-core projection the
+//! paper's introduction builds on (`f_m / (f_s · f_n)`).
+
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::Table1;
+
+fn main() {
+    let t = Table1::paper();
+    println!("Table 1: potential exascale design vs 2010 HPC design\n");
+    print!("{t}");
+    println!();
+    println!(
+        "memory-per-core factor f_m/(f_s*f_n) = {:.4} ({:.2} GB -> {:.1} MB)",
+        t.memory_per_core_factor(),
+        t.from.memory_per_core() / 1e9,
+        t.to.memory_per_core() / 1e6,
+    );
+    println!(
+        "off-chip bandwidth per core: {:.2} GB/s -> {:.2} GB/s (factor {:.2})",
+        t.from.memory_bw_per_core() / 1e9,
+        t.to.memory_bw_per_core() / 1e9,
+        t.memory_bw_per_core_factor(),
+    );
+    let ex = ClusterSpec::exascale_2018();
+    println!(
+        "\nmachine-model preset `exascale_2018`: {} nodes x {} cores, {:.1} MB/core",
+        ex.nodes,
+        ex.node.cores,
+        ex.node.mem_per_core() as f64 / 1e6,
+    );
+}

@@ -1,0 +1,850 @@
+//! The timing executor: replays a collective plan on the machine model.
+//!
+//! Lowers the plan onto [`mcio_des`] activities using the cluster fabric
+//! (per-node memory buses + NICs) and the PFS model (per-OST FIFO
+//! queues):
+//!
+//! * Each round's per-pair transfers become message activities (inter-
+//!   node: membus → NIC → wire → NIC → membus; intra-node: memory bus
+//!   only).
+//! * For writes, each aggregator's I/O waits for the messages addressed
+//!   to it, then issues one PFS request per coalesced extent; for reads,
+//!   the I/O comes first and the distribution messages wait on it.
+//! * Rounds chain: under [`SyncMode::Global`] round *r+1* of *everyone*
+//!   waits for round *r* of *everyone* (ROMIO's global `alltoallv`);
+//!   under [`SyncMode::PerGroup`] each group chains independently.
+//!
+//! The result is the collective's makespan, reported as aggregate
+//! bandwidth the way the paper's figures are (total bytes / elapsed).
+
+use crate::plan::{CollectivePlan, Round, SyncMode};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::{Fabric, ProcessMap};
+use mcio_des::{Activity, ActivityId, SimDuration, Simulation};
+use mcio_pfs::{Pfs, Rw};
+
+/// Timing results of one simulated collective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Wall-clock (simulated) duration of the collective.
+    pub elapsed: SimDuration,
+    /// Critical-path time attributed to the data-shuffle phase, summed
+    /// over round chains (with several independent groups this is an
+    /// attribution total and may exceed `elapsed`).
+    pub exchange_time: SimDuration,
+    /// Critical-path time attributed to the file-access phase (same
+    /// summation semantics as `exchange_time`).
+    pub io_time: SimDuration,
+    /// Total requested bytes moved.
+    pub bytes: u64,
+    /// Aggregate bandwidth in MiB/s (the paper's y-axis).
+    pub bandwidth_mibs: f64,
+    /// Busiest memory bus: total busy time.
+    pub membus_busy_max: SimDuration,
+    /// Busiest NIC (either direction): total busy time.
+    pub nic_busy_max: SimDuration,
+    /// Busiest OST: total busy time.
+    pub ost_busy_max: SimDuration,
+    /// Sum of OST busy time (storage work actually performed).
+    pub ost_busy_total: SimDuration,
+    /// Number of DES activities (diagnostic).
+    pub activities: usize,
+}
+
+/// Scheduling of consecutive rounds within a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pipeline {
+    /// Round `r+1` starts only after round `r` finished completely (a
+    /// single aggregation buffer; the model the paper's prototype uses).
+    #[default]
+    Serial,
+    /// Double buffering: round `r+1`'s exchange overlaps round `r`'s
+    /// file access (two aggregation buffers per aggregator — twice the
+    /// memory, the classic ROMIO `cb` pipelining).
+    DoubleBuffered,
+}
+
+/// Shape of the shuffle exchange (the paper's "coordinates I/O accesses
+/// in intra-node and inter-node layer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exchange {
+    /// Every rank messages the aggregator directly (flat alltoallv).
+    #[default]
+    Direct,
+    /// Two-level: ranks sharing a node first combine their pieces at a
+    /// node leader over the memory bus, and one message per (node,
+    /// aggregator) pair crosses the network — fewer, larger NIC
+    /// transfers at the cost of an extra on-node copy.
+    TwoLevel,
+}
+
+/// Simulate a plan on `spec`'s machine with `map`'s process placement
+/// (serial rounds, direct exchange; see [`simulate_opts`]).
+pub fn simulate(plan: &CollectivePlan, map: &ProcessMap, spec: &ClusterSpec) -> TimingReport {
+    simulate_opts(plan, map, spec, Pipeline::Serial)
+}
+
+/// Simulate with a two-level (node-leader combining) exchange.
+pub fn simulate_two_level(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+) -> TimingReport {
+    simulate_inner(plan, map, spec, Pipeline::Serial, Exchange::TwoLevel, false).0
+}
+
+/// Simulate and return a Chrome-trace JSON timeline of every resource
+/// service interval (open in Perfetto / `chrome://tracing`), alongside
+/// the report. Expensive on big plans — meant for inspection at small
+/// scale.
+pub fn trace_plan(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+) -> (TimingReport, String) {
+    simulate_inner(plan, map, spec, Pipeline::Serial, Exchange::Direct, true)
+}
+
+/// Simulate with an explicit round-pipelining mode.
+pub fn simulate_opts(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    pipeline: Pipeline,
+) -> TimingReport {
+    simulate_inner(plan, map, spec, pipeline, Exchange::Direct, false).0
+}
+
+fn simulate_inner(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    pipeline: Pipeline,
+    exchange: Exchange,
+    trace: bool,
+) -> (TimingReport, String) {
+    let mut sim = Simulation::new();
+    if trace {
+        sim.enable_trace();
+    }
+    let fabric = Fabric::build(&mut sim, spec);
+    let pfs = Pfs::build(&mut sim, spec);
+    assert!(
+        map.nnodes() <= fabric.nnodes(),
+        "process map uses more nodes than the cluster has"
+    );
+
+    // Chains of round-slots: Global sync zips all groups into one chain;
+    // PerGroup gives each group its own.
+    let mut chains: Vec<Vec<Vec<&Round>>> = Vec::new();
+    match plan.sync {
+        SyncMode::Global => {
+            let mut chain = Vec::new();
+            for r in 0..plan.max_rounds() {
+                chain.push(
+                    plan.groups
+                        .iter()
+                        .filter_map(|g| g.rounds.get(r))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            chains.push(chain);
+        }
+        SyncMode::PerGroup => {
+            for g in &plan.groups {
+                if !g.rounds.is_empty() {
+                    chains.push(g.rounds.iter().map(|r| vec![r]).collect());
+                }
+            }
+        }
+    }
+
+    // Per-slot metadata for phase attribution: the activities the slot's
+    // first phase waited on, its messages and its I/O completions.
+    let mut round_meta: Vec<(Vec<ActivityId>, Vec<ActivityId>, Vec<ActivityId>)> =
+        Vec::new();
+    for (ci, chain) in chains.iter().enumerate() {
+        let mut ex_joins: Vec<ActivityId> = Vec::new();
+        let mut io_joins: Vec<ActivityId> = Vec::new();
+        for (r, slot) in chain.iter().enumerate() {
+            // Dependencies per pipelining mode. The "first" phase is the
+            // exchange for writes and the I/O for reads.
+            let (first_deps, second_extra): (Vec<ActivityId>, Vec<ActivityId>) = if r == 0 {
+                (Vec::new(), Vec::new())
+            } else {
+                match pipeline {
+                    Pipeline::Serial => {
+                        (vec![ex_joins[r - 1], io_joins[r - 1]], Vec::new())
+                    }
+                    Pipeline::DoubleBuffered => {
+                        // The first phase of round r reuses the buffer the
+                        // second phase of round r-2 released; the second
+                        // phase serializes per buffer stream.
+                        let (prev_first, prev_second) = match plan.rw {
+                            Rw::Write => (&ex_joins, &io_joins),
+                            Rw::Read => (&io_joins, &ex_joins),
+                        };
+                        let mut first = vec![prev_first[r - 1]];
+                        if r >= 2 {
+                            first.push(prev_second[r - 2]);
+                        }
+                        (first, vec![prev_second[r - 1]])
+                    }
+                }
+            };
+            let mut msgs_all = Vec::new();
+            let mut ios_all = Vec::new();
+            for round in slot {
+                let h = lower_round(
+                    &mut sim,
+                    &fabric,
+                    &pfs,
+                    map,
+                    plan.rw,
+                    round,
+                    &first_deps,
+                    &second_extra,
+                    exchange,
+                );
+                msgs_all.extend(h.msgs);
+                ios_all.extend(h.ios);
+            }
+            let ex_join = sim.add_activity(Activity::new(format!("c{ci}.r{r}.ex")));
+            for &m in &msgs_all {
+                sim.add_dep(m, ex_join);
+            }
+            let io_join = sim.add_activity(Activity::new(format!("c{ci}.r{r}.io")));
+            for &io in &ios_all {
+                sim.add_dep(io, io_join);
+            }
+            // Empty phases still chain (join on the other phase so the
+            // slot completes in order).
+            if msgs_all.is_empty() {
+                for &d in &first_deps {
+                    sim.add_dep(d, ex_join);
+                }
+            }
+            if ios_all.is_empty() {
+                sim.add_dep(ex_join, io_join);
+            }
+            round_meta.push((first_deps, msgs_all, ios_all));
+            ex_joins.push(ex_join);
+            io_joins.push(io_join);
+        }
+    }
+
+    let activities = sim.activity_count();
+    let report = sim.run().expect("collective plan DAG is acyclic");
+
+    let nnodes = fabric.nnodes();
+    let mut membus_busy_max = SimDuration::ZERO;
+    let mut nic_busy_max = SimDuration::ZERO;
+    for n in 0..nnodes {
+        let node = mcio_cluster::NodeId(n);
+        membus_busy_max =
+            membus_busy_max.max(report.resource_usage(fabric.membus(node)).busy_time);
+        nic_busy_max = nic_busy_max
+            .max(report.resource_usage(fabric.nic_tx(node)).busy_time)
+            .max(report.resource_usage(fabric.nic_rx(node)).busy_time);
+    }
+    let mut ost_busy_max = SimDuration::ZERO;
+    let mut ost_busy_total = SimDuration::ZERO;
+    for o in 0..pfs.ost_count() {
+        let busy = report
+            .resource_usage(pfs.ost_resource(mcio_pfs::OstId(o)))
+            .busy_time;
+        ost_busy_max = ost_busy_max.max(busy);
+        ost_busy_total += busy;
+    }
+
+    // Phase attribution per round: messages span [start, last message
+    // done]; I/O spans the rest of the round. Reads do I/O first, so the
+    // roles of the two interval ends swap.
+    let mut exchange_time = SimDuration::ZERO;
+    let mut io_time = SimDuration::ZERO;
+    for (deps, msgs, ios) in &round_meta {
+        let t0 = deps
+            .iter()
+            .map(|&d| report.finish_time(d))
+            .max()
+            .unwrap_or(mcio_des::SimTime::ZERO);
+        let msgs_end = msgs
+            .iter()
+            .map(|&a| report.finish_time(a))
+            .max()
+            .unwrap_or(t0);
+        let ios_end = ios
+            .iter()
+            .map(|&a| report.finish_time(a))
+            .max()
+            .unwrap_or(t0);
+        match plan.rw {
+            Rw::Write => {
+                exchange_time += msgs_end.saturating_since(t0);
+                io_time += ios_end.saturating_since(msgs_end);
+            }
+            Rw::Read => {
+                io_time += ios_end.saturating_since(t0);
+                exchange_time += msgs_end.saturating_since(ios_end);
+            }
+        }
+    }
+
+    let bytes: u64 = plan.groups.iter().map(|g| g.io_bytes()).sum();
+    let elapsed = report.makespan().saturating_since(mcio_des::SimTime::ZERO);
+    let bandwidth_mibs = if elapsed.is_zero() {
+        0.0
+    } else {
+        bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
+    };
+    (
+        TimingReport {
+            elapsed,
+            exchange_time,
+            io_time,
+            bytes,
+            bandwidth_mibs,
+            membus_busy_max,
+            nic_busy_max,
+            ost_busy_max,
+            ost_busy_total,
+            activities,
+        },
+        report.chrome_trace_json(),
+    )
+}
+
+/// One step of an exchange chain.
+enum Leg {
+    /// An on-node copy of `bytes` (leader-side combine or scatter).
+    Combine {
+        /// The node performing the local copy.
+        node: mcio_cluster::NodeId,
+        /// Combined payload size.
+        bytes: u64,
+    },
+    /// A message to/from the aggregator (`src` is the non-aggregator
+    /// endpoint's node).
+    Wire {
+        /// The non-aggregator endpoint's node.
+        src: mcio_cluster::NodeId,
+        /// Payload size.
+        bytes: u64,
+    },
+}
+
+/// Expand a write round's transfers into per-aggregator leg chains.
+fn exchange_transfers(
+    round: &Round,
+    map: &ProcessMap,
+    exchange: Exchange,
+) -> std::collections::BTreeMap<mcio_cluster::Rank, Vec<Vec<Leg>>> {
+    let mut out: std::collections::BTreeMap<mcio_cluster::Rank, Vec<Vec<Leg>>> =
+        std::collections::BTreeMap::new();
+    match exchange {
+        Exchange::Direct => {
+            for ((src, dst), bytes) in round.transfers() {
+                out.entry(dst).or_default().push(vec![Leg::Wire {
+                    src: map.node_of(src),
+                    bytes,
+                }]);
+            }
+        }
+        Exchange::TwoLevel => {
+            // Merge contributions per (source node, aggregator).
+            let mut per_node: std::collections::BTreeMap<
+                (mcio_cluster::NodeId, mcio_cluster::Rank),
+                u64,
+            > = std::collections::BTreeMap::new();
+            for ((src, dst), bytes) in round.transfers() {
+                *per_node.entry((map.node_of(src), dst)).or_insert(0) += bytes;
+            }
+            for ((node, dst), bytes) in per_node {
+                let chain = if node == map.node_of(dst) {
+                    // Already on the aggregator's node: plain local copy.
+                    vec![Leg::Wire { src: node, bytes }]
+                } else {
+                    vec![Leg::Combine { node, bytes }, Leg::Wire { src: node, bytes }]
+                };
+                out.entry(dst).or_default().push(chain);
+            }
+        }
+    }
+    out
+}
+
+/// Expand a read round's distribution into per-aggregator leg chains
+/// (`Wire.src` names the destination node; `Combine` is the on-node
+/// scatter after the wire).
+fn exchange_transfers_read(
+    round: &Round,
+    map: &ProcessMap,
+    exchange: Exchange,
+) -> std::collections::BTreeMap<mcio_cluster::Rank, Vec<Vec<Leg>>> {
+    let mut out: std::collections::BTreeMap<mcio_cluster::Rank, Vec<Vec<Leg>>> =
+        std::collections::BTreeMap::new();
+    match exchange {
+        Exchange::Direct => {
+            for ((src, dst), bytes) in round.transfers() {
+                out.entry(src).or_default().push(vec![Leg::Wire {
+                    src: map.node_of(dst),
+                    bytes,
+                }]);
+            }
+        }
+        Exchange::TwoLevel => {
+            let mut per_node: std::collections::BTreeMap<
+                (mcio_cluster::Rank, mcio_cluster::NodeId),
+                u64,
+            > = std::collections::BTreeMap::new();
+            for ((src, dst), bytes) in round.transfers() {
+                *per_node.entry((src, map.node_of(dst))).or_insert(0) += bytes;
+            }
+            for ((agg, node), bytes) in per_node {
+                let chain = if node == map.node_of(agg) {
+                    vec![Leg::Wire { src: node, bytes }]
+                } else {
+                    vec![Leg::Wire { src: node, bytes }, Leg::Combine { node, bytes }]
+                };
+                out.entry(agg).or_default().push(chain);
+            }
+        }
+    }
+    out
+}
+
+/// Handles of a lowered round: the message activities and the I/O
+/// completion activities (the slot joins are built from these).
+struct RoundHandles {
+    /// The message activities (for joins and phase attribution).
+    msgs: Vec<ActivityId>,
+    /// The I/O completion activities.
+    ios: Vec<ActivityId>,
+}
+
+/// Lower one round. `first_deps` gate the round's first phase (exchange
+/// for writes, I/O for reads); `second_extra` are additional gates on
+/// the second phase (used by pipelined scheduling).
+#[allow(clippy::too_many_arguments)]
+fn lower_round(
+    sim: &mut Simulation,
+    fabric: &Fabric,
+    pfs: &Pfs,
+    map: &ProcessMap,
+    rw: Rw,
+    round: &Round,
+    first_deps: &[ActivityId],
+    second_extra: &[ActivityId],
+    exchange: Exchange,
+) -> RoundHandles {
+    let mut msg_acts: Vec<ActivityId> = Vec::new();
+    let mut io_acts: Vec<ActivityId> = Vec::new();
+    match rw {
+        Rw::Write => {
+            // Exchange, then I/O.
+            let mut msgs_to_agg: std::collections::BTreeMap<
+                mcio_cluster::Rank,
+                Vec<ActivityId>,
+            > = std::collections::BTreeMap::new();
+            for (dst, chains) in exchange_transfers(round, map, exchange) {
+                for chain in chains {
+                    let mut prev: Option<ActivityId> = None;
+                    for leg in chain {
+                        let a = match leg {
+                            Leg::Combine { node, bytes } => {
+                                // On-node combine at the leader: one extra
+                                // memory-bus copy of the combined payload.
+                                sim.add_activity(fabric.message(
+                                    format!("combine.{node}->{dst}"),
+                                    node,
+                                    node,
+                                    bytes,
+                                ))
+                            }
+                            Leg::Wire { src, bytes } => sim.add_activity(fabric.message(
+                                format!("msg.{src}->{dst}"),
+                                src,
+                                map.node_of(dst),
+                                bytes,
+                            )),
+                        };
+                        match prev {
+                            None => {
+                                for &d in first_deps {
+                                    sim.add_dep(d, a);
+                                }
+                            }
+                            Some(p) => sim.add_dep(p, a),
+                        }
+                        prev = Some(a);
+                        msgs_to_agg.entry(dst).or_default().push(a);
+                        msg_acts.push(a);
+                    }
+                }
+            }
+            for io in &round.ios {
+                let mut deps = msgs_to_agg
+                    .get(&io.agg)
+                    .cloned()
+                    .unwrap_or_else(|| first_deps.to_vec());
+                deps.extend_from_slice(second_extra);
+                let node = map.node_of(io.agg);
+                for e in &io.extents {
+                    let done = pfs.submit(
+                        sim,
+                        fabric,
+                        &format!("io.{}", io.agg),
+                        node,
+                        Rw::Write,
+                        *e,
+                        &deps,
+                    );
+                    io_acts.push(done);
+                }
+            }
+        }
+        Rw::Read => {
+            // I/O first, then distribution.
+            let mut io_of_agg: std::collections::BTreeMap<
+                mcio_cluster::Rank,
+                Vec<ActivityId>,
+            > = std::collections::BTreeMap::new();
+            for io in &round.ios {
+                let deps: Vec<ActivityId> = first_deps.to_vec();
+                let node = map.node_of(io.agg);
+                for e in &io.extents {
+                    let done = pfs.submit(
+                        sim,
+                        fabric,
+                        &format!("io.{}", io.agg),
+                        node,
+                        Rw::Read,
+                        *e,
+                        &deps,
+                    );
+                    io_of_agg.entry(io.agg).or_default().push(done);
+                    io_acts.push(done);
+                }
+            }
+            for (agg, chains) in exchange_transfers_read(round, map, exchange) {
+                for chain in chains {
+                    let mut prev: Option<ActivityId> = None;
+                    for leg in chain {
+                        let a = match leg {
+                            Leg::Combine { node, bytes } => {
+                                // On-node scatter from the leader's buffer.
+                                sim.add_activity(fabric.message(
+                                    format!("scatter.{agg}->{node}"),
+                                    node,
+                                    node,
+                                    bytes,
+                                ))
+                            }
+                            Leg::Wire { src: dst_node, bytes } => {
+                                sim.add_activity(fabric.message(
+                                    format!("msg.{agg}->{dst_node}"),
+                                    map.node_of(agg),
+                                    dst_node,
+                                    bytes,
+                                ))
+                            }
+                        };
+                        match prev {
+                            None => {
+                                // The aggregator must have read its window
+                                // first.
+                                match io_of_agg.get(&agg) {
+                                    Some(ios) => {
+                                        for &io in ios {
+                                            sim.add_dep(io, a);
+                                        }
+                                    }
+                                    None => {
+                                        for &d in first_deps {
+                                            sim.add_dep(d, a);
+                                        }
+                                    }
+                                }
+                                for &d in second_extra {
+                                    sim.add_dep(d, a);
+                                }
+                            }
+                            Some(p) => sim.add_dep(p, a),
+                        }
+                        prev = Some(a);
+                        msg_acts.push(a);
+                    }
+                }
+            }
+        }
+    }
+    RoundHandles {
+        msgs: msg_acts,
+        ios: io_acts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollectiveConfig;
+    use crate::memory::ProcMemory;
+    use crate::request::CollectiveRequest;
+    use crate::{mcio, twophase};
+    use mcio_cluster::Placement;
+    use mcio_pfs::Extent;
+
+    const MIB: u64 = 1 << 20;
+
+    fn serial_req(rw: Rw, nranks: usize, chunk: u64) -> CollectiveRequest {
+        CollectiveRequest::new(
+            rw,
+            (0..nranks as u64)
+                .map(|r| vec![Extent::new(r * chunk, chunk)])
+                .collect(),
+        )
+    }
+
+    fn small_spec(nodes: usize) -> ClusterSpec {
+        ClusterSpec::small(nodes, 2)
+    }
+
+    #[test]
+    fn write_collective_produces_sane_timing() {
+        let req = serial_req(Rw::Write, 8, 4 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let mem = ProcMemory::uniform(8, 4 * MIB);
+        let cfg = CollectiveConfig::with_buffer(4 * MIB);
+        let plan = twophase::plan(&req, &map, &mem, &cfg);
+        let rep = simulate(&plan, &map, &small_spec(4));
+        assert_eq!(rep.bytes, 32 * MIB);
+        assert!(!rep.elapsed.is_zero());
+        assert!(rep.bandwidth_mibs > 0.0);
+        // PFS-bound: the 4 OSTs at 100 MiB/s cap aggregate write BW.
+        assert!(
+            rep.bandwidth_mibs < 450.0,
+            "bw {} exceeds PFS capability",
+            rep.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn read_faster_than_write_same_plan_shape() {
+        let wreq = serial_req(Rw::Write, 4, 8 * MIB);
+        let rreq = serial_req(Rw::Read, 4, 8 * MIB);
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, 8 * MIB);
+        let cfg = CollectiveConfig::with_buffer(8 * MIB);
+        let spec = small_spec(2);
+        let w = simulate(&twophase::plan(&wreq, &map, &mem, &cfg), &map, &spec);
+        let r = simulate(&twophase::plan(&rreq, &map, &mem, &cfg), &map, &spec);
+        assert!(
+            r.bandwidth_mibs > w.bandwidth_mibs,
+            "read {} <= write {}",
+            r.bandwidth_mibs,
+            w.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn smaller_buffers_are_slower() {
+        let req = serial_req(Rw::Write, 8, 8 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let spec = small_spec(4);
+        let mut last_bw = f64::INFINITY;
+        for buf in [8 * MIB, MIB, MIB / 4] {
+            let mem = ProcMemory::uniform(8, buf);
+            let cfg = CollectiveConfig::with_buffer(buf);
+            let plan = twophase::plan(&req, &map, &mem, &cfg);
+            let rep = simulate(&plan, &map, &spec);
+            assert!(
+                rep.bandwidth_mibs < last_bw,
+                "buffer {buf}: bw {} did not drop below {last_bw}",
+                rep.bandwidth_mibs
+            );
+            last_bw = rep.bandwidth_mibs;
+        }
+    }
+
+    #[test]
+    fn memory_conscious_beats_baseline_with_starved_aggregator() {
+        // One designated baseline aggregator is memory-starved; MC routes
+        // around it.
+        let req = serial_req(Rw::Write, 8, 8 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        // Baseline aggregators are ranks 0,2,4,6; rank 0 is starved.
+        let mut budgets = vec![8 * MIB; 8];
+        budgets[0] = MIB / 4;
+        let mem = ProcMemory::from_budgets(budgets);
+        let cfg = CollectiveConfig::with_buffer(8 * MIB)
+            .msg_ind(16 * MIB)
+            .msg_group(32 * MIB)
+            .mem_min(MIB);
+        let spec = small_spec(4);
+        let base = simulate(&twophase::plan(&req, &map, &mem, &cfg), &map, &spec);
+        let mc = simulate(&mcio::plan(&req, &map, &mem, &cfg), &map, &spec);
+        assert!(
+            mc.bandwidth_mibs > base.bandwidth_mibs * 1.2,
+            "mc {} vs baseline {}",
+            mc.bandwidth_mibs,
+            base.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn phase_attribution_sums_to_chain_time() {
+        // Single group, global sync: exchange + io per round partition
+        // the round chain exactly, so their sum equals the elapsed time.
+        let req = serial_req(Rw::Write, 4, 8 * MIB);
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, 2 * MIB);
+        let cfg = CollectiveConfig::with_buffer(2 * MIB);
+        let plan = twophase::plan(&req, &map, &mem, &cfg);
+        let rep = simulate(&plan, &map, &small_spec(2));
+        assert!(!rep.exchange_time.is_zero());
+        assert!(!rep.io_time.is_zero());
+        let sum = rep.exchange_time + rep.io_time;
+        let diff = sum.as_secs_f64() - rep.elapsed.as_secs_f64();
+        assert!(
+            diff.abs() < rep.elapsed.as_secs_f64() * 0.05,
+            "exchange {} + io {} should approximate elapsed {}",
+            rep.exchange_time,
+            rep.io_time,
+            rep.elapsed
+        );
+        // Writes on this machine are I/O-dominated.
+        assert!(rep.io_time > rep.exchange_time);
+    }
+
+    #[test]
+    fn double_buffering_overlaps_phases() {
+        // Many rounds, comparable exchange and I/O costs: pipelining must
+        // shorten the collective, and never lengthen it.
+        let req = serial_req(Rw::Write, 8, 16 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let mem = ProcMemory::uniform(8, MIB);
+        let cfg = CollectiveConfig::with_buffer(MIB);
+        let plan = twophase::plan(&req, &map, &mem, &cfg);
+        assert!(plan.max_rounds() >= 16);
+        let spec = small_spec(4);
+        let serial = simulate_opts(&plan, &map, &spec, Pipeline::Serial);
+        let piped = simulate_opts(&plan, &map, &spec, Pipeline::DoubleBuffered);
+        assert!(
+            piped.elapsed < serial.elapsed,
+            "pipelined {} !< serial {}",
+            piped.elapsed,
+            serial.elapsed
+        );
+        // Same bytes either way.
+        assert_eq!(piped.bytes, serial.bytes);
+        // And reads pipeline too.
+        let rreq = serial_req(Rw::Read, 8, 16 * MIB);
+        let rplan = twophase::plan(&rreq, &map, &mem, &cfg);
+        let rs = simulate_opts(&rplan, &map, &spec, Pipeline::Serial);
+        let rp = simulate_opts(&rplan, &map, &spec, Pipeline::DoubleBuffered);
+        assert!(rp.elapsed < rs.elapsed);
+    }
+
+    #[test]
+    fn two_level_exchange_cuts_wire_messages() {
+        // Many ranks per node, one aggregator per node: the flat exchange
+        // pushes ppn messages per (node, agg) pair over the NIC; the
+        // two-level exchange pushes one. With a per-message overhead the
+        // two-level shape must win.
+        let nranks = 32;
+        let map = ProcessMap::new(nranks, 4, Placement::Block);
+        let req = serial_req(Rw::Write, nranks, MIB);
+        let mem = ProcMemory::uniform(nranks, 4 * MIB);
+        let cfg = CollectiveConfig::with_buffer(4 * MIB);
+        let plan = twophase::plan(&req, &map, &mem, &cfg);
+        let mut spec = small_spec(4);
+        spec.message_overhead = mcio_des::SimDuration::from_millis(1);
+        let flat = simulate(&plan, &map, &spec);
+        let two = simulate_two_level(&plan, &map, &spec);
+        assert!(
+            two.elapsed < flat.elapsed,
+            "two-level {} !< direct {}",
+            two.elapsed,
+            flat.elapsed
+        );
+        assert_eq!(two.bytes, flat.bytes);
+        // Reads too.
+        let rplan = twophase::plan(
+            &serial_req(Rw::Read, nranks, MIB),
+            &map,
+            &mem,
+            &cfg,
+        );
+        let flat_r = simulate(&rplan, &map, &spec);
+        let two_r = simulate_two_level(&rplan, &map, &spec);
+        assert!(two_r.elapsed < flat_r.elapsed);
+    }
+
+    #[test]
+    fn trace_plan_emits_timeline() {
+        let req = serial_req(Rw::Write, 4, MIB);
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, MIB);
+        let plan = twophase::plan(&req, &map, &mem, &CollectiveConfig::with_buffer(MIB));
+        let (rep, json) = trace_plan(&plan, &map, &small_spec(2));
+        assert!(rep.bandwidth_mibs > 0.0);
+        assert!(json.contains("membus"));
+        assert!(json.contains("ost"));
+        assert!(json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn straggler_node_contained_by_groups() {
+        // Node 0 runs at 20% bandwidth. Under global sync every round
+        // waits for it; per-group sync confines the damage to its group.
+        let req = serial_req(Rw::Write, 8, 8 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let mem = ProcMemory::uniform(8, MIB);
+        let per_node = req.total_bytes() / 4;
+        let cfg = CollectiveConfig::with_buffer(MIB)
+            .msg_group(per_node)
+            .msg_ind(per_node / 2)
+            .mem_min(0);
+        let spec = small_spec(4).with_straggler(0, 0.2);
+        let tp = simulate(&twophase::plan(&req, &map, &mem, &cfg), &map, &spec);
+        let mcp = simulate(&mcio::plan(&req, &map, &mem, &cfg), &map, &spec);
+        assert!(
+            mcp.bandwidth_mibs > tp.bandwidth_mibs,
+            "MC {} must beat global-sync {} under a straggler",
+            mcp.bandwidth_mibs,
+            tp.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn empty_plan_zero_time() {
+        let req = CollectiveRequest::new(Rw::Write, vec![vec![], vec![]]);
+        let map = ProcessMap::new(2, 1, Placement::Block);
+        let mem = ProcMemory::uniform(2, MIB);
+        let plan = twophase::plan(&req, &map, &mem, &CollectiveConfig::default());
+        let rep = simulate(&plan, &map, &small_spec(1));
+        assert_eq!(rep.bytes, 0);
+        assert_eq!(rep.bandwidth_mibs, 0.0);
+    }
+
+    #[test]
+    fn per_group_sync_beats_global_with_one_slow_group() {
+        // Same aggregator layout, but group-local sync lets fast groups
+        // finish without waiting for the starved one.
+        let req = serial_req(Rw::Write, 8, 8 * MIB);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let mut budgets = vec![8 * MIB; 8];
+        budgets[0] = MIB / 2;
+        budgets[1] = MIB / 2; // whole node 0 starved
+        let mem = ProcMemory::from_budgets(budgets);
+        let cfg = CollectiveConfig::with_buffer(8 * MIB)
+            .msg_ind(16 * MIB)
+            .msg_group(16 * MIB)
+            .mem_min(0);
+        let spec = small_spec(4);
+        let mc = mcio::plan(&req, &map, &mem, &cfg);
+        assert_eq!(mc.sync, SyncMode::PerGroup);
+        let rep = simulate(&mc, &map, &spec);
+        assert!(rep.bandwidth_mibs > 0.0);
+    }
+}

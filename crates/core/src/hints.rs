@@ -1,0 +1,182 @@
+//! MPI-IO hint parsing: the `MPI_Info`-style key/value interface ROMIO
+//! exposes its collective tunables through, extended with the paper's
+//! memory-conscious knobs.
+//!
+//! Recognized keys (values are byte counts unless noted; byte counts
+//! accept plain integers or `K`/`M`/`G` suffixes, case-insensitive):
+//!
+//! | key | maps to |
+//! |---|---|
+//! | `cb_buffer_size` | [`CollectiveConfig::cb_buffer`] |
+//! | `striping_unit` | [`CollectiveConfig::align_fd_to_stripes`] |
+//! | `mcio_msg_ind` | [`CollectiveConfig::msg_ind`] |
+//! | `mcio_msg_group` | [`CollectiveConfig::msg_group`] |
+//! | `mcio_mem_min` | [`CollectiveConfig::mem_min`] |
+//! | `mcio_nah` | [`CollectiveConfig::nah`] (plain integer) |
+//! | `mcio_placement` | `memory_aware` \| `first_candidate` |
+//!
+//! Unknown keys are ignored, as MPI requires of info hints.
+
+use crate::config::{CollectiveConfig, PlacementPolicy};
+
+/// Error describing the first malformed hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HintError {
+    /// The offending key.
+    pub key: String,
+    /// What was wrong with its value.
+    pub reason: String,
+}
+
+impl std::fmt::Display for HintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "hint `{}`: {}", self.key, self.reason)
+    }
+}
+
+impl std::error::Error for HintError {}
+
+/// Parse a byte-count hint value: `"16777216"`, `"16m"`, `"4K"`, `"1G"`.
+pub fn parse_bytes(value: &str) -> Result<u64, String> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Err("empty value".into());
+    }
+    let (digits, multiplier) = match v.chars().last().expect("non-empty") {
+        'k' | 'K' => (&v[..v.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&v[..v.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("not a byte count: {e}"))?
+        .checked_mul(multiplier)
+        .ok_or_else(|| "byte count overflows".into())
+}
+
+/// Apply hints on top of a base configuration.
+pub fn apply_hints(
+    mut cfg: CollectiveConfig,
+    hints: &[(&str, &str)],
+) -> Result<CollectiveConfig, HintError> {
+    let err = |key: &str, reason: String| HintError {
+        key: key.to_string(),
+        reason,
+    };
+    for &(key, value) in hints {
+        match key {
+            "cb_buffer_size" => {
+                cfg.cb_buffer = parse_bytes(value).map_err(|r| err(key, r))?;
+            }
+            "striping_unit" => {
+                cfg.align_fd_to_stripes =
+                    Some(parse_bytes(value).map_err(|r| err(key, r))?);
+            }
+            "mcio_msg_ind" => {
+                cfg.msg_ind = parse_bytes(value).map_err(|r| err(key, r))?;
+            }
+            "mcio_msg_group" => {
+                cfg.msg_group = parse_bytes(value).map_err(|r| err(key, r))?;
+            }
+            "mcio_mem_min" => {
+                cfg.mem_min = parse_bytes(value).map_err(|r| err(key, r))?;
+            }
+            "mcio_nah" => {
+                cfg.nah = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|e| err(key, format!("not an integer: {e}")))?;
+            }
+            "mcio_placement" => {
+                cfg.placement = match value.trim() {
+                    "memory_aware" => PlacementPolicy::MemoryAware,
+                    "first_candidate" => PlacementPolicy::FirstCandidate,
+                    other => {
+                        return Err(err(
+                            key,
+                            format!("unknown placement policy `{other}`"),
+                        ))
+                    }
+                };
+            }
+            // MPI semantics: unrecognized hints are silently ignored.
+            _ => {}
+        }
+    }
+    cfg.validate().map_err(|reason| HintError {
+        key: "<combined>".into(),
+        reason,
+    })?;
+    Ok(cfg)
+}
+
+/// Build a configuration from hints alone (on top of the defaults).
+pub fn config_from_hints(hints: &[(&str, &str)]) -> Result<CollectiveConfig, HintError> {
+    apply_hints(CollectiveConfig::default(), hints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_suffixes() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("4k"), Ok(4096));
+        assert_eq!(parse_bytes("4K"), Ok(4096));
+        assert_eq!(parse_bytes("16m"), Ok(16 << 20));
+        assert_eq!(parse_bytes("2G"), Ok(2 << 30));
+        assert_eq!(parse_bytes(" 8 M "), Ok(8 << 20));
+        assert!(parse_bytes("").is_err());
+        assert!(parse_bytes("abc").is_err());
+        assert!(parse_bytes("999999999999G").is_err());
+    }
+
+    #[test]
+    fn full_hint_set() {
+        let cfg = config_from_hints(&[
+            ("cb_buffer_size", "8M"),
+            ("striping_unit", "1M"),
+            ("mcio_msg_ind", "64M"),
+            ("mcio_msg_group", "256M"),
+            ("mcio_mem_min", "4M"),
+            ("mcio_nah", "3"),
+            ("mcio_placement", "first_candidate"),
+            ("romio_cb_read", "enable"), // ignored
+        ])
+        .unwrap();
+        assert_eq!(cfg.cb_buffer, 8 << 20);
+        assert_eq!(cfg.align_fd_to_stripes, Some(1 << 20));
+        assert_eq!(cfg.msg_ind, 64 << 20);
+        assert_eq!(cfg.msg_group, 256 << 20);
+        assert_eq!(cfg.mem_min, 4 << 20);
+        assert_eq!(cfg.nah, 3);
+        assert_eq!(cfg.placement, PlacementPolicy::FirstCandidate);
+    }
+
+    #[test]
+    fn bad_values_rejected_with_key() {
+        let e = config_from_hints(&[("mcio_nah", "lots")]).unwrap_err();
+        assert_eq!(e.key, "mcio_nah");
+        let e = config_from_hints(&[("cb_buffer_size", "x")]).unwrap_err();
+        assert_eq!(e.key, "cb_buffer_size");
+        let e = config_from_hints(&[("mcio_placement", "round_robin")]).unwrap_err();
+        assert!(e.reason.contains("round_robin"));
+    }
+
+    #[test]
+    fn combined_validation_runs() {
+        // nah = 0 is individually parseable but invalid as a config.
+        let e = config_from_hints(&[("mcio_nah", "0")]).unwrap_err();
+        assert!(e.reason.contains("nah"));
+    }
+
+    #[test]
+    fn unknown_hints_ignored() {
+        let base = CollectiveConfig::default();
+        let cfg = apply_hints(base.clone(), &[("some_vendor_hint", "42")]).unwrap();
+        assert_eq!(cfg, base);
+    }
+}

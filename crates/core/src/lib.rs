@@ -1,0 +1,63 @@
+//! # mcio-core — memory-conscious collective I/O
+//!
+//! The paper's contribution, implemented end to end, next to the
+//! ROMIO-style two-phase baseline it improves on.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!              CollectiveRequest (per-rank flattened extents)
+//!                      │
+//!        ┌─────────────┴──────────────┐
+//!        ▼                            ▼
+//!  twophase::plan()            mcio::plan()
+//!  (ROMIO baseline:            1. group::divide          (§3.1)
+//!   1 aggregator/node,         2. ptree::PartitionTree   (§3.2)
+//!   even file domains,         3. placement + remerge    (§3.2–3.3)
+//!   global rounds)             4. per-group rounds
+//!        │                            │
+//!        └─────────────┬──────────────┘
+//!                      ▼
+//!               CollectivePlan
+//!        ┌─────────────┼──────────────────┐
+//!        ▼             ▼                  ▼
+//!   exec_fn        exec_mpi           exec_sim
+//!   (byte-correct  (thread-per-rank   (DES timing on the
+//!    reference)     over mcio-simpi)   cluster + PFS models)
+//! ```
+//!
+//! Every module carries its paper section in its doc comment. The plan is
+//! pure data, so the three executors can cross-check each other: the two
+//! functional executors must produce byte-identical files/buffers, and the
+//! timing executor replays the same plan against the machine model.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod exec_fn;
+pub mod exec_mpi;
+pub mod exec_sim;
+pub mod group;
+pub mod hints;
+pub mod mcio;
+pub mod memory;
+pub mod mpiio;
+pub mod pattern;
+pub mod placement;
+pub mod plan;
+pub mod ptree;
+pub mod request;
+pub mod sieving;
+pub mod tuner;
+pub mod twophase;
+
+pub use config::{CollectiveConfig, PlacementPolicy, Strategy};
+pub use exec_fn::FunctionalReport;
+pub use exec_sim::{simulate, simulate_opts, simulate_two_level, trace_plan, Exchange, Pipeline, TimingReport};
+pub use memory::ProcMemory;
+pub use plan::{AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, Round, SyncMode};
+pub use request::{CollectiveRequest, RankRequest};
+
+// Re-export the vocabulary types callers need constantly.
+pub use mcio_cluster::{NodeId, Rank};
+pub use mcio_pfs::{Extent, Rw};

@@ -1,0 +1,335 @@
+//! The memory-conscious collective I/O planner (§3): the paper's
+//! contribution, assembled from its four components.
+//!
+//! 1. **Aggregation Group Division** ([`crate::group`]) — node-aligned
+//!    disjoint subgroups of roughly `Msg_group` bytes.
+//! 2. **I/O Workload Partition** ([`crate::ptree`]) — per group, a binary
+//!    partition tree bisects the file region until each file domain holds
+//!    at most `Msg_ind` requested bytes.
+//! 3. **Workload Portion Remerging** + 4. **Aggregators Location**
+//!    ([`crate::placement`]) — memory-aware placement with `Mem_min` /
+//!    `N_ah` constraints, remerging starved domains into neighbors.
+//!
+//! Rounds are then built exactly like two-phase rounds, but **per
+//! group** ([`SyncMode::PerGroup`]): a slow aggregator stalls only its
+//! group, and shuffle traffic never crosses group boundaries.
+
+use crate::config::{CollectiveConfig, Strategy};
+use crate::group;
+use crate::memory::ProcMemory;
+use crate::placement;
+use crate::plan::{CollectivePlan, GroupPlan, Round, SyncMode};
+use crate::ptree::PartitionTree;
+use crate::request::{CollectiveRequest, RankRequest};
+use crate::twophase::build_window;
+use mcio_cluster::{ProcessMap, Rank};
+use mcio_pfs::Extent;
+
+/// Build a memory-conscious plan.
+///
+/// ```
+/// use mcio_core::{mcio, CollectiveConfig, CollectiveRequest, ProcMemory};
+/// use mcio_cluster::ProcessMap;
+/// use mcio_pfs::{Extent, Rw};
+///
+/// // Four ranks on two nodes, each writing a 1 KiB chunk.
+/// let req = CollectiveRequest::new(
+///     Rw::Write,
+///     (0..4u64).map(|r| vec![Extent::new(r * 1024, 1024)]).collect(),
+/// );
+/// let map = ProcessMap::block_ppn(4, 2);
+/// let mem = ProcMemory::normal(4, 512, 0.35, 7);
+/// let cfg = CollectiveConfig::with_buffer(512)
+///     .msg_group(2048)  // one group per node
+///     .msg_ind(1024)
+///     .mem_min(0);
+/// let plan = mcio::plan(&req, &map, &mem, &cfg);
+/// assert_eq!(plan.check(&req), Ok(()));
+/// assert_eq!(plan.groups.len(), 2);
+/// ```
+///
+/// # Panics
+/// Panics if the request's rank count does not match the process map or
+/// memory table, or if the configuration is invalid.
+pub fn plan(
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> CollectivePlan {
+    assert_eq!(req.nranks(), map.nranks(), "request/topology rank mismatch");
+    assert_eq!(req.nranks(), mem.nranks(), "request/memory rank mismatch");
+    cfg.validate().expect("invalid collective configuration");
+
+    let groups = group::divide(req, map, cfg.msg_group);
+    let mut group_plans = Vec::with_capacity(groups.len());
+    for g in &groups {
+        // Requested bytes within an extent, restricted to this group's
+        // region (already coalesced, so binary search would work; linear
+        // scan is fine at these sizes).
+        let region = g.region.clone();
+        let bytes_in = move |e: &Extent| -> u64 {
+            region
+                .iter()
+                .filter_map(|x| x.intersect(e))
+                .map(|x| x.len)
+                .sum()
+        };
+        let mut tree = PartitionTree::build(g.hull(), cfg.msg_ind, &bytes_in);
+        let aggregators = placement::place(g, &mut tree, req, map, mem, cfg);
+
+        // Mask the request down to this group's members so windows only
+        // shuffle the group's own data (regions of different groups may
+        // interleave in offset space).
+        let masked = mask_request(req, &g.ranks);
+
+        let ntimes = aggregators
+            .iter()
+            .map(|a| a.rounds())
+            .max()
+            .unwrap_or(0);
+        let mut rounds = Vec::with_capacity(ntimes);
+        for r in 0..ntimes {
+            let mut round = Round::default();
+            for a in &aggregators {
+                let win_start = a.fd.offset + r as u64 * a.buffer;
+                if win_start >= a.fd.end() {
+                    continue;
+                }
+                let window =
+                    Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
+                build_window(&masked, a.rank, window, &mut round);
+            }
+            if !round.is_empty() {
+                rounds.push(round);
+            }
+        }
+
+        group_plans.push(GroupPlan {
+            ranks: g.ranks.clone(),
+            aggregators,
+            rounds,
+        });
+    }
+
+    // Ranks belonging to no group (nothing requested) still appear in the
+    // plan via an empty trailing group so executors know about them.
+    let grouped: std::collections::HashSet<Rank> = group_plans
+        .iter()
+        .flat_map(|g| g.ranks.iter().copied())
+        .collect();
+    let idle: Vec<Rank> = (0..req.nranks())
+        .map(Rank)
+        .filter(|r| !grouped.contains(r))
+        .collect();
+    if !idle.is_empty() {
+        group_plans.push(GroupPlan {
+            ranks: idle,
+            aggregators: Vec::new(),
+            rounds: Vec::new(),
+        });
+    }
+
+    CollectivePlan {
+        rw: req.rw,
+        strategy: Strategy::MemoryConscious,
+        sync: SyncMode::PerGroup,
+        groups: group_plans,
+    }
+}
+
+/// A copy of `req` in which every rank outside `members` requests
+/// nothing. `members` must be sorted.
+fn mask_request(req: &CollectiveRequest, members: &[Rank]) -> CollectiveRequest {
+    CollectiveRequest {
+        rw: req.rw,
+        ranks: req
+            .ranks
+            .iter()
+            .map(|rr| {
+                if members.binary_search(&rr.rank).is_ok() {
+                    rr.clone()
+                } else {
+                    RankRequest {
+                        rank: rr.rank,
+                        extents: Vec::new(),
+                    }
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_cluster::Placement;
+    use mcio_pfs::Rw;
+
+    fn serial_setup(
+        nranks: usize,
+        nnodes: usize,
+        chunk: u64,
+    ) -> (CollectiveRequest, ProcessMap) {
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            (0..nranks as u64)
+                .map(|r| vec![Extent::new(r * chunk, chunk)])
+                .collect(),
+        );
+        (req, ProcessMap::new(nranks, nnodes, Placement::Block))
+    }
+
+    #[test]
+    fn serial_pattern_full_pipeline() {
+        let (req, map) = serial_setup(8, 4, 100);
+        let mem = ProcMemory::uniform(8, 1000);
+        let cfg = CollectiveConfig::with_buffer(100)
+            .msg_ind(200)
+            .msg_group(400)
+            .mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.sync, SyncMode::PerGroup);
+        assert_eq!(p.strategy, Strategy::MemoryConscious);
+        // 800 bytes / msg_group 400 → 2 groups; each 400 B / msg_ind 200
+        // → 2 domains each.
+        assert_eq!(p.groups.len(), 2);
+        assert_eq!(p.naggs(), 4);
+        assert_eq!(p.check(&req), Ok(()));
+    }
+
+    #[test]
+    fn interleaved_pattern_checks_out() {
+        // 4 ranks on 2 nodes, IOR-style interleave: rank r owns 10-byte
+        // blocks at (b·4 + r)·10.
+        let per_rank: Vec<Vec<Extent>> = (0..4u64)
+            .map(|r| (0..5u64).map(|b| Extent::new((b * 4 + r) * 10, 10)).collect())
+            .collect();
+        let req = CollectiveRequest::new(Rw::Write, per_rank);
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, 64);
+        let cfg = CollectiveConfig::with_buffer(64)
+            .msg_ind(100)
+            .msg_group(100)
+            .mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.groups.len(), 2);
+        assert_eq!(p.check(&req), Ok(()));
+        // Shuffle traffic never crosses groups: every message endpoint
+        // pair lives in one group.
+        for g in &p.groups {
+            for r in &g.rounds {
+                for m in &r.messages {
+                    assert!(g.ranks.contains(&m.src));
+                    assert!(g.ranks.contains(&m.dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_memory_places_rich_aggregators() {
+        let (req, map) = serial_setup(8, 4, 100);
+        // Node 0's ranks are starved; node 1's rank 2 is rich, etc.
+        let mem = ProcMemory::from_budgets(vec![1, 1, 900, 50, 900, 50, 900, 50]);
+        let cfg = CollectiveConfig::with_buffer(100)
+            .msg_ind(400)
+            .msg_group(u64::MAX)
+            .mem_min(100);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        for a in p.aggregators() {
+            assert!(
+                mem.budget(a.rank) >= 100,
+                "starved rank {:?} chosen",
+                a.rank
+            );
+        }
+    }
+
+    #[test]
+    fn read_direction() {
+        let (mut req, map) = serial_setup(4, 2, 50);
+        req.rw = Rw::Read;
+        let mem = ProcMemory::uniform(4, 1000);
+        let cfg = CollectiveConfig::with_buffer(50).msg_ind(100).msg_group(100).mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        for g in &p.groups {
+            let aggs: Vec<Rank> = g.aggregators.iter().map(|a| a.rank).collect();
+            for r in &g.rounds {
+                for m in &r.messages {
+                    assert!(aggs.contains(&m.src), "read messages flow from aggregators");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_request() {
+        let req = CollectiveRequest::new(Rw::Write, vec![vec![], vec![]]);
+        let map = ProcessMap::new(2, 1, Placement::Block);
+        let mem = ProcMemory::uniform(2, 100);
+        let p = plan(&req, &map, &mem, &CollectiveConfig::default());
+        assert_eq!(p.naggs(), 0);
+        assert_eq!(p.check(&req), Ok(()));
+        // All ranks appear in the idle group.
+        let ranks: usize = p.groups.iter().map(|g| g.ranks.len()).sum();
+        assert_eq!(ranks, 2);
+    }
+
+    #[test]
+    fn idle_ranks_collected() {
+        // Rank 3 requests nothing and its node has no data at all.
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            vec![
+                vec![Extent::new(0, 10)],
+                vec![Extent::new(10, 10)],
+                vec![],
+                vec![],
+            ],
+        );
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, 100);
+        let cfg = CollectiveConfig::with_buffer(100).mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        let all: usize = p.groups.iter().map(|g| g.ranks.len()).sum();
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn buffers_bound_windows() {
+        let (req, map) = serial_setup(4, 2, 1000);
+        let mem = ProcMemory::from_budgets(vec![64, 999, 64, 999]);
+        let cfg = CollectiveConfig::with_buffer(64)
+            .msg_ind(2000)
+            .msg_group(2000)
+            .mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        // Multiple rounds per group.
+        assert!(p.max_rounds() > 1);
+    }
+
+    #[test]
+    fn group_stats_show_locality_gain() {
+        // With per-node groups, shuffle traffic should be mostly
+        // intra-node compared to the global baseline.
+        let (req, map) = serial_setup(8, 4, 100);
+        let mem = ProcMemory::uniform(8, 1000);
+        let cfg = CollectiveConfig::with_buffer(1000)
+            .msg_ind(200)
+            .msg_group(1) // one group per node
+            .mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        let s = p.stats(Some(&map));
+        assert!(
+            s.intra_node_fraction() > 0.99,
+            "per-node groups should shuffle on-node, got {}",
+            s.intra_node_fraction()
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Access-pattern analysis.
+//!
+//! §3.1 distinguishes two cases before dividing aggregation groups: the
+//! common one, where "data segments are serially distributed among
+//! processes" (each rank owns one compact span, spans ordered by rank),
+//! and the complex one, where "beginning and ending offsets are
+//! interwoven with each other" (interleaved file views). [`analyze`]
+//! classifies a request and computes the quantities both planners use.
+
+use crate::request::CollectiveRequest;
+use mcio_pfs::Extent;
+
+/// Shape of a collective access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// No rank requested anything.
+    Empty,
+    /// Rank spans are pairwise disjoint and ordered by rank: offset
+    /// arithmetic alone can divide groups (Figure 4's case).
+    Serial,
+    /// Rank spans overlap (strided/interleaved file views): group
+    /// division must analyze the per-rank extents.
+    Interleaved,
+}
+
+/// Summary of a collective request's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternInfo {
+    /// Classification.
+    pub kind: PatternKind,
+    /// Aggregate access region (hull).
+    pub hull: Extent,
+    /// Total requested bytes.
+    pub total_bytes: u64,
+    /// Number of ranks with non-empty requests.
+    pub active_ranks: usize,
+    /// Per-rank spans, indexed by rank (empty extent for idle ranks).
+    pub spans: Vec<Extent>,
+    /// Fraction of the hull actually requested, in `[0, 1]`
+    /// (1.0 = dense; small = sparse/holey).
+    pub density: f64,
+}
+
+/// Analyze a collective request.
+pub fn analyze(req: &CollectiveRequest) -> PatternInfo {
+    let spans: Vec<Extent> = req.ranks.iter().map(|r| r.span()).collect();
+    let hull = req.hull();
+    let total_bytes = req.total_bytes();
+    let active_ranks = req.ranks.iter().filter(|r| !r.is_empty()).count();
+    if total_bytes == 0 {
+        return PatternInfo {
+            kind: PatternKind::Empty,
+            hull,
+            total_bytes,
+            active_ranks,
+            spans,
+            density: 0.0,
+        };
+    }
+    // Serial ⇔ the non-empty spans, visited in rank order, are
+    // non-overlapping and monotonically increasing.
+    let mut serial = true;
+    let mut prev_end: Option<u64> = None;
+    for span in spans.iter().filter(|s| !s.is_empty()) {
+        if let Some(end) = prev_end {
+            if span.offset < end {
+                serial = false;
+                break;
+            }
+        }
+        prev_end = Some(span.end());
+    }
+    let covered = mcio_pfs::extent::covered_bytes(
+        &req.ranks
+            .iter()
+            .flat_map(|r| r.extents.iter().copied())
+            .collect::<Vec<_>>(),
+    );
+    PatternInfo {
+        kind: if serial {
+            PatternKind::Serial
+        } else {
+            PatternKind::Interleaved
+        },
+        hull,
+        total_bytes,
+        active_ranks,
+        spans,
+        density: if hull.is_empty() {
+            0.0
+        } else {
+            covered as f64 / hull.len as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_pfs::Rw;
+
+    fn req(per_rank: Vec<Vec<Extent>>) -> CollectiveRequest {
+        CollectiveRequest::new(Rw::Write, per_rank)
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let info = analyze(&req(vec![vec![], vec![]]));
+        assert_eq!(info.kind, PatternKind::Empty);
+        assert_eq!(info.active_ranks, 0);
+        assert_eq!(info.density, 0.0);
+    }
+
+    #[test]
+    fn serial_pattern() {
+        let info = analyze(&req(vec![
+            vec![Extent::new(0, 10)],
+            vec![Extent::new(10, 10)],
+            vec![Extent::new(25, 5)],
+        ]));
+        assert_eq!(info.kind, PatternKind::Serial);
+        assert_eq!(info.hull, Extent::new(0, 30));
+        assert_eq!(info.total_bytes, 25);
+        assert_eq!(info.active_ranks, 3);
+        assert!((info.density - 25.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_with_idle_ranks() {
+        // Idle ranks do not break seriality.
+        let info = analyze(&req(vec![
+            vec![Extent::new(0, 10)],
+            vec![],
+            vec![Extent::new(10, 10)],
+        ]));
+        assert_eq!(info.kind, PatternKind::Serial);
+        assert_eq!(info.active_ranks, 2);
+    }
+
+    #[test]
+    fn interleaved_pattern() {
+        // Rank 0 and 1 stride through the same region.
+        let info = analyze(&req(vec![
+            vec![Extent::new(0, 4), Extent::new(8, 4)],
+            vec![Extent::new(4, 4), Extent::new(12, 4)],
+        ]));
+        assert_eq!(info.kind, PatternKind::Interleaved);
+        assert_eq!(info.hull, Extent::new(0, 16));
+        assert!((info.density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_ranks_are_interleaved() {
+        // Spans disjoint but rank 1 before rank 0: offset linearization
+        // by rank does not hold.
+        let info = analyze(&req(vec![
+            vec![Extent::new(100, 10)],
+            vec![Extent::new(0, 10)],
+        ]));
+        assert_eq!(info.kind, PatternKind::Interleaved);
+    }
+
+    #[test]
+    fn touching_spans_are_serial() {
+        let info = analyze(&req(vec![
+            vec![Extent::new(0, 10)],
+            vec![Extent::new(10, 10)],
+        ]));
+        assert_eq!(info.kind, PatternKind::Serial);
+    }
+
+    #[test]
+    fn overlap_counted_once_in_density() {
+        let info = analyze(&req(vec![
+            vec![Extent::new(0, 10)],
+            vec![Extent::new(5, 10)],
+        ]));
+        assert_eq!(info.total_bytes, 20);
+        assert!((info.density - 1.0).abs() < 1e-12);
+    }
+}

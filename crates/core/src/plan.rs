@@ -1,0 +1,518 @@
+//! The collective plan: the pure-data output of both planners.
+//!
+//! A plan says exactly which bytes move where, in which round, and who
+//! writes/reads them — nothing about *how long* that takes (the timing
+//! executor's job) or the actual byte values (the functional executors').
+//! Keeping the plan declarative lets the three executors cross-check one
+//! another and lets tests state invariants ("every requested byte is
+//! aggregated exactly once") directly against the data.
+
+use crate::config::Strategy;
+use crate::request::CollectiveRequest;
+use mcio_cluster::{ProcessMap, Rank};
+use mcio_des::OnlineStats;
+use mcio_pfs::extent::{coalesce, total_bytes};
+use mcio_pfs::{Extent, Rw};
+use std::collections::BTreeMap;
+
+/// One rank-to-rank transfer: the data of a set of file extents, packed
+/// into a single message (as ROMIO packs all pieces for a peer into one
+/// `alltoallv` buffer).
+///
+/// For a **write** plan, `src` is the requesting rank and `dst` the
+/// aggregator; for a **read** plan, `src` is the aggregator and `dst` the
+/// requesting rank. `extents` identify which bytes move, in offset order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: Rank,
+    /// Receiving rank.
+    pub dst: Rank,
+    /// The file extents whose data this message carries.
+    pub extents: Vec<Extent>,
+}
+
+impl Message {
+    /// Payload size of the message.
+    pub fn bytes(&self) -> u64 {
+        total_bytes(&self.extents)
+    }
+}
+
+/// One aggregator's file-system access in one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoOp {
+    /// The aggregator performing the access.
+    pub agg: Rank,
+    /// The round window: the `buffer`-sized slice of the aggregator's
+    /// file domain this round covers.
+    pub window: Extent,
+    /// The requested extents inside the window, coalesced — each becomes
+    /// one contiguous PFS request.
+    pub extents: Vec<Extent>,
+}
+
+impl IoOp {
+    /// Bytes this access moves.
+    pub fn bytes(&self) -> u64 {
+        total_bytes(&self.extents)
+    }
+}
+
+/// One synchronized exchange+I/O step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Round {
+    /// Data shuffle messages of this round.
+    pub messages: Vec<Message>,
+    /// File accesses of this round.
+    pub ios: Vec<IoOp>,
+}
+
+impl Round {
+    /// True when nothing happens this round.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty() && self.ios.is_empty()
+    }
+
+    /// Merge messages by `(src, dst)` into per-pair byte totals — what
+    /// the timing executor lowers to one transfer each (ROMIO packs all
+    /// extents for a peer into one `alltoallv` buffer).
+    pub fn transfers(&self) -> BTreeMap<(Rank, Rank), u64> {
+        let mut map = BTreeMap::new();
+        for m in &self.messages {
+            *map.entry((m.src, m.dst)).or_insert(0) += m.bytes();
+        }
+        map
+    }
+
+    /// Total shuffled bytes this round.
+    pub fn message_bytes(&self) -> u64 {
+        self.messages.iter().map(Message::bytes).sum()
+    }
+
+    /// Total file-system bytes this round.
+    pub fn io_bytes(&self) -> u64 {
+        self.ios.iter().map(IoOp::bytes).sum()
+    }
+}
+
+/// An aggregator with its file domain and buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregatorAssignment {
+    /// The process acting as aggregator.
+    pub rank: Rank,
+    /// The contiguous file domain it owns.
+    pub fd: Extent,
+    /// Its aggregation buffer in bytes (bounds the round window size).
+    pub buffer: u64,
+    /// Requested bytes inside the file domain.
+    pub data_bytes: u64,
+}
+
+impl AggregatorAssignment {
+    /// Rounds this aggregator needs: `ceil(data-covered window span /
+    /// buffer)` over its file domain.
+    pub fn rounds(&self) -> usize {
+        if self.fd.is_empty() || self.buffer == 0 {
+            0
+        } else {
+            self.fd.len.div_ceil(self.buffer) as usize
+        }
+    }
+}
+
+/// The plan of one aggregation group (the baseline is a single group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// Ranks belonging to the group (senders/receivers).
+    pub ranks: Vec<Rank>,
+    /// Aggregators of the group, in file-domain order.
+    pub aggregators: Vec<AggregatorAssignment>,
+    /// Synchronized rounds.
+    pub rounds: Vec<Round>,
+}
+
+impl GroupPlan {
+    /// Total bytes this group's aggregators move to/from the PFS.
+    pub fn io_bytes(&self) -> u64 {
+        self.rounds.iter().map(Round::io_bytes).sum()
+    }
+
+    /// Total shuffled bytes in this group.
+    pub fn message_bytes(&self) -> u64 {
+        self.rounds.iter().map(Round::message_bytes).sum()
+    }
+}
+
+/// Synchronization scope between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Every rank synchronizes every round (ROMIO's `alltoallv` per
+    /// round across the whole communicator).
+    Global,
+    /// Rounds synchronize only within each aggregation group (the
+    /// memory-conscious design: groups proceed independently).
+    PerGroup,
+}
+
+/// A complete collective plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectivePlan {
+    /// Read or write.
+    pub rw: Rw,
+    /// Which planner produced it.
+    pub strategy: Strategy,
+    /// Round synchronization scope.
+    pub sync: SyncMode,
+    /// Aggregation groups (baseline: exactly one).
+    pub groups: Vec<GroupPlan>,
+}
+
+impl CollectivePlan {
+    /// All aggregator assignments across groups.
+    pub fn aggregators(&self) -> impl Iterator<Item = &AggregatorAssignment> {
+        self.groups.iter().flat_map(|g| g.aggregators.iter())
+    }
+
+    /// Number of aggregators.
+    pub fn naggs(&self) -> usize {
+        self.groups.iter().map(|g| g.aggregators.len()).sum()
+    }
+
+    /// The longest round sequence of any group (the global round count
+    /// under [`SyncMode::Global`]).
+    pub fn max_rounds(&self) -> usize {
+        self.groups.iter().map(|g| g.rounds.len()).max().unwrap_or(0)
+    }
+
+    /// Summary statistics (optionally topology-aware).
+    pub fn stats(&self, map: Option<&ProcessMap>) -> PlanStats {
+        let mut message_bytes = 0u64;
+        let mut intra_node_bytes = 0u64;
+        let mut messages = 0usize;
+        let mut io_requests = 0usize;
+        let mut io_bytes = 0u64;
+        let mut peak_window = 0u64;
+        for g in &self.groups {
+            for r in &g.rounds {
+                messages += r.messages.len();
+                for m in &r.messages {
+                    message_bytes += m.bytes();
+                    if let Some(map) = map {
+                        if map.node_of(m.src) == map.node_of(m.dst) {
+                            intra_node_bytes += m.bytes();
+                        }
+                    }
+                }
+                for io in &r.ios {
+                    io_requests += io.extents.len();
+                    io_bytes += io.bytes();
+                    peak_window = peak_window.max(io.bytes());
+                }
+            }
+        }
+        let buffers: OnlineStats = self
+            .aggregators()
+            .map(|a| a.buffer as f64)
+            .collect();
+        PlanStats {
+            ngroups: self.groups.len(),
+            naggs: self.naggs(),
+            max_rounds: self.max_rounds(),
+            messages,
+            message_bytes,
+            intra_node_bytes,
+            io_requests,
+            io_bytes,
+            peak_window,
+            buffer_stats: buffers,
+        }
+    }
+
+    /// Check structural invariants against the request this plan was
+    /// built from. Returns a description of the first violation.
+    ///
+    /// Invariants:
+    /// 1. The union of all I/O extents equals the request's coverage
+    ///    (every requested byte hits the file system exactly once — I/O
+    ///    extents never overlap).
+    /// 2. In every round, each aggregator's message bytes match the data
+    ///    the requesting ranks hold in its window.
+    /// 3. Round windows never exceed the aggregator's buffer.
+    /// 4. Message endpoints agree with the plan direction.
+    pub fn check(&self, req: &CollectiveRequest) -> Result<(), String> {
+        // (1) Coverage.
+        let mut all_io: Vec<Extent> = Vec::new();
+        for g in &self.groups {
+            for r in &g.rounds {
+                for io in &r.ios {
+                    all_io.extend(io.extents.iter().copied());
+                }
+            }
+        }
+        let io_total = total_bytes(&all_io);
+        let io_cover = coalesce(all_io);
+        let req_cover = req.coverage();
+        if io_cover != req_cover {
+            return Err(format!(
+                "I/O coverage mismatch: plan covers {io_cover:?}, request covers {req_cover:?}"
+            ));
+        }
+        let covered: u64 = io_cover.iter().map(|e| e.len).sum();
+        if io_total != covered {
+            return Err(format!(
+                "I/O extents overlap: {io_total} bytes issued for {covered} covered"
+            ));
+        }
+
+        for (gi, g) in self.groups.iter().enumerate() {
+            for (ri, r) in g.rounds.iter().enumerate() {
+                // (2) Message conservation per aggregator window. Only
+                // the group's member ranks shuffle through its
+                // aggregators — other groups' data in the same offset
+                // range belongs to *their* windows.
+                for io in &r.ios {
+                    let expect: u64 = g
+                        .ranks
+                        .iter()
+                        .map(|&rank| req.ranks[rank.0].bytes_in(&io.window))
+                        .sum();
+                    let agg = io.agg;
+                    let got: u64 = r
+                        .messages
+                        .iter()
+                        .filter(|m| match self.rw {
+                            Rw::Write => m.dst == agg,
+                            Rw::Read => m.src == agg,
+                        })
+                        .flat_map(|m| m.extents.iter())
+                        .filter(|e| io.window.contains_extent(e))
+                        .map(|e| e.len)
+                        .sum();
+                    if got != expect {
+                        return Err(format!(
+                            "group {gi} round {ri} agg {agg}: {got} message bytes for {expect} requested in window {}",
+                            io.window
+                        ));
+                    }
+                    // (3) Window fits the buffer.
+                    let buffer = g
+                        .aggregators
+                        .iter()
+                        .find(|a| a.rank == agg)
+                        .map(|a| a.buffer)
+                        .ok_or_else(|| format!("group {gi}: io by unassigned aggregator {agg}"))?;
+                    if io.window.len > buffer {
+                        return Err(format!(
+                            "group {gi} round {ri} agg {agg}: window {} exceeds buffer {buffer}",
+                            io.window
+                        ));
+                    }
+                }
+                // (4) Direction sanity: aggregator end of each message is
+                // an assigned aggregator of this group.
+                for m in &r.messages {
+                    let agg_end = match self.rw {
+                        Rw::Write => m.dst,
+                        Rw::Read => m.src,
+                    };
+                    if !g.aggregators.iter().any(|a| a.rank == agg_end) {
+                        return Err(format!(
+                            "group {gi} round {ri}: message endpoint {agg_end} is not an aggregator"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Summary numbers of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Aggregation groups.
+    pub ngroups: usize,
+    /// Aggregators.
+    pub naggs: usize,
+    /// Longest per-group round sequence.
+    pub max_rounds: usize,
+    /// Shuffle messages.
+    pub messages: usize,
+    /// Shuffled bytes.
+    pub message_bytes: u64,
+    /// Shuffled bytes that stayed on-node (0 unless a topology was given).
+    pub intra_node_bytes: u64,
+    /// Contiguous PFS requests.
+    pub io_requests: usize,
+    /// PFS bytes.
+    pub io_bytes: u64,
+    /// Largest single-round aggregation buffer actually filled — the
+    /// memory high-water mark per aggregator.
+    pub peak_window: u64,
+    /// Distribution of aggregator buffer sizes (its
+    /// [`OnlineStats::cv`] is the paper's "memory consumption variance
+    /// among aggregators").
+    pub buffer_stats: OnlineStats,
+}
+
+impl PlanStats {
+    /// Fraction of shuffle traffic that stayed on-node.
+    pub fn intra_node_fraction(&self) -> f64 {
+        if self.message_bytes == 0 {
+            0.0
+        } else {
+            self.intra_node_bytes as f64 / self.message_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plan() -> (CollectivePlan, CollectiveRequest) {
+        // Two ranks write [0,10) and [10,20); one aggregator (rank 0),
+        // buffer 20, one round.
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            vec![vec![Extent::new(0, 10)], vec![Extent::new(10, 10)]],
+        );
+        let window = Extent::new(0, 20);
+        let plan = CollectivePlan {
+            rw: Rw::Write,
+            strategy: Strategy::TwoPhase,
+            sync: SyncMode::Global,
+            groups: vec![GroupPlan {
+                ranks: vec![Rank(0), Rank(1)],
+                aggregators: vec![AggregatorAssignment {
+                    rank: Rank(0),
+                    fd: window,
+                    buffer: 20,
+                    data_bytes: 20,
+                }],
+                rounds: vec![Round {
+                    messages: vec![
+                        Message {
+                            src: Rank(0),
+                            dst: Rank(0),
+                            extents: vec![Extent::new(0, 10)],
+                        },
+                        Message {
+                            src: Rank(1),
+                            dst: Rank(0),
+                            extents: vec![Extent::new(10, 10)],
+                        },
+                    ],
+                    ios: vec![IoOp {
+                        agg: Rank(0),
+                        window,
+                        extents: vec![window],
+                    }],
+                }],
+            }],
+        };
+        (plan, req)
+    }
+
+    #[test]
+    fn valid_plan_checks_out() {
+        let (plan, req) = simple_plan();
+        assert_eq!(plan.check(&req), Ok(()));
+        assert_eq!(plan.naggs(), 1);
+        assert_eq!(plan.max_rounds(), 1);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let (plan, _req) = simple_plan();
+        let stats = plan.stats(None);
+        assert_eq!(stats.messages, 2);
+        assert_eq!(stats.message_bytes, 20);
+        assert_eq!(stats.io_requests, 1);
+        assert_eq!(stats.io_bytes, 20);
+        assert_eq!(stats.peak_window, 20);
+        assert_eq!(stats.buffer_stats.mean(), 20.0);
+    }
+
+    #[test]
+    fn intra_node_fraction_with_topology() {
+        let (plan, _req) = simple_plan();
+        // Both ranks on one node: everything intra-node.
+        let map = ProcessMap::new(2, 1, mcio_cluster::Placement::Block);
+        let stats = plan.stats(Some(&map));
+        assert_eq!(stats.intra_node_bytes, 20);
+        assert!((stats.intra_node_fraction() - 1.0).abs() < 1e-12);
+        // Two nodes: nothing intra-node except rank 0's self-message.
+        let map = ProcessMap::new(2, 2, mcio_cluster::Placement::Block);
+        let stats = plan.stats(Some(&map));
+        assert_eq!(stats.intra_node_bytes, 10);
+    }
+
+    #[test]
+    fn check_catches_missing_coverage() {
+        let (mut plan, req) = simple_plan();
+        plan.groups[0].rounds[0].ios[0].extents = vec![Extent::new(0, 10)];
+        assert!(plan.check(&req).unwrap_err().contains("coverage"));
+    }
+
+    #[test]
+    fn check_catches_overlapping_io() {
+        let (mut plan, req) = simple_plan();
+        plan.groups[0].rounds[0].ios[0].extents =
+            vec![Extent::new(0, 15), Extent::new(10, 10)];
+        assert!(plan.check(&req).unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn check_catches_lost_message() {
+        let (mut plan, req) = simple_plan();
+        plan.groups[0].rounds[0].messages.pop();
+        assert!(plan.check(&req).unwrap_err().contains("message bytes"));
+    }
+
+    #[test]
+    fn check_catches_buffer_overflow() {
+        let (mut plan, req) = simple_plan();
+        plan.groups[0].aggregators[0].buffer = 10;
+        assert!(plan.check(&req).unwrap_err().contains("exceeds buffer"));
+    }
+
+    #[test]
+    fn check_catches_rogue_endpoint() {
+        let (mut plan, req) = simple_plan();
+        plan.groups[0].rounds[0].messages[1].dst = Rank(1);
+        let err = plan.check(&req).unwrap_err();
+        assert!(
+            err.contains("not an aggregator") || err.contains("message bytes"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn transfers_merge_pairs() {
+        let (plan, _) = simple_plan();
+        let t = plan.groups[0].rounds[0].transfers();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[&(Rank(0), Rank(0))], 10);
+        assert_eq!(t[&(Rank(1), Rank(0))], 10);
+    }
+
+    #[test]
+    fn aggregator_rounds() {
+        let a = AggregatorAssignment {
+            rank: Rank(0),
+            fd: Extent::new(0, 100),
+            buffer: 30,
+            data_bytes: 100,
+        };
+        assert_eq!(a.rounds(), 4);
+        let empty = AggregatorAssignment {
+            rank: Rank(0),
+            fd: Extent::EMPTY,
+            buffer: 30,
+            data_bytes: 0,
+        };
+        assert_eq!(empty.rounds(), 0);
+    }
+}

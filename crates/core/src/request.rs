@@ -1,0 +1,240 @@
+//! Collective requests: every rank's flattened offset/length list.
+//!
+//! The entry point of both planners. A [`RankRequest`] is one rank's
+//! sorted, coalesced extent list (what ROMIO computes by flattening the
+//! rank's datatype against its file view); a [`CollectiveRequest`] is the
+//! whole job's view of one collective read or write call.
+
+use mcio_cluster::Rank;
+use mcio_pfs::extent::{coalesce, total_bytes};
+use mcio_pfs::{Extent, Rw};
+use mcio_simpi::FileView;
+
+/// One rank's access list for a collective call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankRequest {
+    /// The requesting rank.
+    pub rank: Rank,
+    /// Sorted, coalesced, non-overlapping extents.
+    pub extents: Vec<Extent>,
+}
+
+impl RankRequest {
+    /// Build from raw extents (they are sorted and coalesced here).
+    pub fn new(rank: Rank, extents: Vec<Extent>) -> Self {
+        RankRequest {
+            rank,
+            extents: coalesce(extents),
+        }
+    }
+
+    /// Build from a file view: the absolute extents of this rank's first
+    /// `nbytes` of data.
+    pub fn from_view(rank: Rank, view: &FileView, nbytes: u64) -> Self {
+        let extents = view
+            .first_segments(nbytes)
+            .into_iter()
+            .map(|s| Extent::new(s.offset, s.len))
+            .collect();
+        Self::new(rank, extents)
+    }
+
+    /// Bytes this rank requests.
+    pub fn bytes(&self) -> u64 {
+        total_bytes(&self.extents)
+    }
+
+    /// True when the rank requests nothing.
+    pub fn is_empty(&self) -> bool {
+        self.extents.is_empty()
+    }
+
+    /// The rank's span: smallest extent covering everything (empty when
+    /// the request is empty).
+    pub fn span(&self) -> Extent {
+        match (self.extents.first(), self.extents.last()) {
+            (Some(first), Some(last)) => Extent::from_bounds(first.offset, last.end()),
+            _ => Extent::EMPTY,
+        }
+    }
+
+    /// Bytes this rank requests inside `window`. `O(log n + k)` in the
+    /// extent count `n` and overlap count `k` (the extents are sorted).
+    pub fn bytes_in(&self, window: &Extent) -> u64 {
+        self.overlapping(window).map(|e| e.len).sum()
+    }
+
+    /// The rank's extents clipped to `window`, in offset order.
+    pub fn extents_in(&self, window: &Extent) -> Vec<Extent> {
+        self.overlapping(window).collect()
+    }
+
+    /// Iterator over the clipped intersections with `window`, found by
+    /// binary search (the extents are sorted and disjoint).
+    fn overlapping<'a>(&'a self, window: &'a Extent) -> impl Iterator<Item = Extent> + 'a {
+        // First extent that could overlap: the last one starting at or
+        // before `window.offset` may still reach into the window.
+        let start = self
+            .extents
+            .partition_point(|e| e.end() <= window.offset);
+        self.extents[start..]
+            .iter()
+            .take_while(|e| e.offset < window.end())
+            .filter_map(|e| e.intersect(window))
+    }
+}
+
+/// A whole job's collective call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveRequest {
+    /// Read or write.
+    pub rw: Rw,
+    /// Per-rank requests, indexed by rank (every rank present, possibly
+    /// empty).
+    pub ranks: Vec<RankRequest>,
+}
+
+impl CollectiveRequest {
+    /// Build from per-rank extent lists (index = rank).
+    pub fn new(rw: Rw, per_rank: Vec<Vec<Extent>>) -> Self {
+        CollectiveRequest {
+            rw,
+            ranks: per_rank
+                .into_iter()
+                .enumerate()
+                .map(|(r, ex)| RankRequest::new(Rank(r), ex))
+                .collect(),
+        }
+    }
+
+    /// Build from per-rank file views and byte counts.
+    pub fn from_views(rw: Rw, views: &[(FileView, u64)]) -> Self {
+        CollectiveRequest {
+            rw,
+            ranks: views
+                .iter()
+                .enumerate()
+                .map(|(r, (v, n))| RankRequest::from_view(Rank(r), v, *n))
+                .collect(),
+        }
+    }
+
+    /// Number of ranks in the job.
+    pub fn nranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Total bytes requested across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.ranks.iter().map(RankRequest::bytes).sum()
+    }
+
+    /// The aggregate access region: smallest extent covering every
+    /// rank's request (ROMIO's `st_offset .. end_offset`).
+    pub fn hull(&self) -> Extent {
+        self.ranks
+            .iter()
+            .map(RankRequest::span)
+            .fold(Extent::EMPTY, |acc, s| acc.hull(&s))
+    }
+
+    /// All extents of all ranks, coalesced: the exact requested file
+    /// region (may have holes, unlike [`CollectiveRequest::hull`]).
+    pub fn coverage(&self) -> Vec<Extent> {
+        coalesce(
+            self.ranks
+                .iter()
+                .flat_map(|r| r.extents.iter().copied())
+                .collect(),
+        )
+    }
+
+    /// Ranks with data inside `window`.
+    pub fn ranks_in(&self, window: &Extent) -> Vec<Rank> {
+        self.ranks
+            .iter()
+            .filter(|r| r.bytes_in(window) > 0)
+            .map(|r| r.rank)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_simpi::Datatype;
+
+    #[test]
+    fn rank_request_coalesces() {
+        let r = RankRequest::new(
+            Rank(0),
+            vec![Extent::new(10, 5), Extent::new(0, 10), Extent::new(30, 5)],
+        );
+        assert_eq!(r.extents, vec![Extent::new(0, 15), Extent::new(30, 5)]);
+        assert_eq!(r.bytes(), 20);
+        assert_eq!(r.span(), Extent::new(0, 35));
+    }
+
+    #[test]
+    fn empty_rank_request() {
+        let r = RankRequest::new(Rank(1), vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.bytes(), 0);
+        assert_eq!(r.span(), Extent::EMPTY);
+        assert_eq!(r.bytes_in(&Extent::new(0, 100)), 0);
+    }
+
+    #[test]
+    fn windowed_queries() {
+        let r = RankRequest::new(Rank(0), vec![Extent::new(0, 10), Extent::new(20, 10)]);
+        let w = Extent::new(5, 20);
+        assert_eq!(r.bytes_in(&w), 10);
+        assert_eq!(
+            r.extents_in(&w),
+            vec![Extent::new(5, 5), Extent::new(20, 5)]
+        );
+    }
+
+    #[test]
+    fn from_view_strided() {
+        let ft = Datatype::resized(Datatype::bytes(4), 16);
+        let view = FileView::new(8, ft);
+        let r = RankRequest::from_view(Rank(2), &view, 12);
+        assert_eq!(
+            r.extents,
+            vec![Extent::new(8, 4), Extent::new(24, 4), Extent::new(40, 4)]
+        );
+    }
+
+    #[test]
+    fn collective_aggregates() {
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            vec![
+                vec![Extent::new(0, 10)],
+                vec![Extent::new(10, 10)],
+                vec![Extent::new(40, 10)],
+                vec![],
+            ],
+        );
+        assert_eq!(req.nranks(), 4);
+        assert_eq!(req.total_bytes(), 30);
+        assert_eq!(req.hull(), Extent::new(0, 50));
+        assert_eq!(
+            req.coverage(),
+            vec![Extent::new(0, 20), Extent::new(40, 10)]
+        );
+        assert_eq!(
+            req.ranks_in(&Extent::new(5, 10)),
+            vec![Rank(0), Rank(1)]
+        );
+    }
+
+    #[test]
+    fn empty_collective() {
+        let req = CollectiveRequest::new(Rw::Read, vec![vec![], vec![]]);
+        assert_eq!(req.total_bytes(), 0);
+        assert_eq!(req.hull(), Extent::EMPTY);
+        assert!(req.coverage().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! Independent I/O and data sieving — the non-collective baselines (§2).
+//!
+//! Independent I/O issues each rank's noncontiguous extents directly to
+//! the file system; data sieving (ROMIO's other classic optimization)
+//! covers clusters of small extents with one large request, trading
+//! wasted bytes for fewer requests — for writes it needs a
+//! read-modify-write of the cover. Both exist here to quantify the gap
+//! collective I/O closes, and as the intra-request fallback an aggregator
+//! could use for holey windows.
+
+use crate::exec_sim::TimingReport;
+use crate::request::CollectiveRequest;
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::{Fabric, ProcessMap};
+use mcio_des::{SimDuration, Simulation};
+use mcio_pfs::extent::coalesce;
+use mcio_pfs::{Extent, Pfs, Rw};
+
+/// Cover a sorted, disjoint extent list with fewer, larger extents:
+/// neighboring extents whose gap is at most `max_gap` share a cover.
+/// `max_gap == 0` only merges adjacent extents (same as coalescing).
+pub fn sieve(extents: &[Extent], max_gap: u64) -> Vec<Extent> {
+    let sorted = coalesce(extents.to_vec());
+    let mut out: Vec<Extent> = Vec::with_capacity(sorted.len());
+    for e in sorted {
+        match out.last_mut() {
+            Some(last) if e.offset <= last.end() + max_gap => {
+                *last = Extent::from_bounds(last.offset, e.end());
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Wasted fraction of a sieved access: bytes read/written beyond the
+/// requested ones, relative to the cover size.
+pub fn sieve_waste(extents: &[Extent], covers: &[Extent]) -> f64 {
+    let wanted: u64 = coalesce(extents.to_vec()).iter().map(|e| e.len).sum();
+    let covered: u64 = covers.iter().map(|e| e.len).sum();
+    if covered == 0 {
+        0.0
+    } else {
+        (covered - wanted) as f64 / covered as f64
+    }
+}
+
+/// Simulate **independent I/O**: every rank issues its own extents
+/// straight to the PFS, all concurrently, no aggregation.
+pub fn simulate_independent(
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+) -> TimingReport {
+    simulate_raw(req, map, spec, |extents| extents.to_vec(), false)
+}
+
+/// Simulate **data sieving**: every rank covers its extents with
+/// `max_gap`-merged requests. Writes pay the read-modify-write: the
+/// cover is read, then written.
+pub fn simulate_sieving(
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    max_gap: u64,
+) -> TimingReport {
+    simulate_raw(req, map, spec, move |extents| sieve(extents, max_gap), true)
+}
+
+fn simulate_raw(
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    cover: impl Fn(&[Extent]) -> Vec<Extent>,
+    rmw_writes: bool,
+) -> TimingReport {
+    let mut sim = Simulation::new();
+    let fabric = Fabric::build(&mut sim, spec);
+    let pfs = Pfs::build(&mut sim, spec);
+    for rr in &req.ranks {
+        let node = map.node_of(rr.rank);
+        for (i, e) in cover(&rr.extents).into_iter().enumerate() {
+            let label = format!("ind.{}.{i}", rr.rank);
+            if req.rw == Rw::Write && rmw_writes {
+                // Read the cover, then write it back with the
+                // modifications folded in.
+                let read_done =
+                    pfs.submit(&mut sim, &fabric, &label, node, Rw::Read, e, &[]);
+                pfs.submit(&mut sim, &fabric, &label, node, Rw::Write, e, &[read_done]);
+            } else {
+                pfs.submit(&mut sim, &fabric, &label, node, req.rw, e, &[]);
+            }
+        }
+    }
+    let activities = sim.activity_count();
+    let report = sim.run().expect("independent I/O DAG is trivially acyclic");
+    let bytes = req.total_bytes();
+    let elapsed = report.makespan().saturating_since(mcio_des::SimTime::ZERO);
+    let bandwidth_mibs = if elapsed.is_zero() {
+        0.0
+    } else {
+        bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
+    };
+    let mut ost_busy_total = SimDuration::ZERO;
+    let mut ost_busy_max = SimDuration::ZERO;
+    for o in 0..pfs.ost_count() {
+        let busy = report
+            .resource_usage(pfs.ost_resource(mcio_pfs::OstId(o)))
+            .busy_time;
+        ost_busy_total += busy;
+        ost_busy_max = ost_busy_max.max(busy);
+    }
+    TimingReport {
+        elapsed,
+        exchange_time: SimDuration::ZERO, // no shuffle phase
+        io_time: elapsed,
+        bytes,
+        bandwidth_mibs,
+        membus_busy_max: SimDuration::ZERO,
+        nic_busy_max: SimDuration::ZERO,
+        ost_busy_max,
+        ost_busy_total,
+        activities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollectiveConfig;
+    use crate::memory::ProcMemory;
+    use crate::{exec_sim, twophase};
+    use mcio_cluster::Placement;
+
+    #[test]
+    fn sieve_merges_across_small_gaps() {
+        let e = vec![Extent::new(0, 10), Extent::new(15, 10), Extent::new(100, 10)];
+        assert_eq!(
+            sieve(&e, 5),
+            vec![Extent::new(0, 25), Extent::new(100, 10)]
+        );
+        assert_eq!(sieve(&e, 0), e);
+        assert_eq!(sieve(&e, 1000), vec![Extent::new(0, 110)]);
+        assert!(sieve(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn sieve_waste_accounting() {
+        let e = vec![Extent::new(0, 10), Extent::new(15, 10)];
+        let covers = sieve(&e, 5);
+        // 25-byte cover for 20 wanted bytes.
+        assert!((sieve_waste(&e, &covers) - 5.0 / 25.0).abs() < 1e-12);
+        assert_eq!(sieve_waste(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn collective_beats_independent_on_small_strided() {
+        // 8 ranks interleave 4 KiB blocks: terrible for independent I/O.
+        let bs = 4 * 1024u64;
+        let nranks = 8u64;
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            (0..nranks)
+                .map(|r| {
+                    (0..32u64)
+                        .map(|b| Extent::new((b * nranks + r) * bs, bs))
+                        .collect()
+                })
+                .collect(),
+        );
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let spec = ClusterSpec::small(4, 2);
+        let mem = ProcMemory::uniform(8, 1 << 22);
+        let cfg = CollectiveConfig::with_buffer(1 << 22);
+        let coll = exec_sim::simulate(&twophase::plan(&req, &map, &mem, &cfg), &map, &spec);
+        let ind = simulate_independent(&req, &map, &spec);
+        assert!(
+            coll.bandwidth_mibs > 2.0 * ind.bandwidth_mibs,
+            "collective {} vs independent {}",
+            coll.bandwidth_mibs,
+            ind.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn sieving_between_independent_and_collective_for_reads() {
+        let bs = 4 * 1024u64;
+        let nranks = 8u64;
+        let req = CollectiveRequest::new(
+            Rw::Read,
+            (0..nranks)
+                .map(|r| {
+                    (0..32u64)
+                        .map(|b| Extent::new((b * nranks + r) * bs, bs))
+                        .collect()
+                })
+                .collect(),
+        );
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let spec = ClusterSpec::small(4, 2);
+        let ind = simulate_independent(&req, &map, &spec);
+        // Sieve across the whole stride: each rank reads one big cover.
+        let sieved = simulate_sieving(&req, &map, &spec, u64::MAX / 2);
+        assert!(
+            sieved.bandwidth_mibs > ind.bandwidth_mibs,
+            "sieved {} vs independent {}",
+            sieved.bandwidth_mibs,
+            ind.bandwidth_mibs
+        );
+    }
+
+    #[test]
+    fn rmw_makes_sieved_writes_expensive() {
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            vec![vec![Extent::new(0, 4096), Extent::new(8192, 4096)]],
+        );
+        let map = ProcessMap::new(1, 1, Placement::Block);
+        let spec = ClusterSpec::small(1, 1);
+        let plain = simulate_independent(&req, &map, &spec);
+        let sieved = simulate_sieving(&req, &map, &spec, 1 << 20);
+        // One covered RMW costs a read + a write of 12 KiB vs two 4 KiB
+        // writes: with a 500 us per-request overhead the sieve still wins
+        // on requests but loses bytes; either way it must complete.
+        assert!(sieved.elapsed > SimDuration::ZERO);
+        assert!(plain.elapsed > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,170 @@
+//! Empirical parameter determination (§3 preamble).
+//!
+//! The paper measures, per platform: the per-aggregator message size
+//! `Msg_ind` that saturates one aggregator's path to the file system, the
+//! aggregator count `N_ah` per node that saturates the node, and the
+//! group message size `Msg_group` at which adding aggregators across the
+//! network stops helping ("we empirically determined the number of
+//! aggregators N_ah, message size Msg_ind per aggregator and the group
+//! message size Msg_group"). This module reproduces those probe
+//! measurements on the simulated machine, so configurations derive from
+//! the machine model instead of magic numbers.
+
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::{Fabric, NodeId};
+use mcio_des::Simulation;
+use mcio_pfs::{Extent, Pfs, Rw};
+
+/// The tuned knobs for a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedParams {
+    /// Saturating per-aggregator message size, bytes.
+    pub msg_ind: u64,
+    /// Aggregators per node before the node saturates.
+    pub nah: usize,
+    /// Group message size: enough aggregation work to saturate the PFS.
+    pub msg_group: u64,
+}
+
+/// Bandwidth (MiB/s) of `naggs` concurrent aggregators on `nodes` nodes
+/// each writing one `size`-byte contiguous message at distinct offsets.
+fn probe_bandwidth(spec: &ClusterSpec, nodes: usize, naggs: usize, size: u64, rw: Rw) -> f64 {
+    let mut sim = Simulation::new();
+    let mut spec = spec.clone();
+    spec.nodes = nodes.max(1);
+    let fabric = Fabric::build(&mut sim, &spec);
+    let pfs = Pfs::build(&mut sim, &spec);
+    for a in 0..naggs {
+        let node = NodeId(a % spec.nodes);
+        let extent = Extent::new(a as u64 * size, size);
+        pfs.submit(&mut sim, &fabric, &format!("probe{a}"), node, rw, extent, &[]);
+    }
+    let report = sim.run().expect("probe DAG is acyclic");
+    let elapsed = report.makespan().as_secs_f64();
+    if elapsed == 0.0 {
+        0.0
+    } else {
+        (naggs as u64 * size) as f64 / (1024.0 * 1024.0) / elapsed
+    }
+}
+
+/// Find `Msg_ind`: the smallest power-of-two message size at which a
+/// single aggregator reaches at least `threshold` (e.g. 0.9) of its
+/// plateau bandwidth.
+pub fn tune_msg_ind(spec: &ClusterSpec, rw: Rw, threshold: f64) -> u64 {
+    const MIB: u64 = 1 << 20;
+    let plateau = probe_bandwidth(spec, 1, 1, 1024 * MIB, rw);
+    let mut size = MIB;
+    while size < 1024 * MIB {
+        if probe_bandwidth(spec, 1, 1, size, rw) >= threshold * plateau {
+            return size;
+        }
+        size *= 2;
+    }
+    size
+}
+
+/// Find `N_ah`: how many concurrent aggregators on one node still help
+/// (stop when an extra aggregator improves node throughput by less than
+/// `min_gain`, e.g. 0.05).
+pub fn tune_nah(spec: &ClusterSpec, msg_ind: u64, rw: Rw, min_gain: f64) -> usize {
+    let mut best = probe_bandwidth(spec, 1, 1, msg_ind, rw);
+    let mut nah = 1usize;
+    while nah < spec.node.cores.max(1) {
+        let next = probe_bandwidth(spec, 1, nah + 1, msg_ind, rw);
+        if next < best * (1.0 + min_gain) {
+            break;
+        }
+        best = next;
+        nah += 1;
+    }
+    nah
+}
+
+/// Find `Msg_group`: grow the number of aggregators (spread over nodes,
+/// `N_ah` per node) until system throughput stops improving; the group
+/// size is that aggregator count times `Msg_ind`.
+pub fn tune_msg_group(spec: &ClusterSpec, msg_ind: u64, nah: usize, rw: Rw, min_gain: f64) -> u64 {
+    let mut naggs = 1usize;
+    let mut best = probe_bandwidth(spec, 1, 1, msg_ind, rw);
+    loop {
+        let next_naggs = naggs * 2;
+        let nodes = next_naggs.div_ceil(nah.max(1)).min(spec.nodes.max(1));
+        let next = probe_bandwidth(spec, nodes, next_naggs, msg_ind, rw);
+        if next < best * (1.0 + min_gain) || next_naggs > 4096 {
+            break;
+        }
+        best = next;
+        naggs = next_naggs;
+    }
+    naggs as u64 * msg_ind
+}
+
+/// Run the full §3 calibration for a machine.
+pub fn tune(spec: &ClusterSpec, rw: Rw) -> TunedParams {
+    let msg_ind = tune_msg_ind(spec, rw, 0.9);
+    let nah = tune_nah(spec, msg_ind, rw, 0.05);
+    let msg_group = tune_msg_group(spec, msg_ind, nah, rw, 0.05);
+    TunedParams {
+        msg_ind,
+        nah,
+        msg_group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIB: u64 = 1 << 20;
+
+    #[test]
+    fn probe_bandwidth_monotone_in_size() {
+        let spec = ClusterSpec::small(2, 2);
+        let small = probe_bandwidth(&spec, 1, 1, 64 * 1024, Rw::Write);
+        let big = probe_bandwidth(&spec, 1, 1, 64 * MIB, Rw::Write);
+        assert!(
+            big > small,
+            "large messages should amortize overhead: {big} vs {small}"
+        );
+    }
+
+    #[test]
+    fn msg_ind_is_reasonable() {
+        let spec = ClusterSpec::small(2, 2);
+        let msg_ind = tune_msg_ind(&spec, Rw::Write, 0.9);
+        // Must be beyond the overhead-dominated region but bounded.
+        assert!(msg_ind >= MIB, "msg_ind {msg_ind}");
+        assert!(msg_ind <= 1024 * MIB, "msg_ind {msg_ind}");
+        // At msg_ind, bandwidth ≥ 90% of plateau by construction.
+        let plateau = probe_bandwidth(&spec, 1, 1, 1024 * MIB, Rw::Write);
+        let at = probe_bandwidth(&spec, 1, 1, msg_ind, Rw::Write);
+        assert!(at >= 0.9 * plateau);
+    }
+
+    #[test]
+    fn nah_at_least_one_and_bounded() {
+        let spec = ClusterSpec::small(2, 4);
+        let msg_ind = tune_msg_ind(&spec, Rw::Write, 0.9);
+        let nah = tune_nah(&spec, msg_ind, Rw::Write, 0.05);
+        assert!(nah >= 1);
+        assert!(nah <= spec.node.cores);
+    }
+
+    #[test]
+    fn msg_group_multiple_of_msg_ind() {
+        let spec = ClusterSpec::small(4, 2);
+        let msg_ind = 16 * MIB;
+        let group = tune_msg_group(&spec, msg_ind, 2, Rw::Write, 0.05);
+        assert_eq!(group % msg_ind, 0);
+        assert!(group >= msg_ind);
+    }
+
+    #[test]
+    fn full_tune_consistent() {
+        let spec = ClusterSpec::small(4, 2);
+        let t = tune(&spec, Rw::Write);
+        assert!(t.msg_group >= t.msg_ind);
+        assert!(t.nah >= 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! The ROMIO-style two-phase collective I/O baseline (§2).
+//!
+//! Faithful to the behaviour the paper compares against:
+//!
+//! * **One aggregator per node**, chosen statically (the first rank on
+//!   each node) — "the ROMIO implementation picks exactly one process per
+//!   node as I/O aggregator by default", independent of data distribution
+//!   and memory.
+//! * The aggregate access region (hull) is **split evenly** into
+//!   contiguous file domains, one per aggregator, optionally aligned to
+//!   stripe boundaries.
+//! * Each aggregator's buffer is `min(cb_buffer, its own process's memory
+//!   budget)`; the number of rounds is the **maximum** over aggregators
+//!   (`ntimes` in ROMIO), and every round is globally synchronized — one
+//!   memory-starved aggregator stalls the entire job.
+
+use crate::config::{CollectiveConfig, Strategy};
+use crate::memory::ProcMemory;
+use crate::plan::{
+    AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, Round, SyncMode,
+};
+use crate::request::CollectiveRequest;
+use mcio_cluster::{NodeId, ProcessMap, Rank};
+use mcio_pfs::extent::coalesce;
+use mcio_pfs::{Extent, Rw};
+
+/// Build a two-phase plan.
+///
+/// ```
+/// use mcio_core::{twophase, CollectiveConfig, CollectiveRequest, ProcMemory};
+/// use mcio_cluster::ProcessMap;
+/// use mcio_pfs::{Extent, Rw};
+///
+/// let req = CollectiveRequest::new(
+///     Rw::Write,
+///     (0..4u64).map(|r| vec![Extent::new(r * 1024, 1024)]).collect(),
+/// );
+/// let map = ProcessMap::block_ppn(4, 2);
+/// let mem = ProcMemory::uniform(4, 512);
+/// let plan = twophase::plan(&req, &map, &mem, &CollectiveConfig::with_buffer(512));
+/// // One aggregator per node, file domains tiling the hull evenly.
+/// assert_eq!(plan.naggs(), 2);
+/// assert_eq!(plan.check(&req), Ok(()));
+/// ```
+///
+/// # Panics
+/// Panics if the request's rank count does not match the process map or
+/// memory table, or if the configuration is invalid.
+pub fn plan(
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> CollectivePlan {
+    assert_eq!(req.nranks(), map.nranks(), "request/topology rank mismatch");
+    assert_eq!(req.nranks(), mem.nranks(), "request/memory rank mismatch");
+    cfg.validate().expect("invalid collective configuration");
+
+    let hull = req.hull();
+    let all_ranks: Vec<Rank> = (0..req.nranks()).map(Rank).collect();
+    if hull.is_empty() {
+        return CollectivePlan {
+            rw: req.rw,
+            strategy: Strategy::TwoPhase,
+            sync: SyncMode::Global,
+            groups: vec![GroupPlan {
+                ranks: all_ranks,
+                aggregators: Vec::new(),
+                rounds: Vec::new(),
+            }],
+        };
+    }
+
+    // One aggregator per node hosting ranks: the first rank of the node.
+    let agg_ranks: Vec<Rank> = (0..map.nnodes())
+        .filter_map(|n| map.ranks_on(NodeId(n)).first().copied())
+        .collect();
+    let naggs = agg_ranks.len();
+
+    // Even file-domain split, optionally stripe-aligned (ROMIO rounds the
+    // per-domain size up to a stripe multiple so boundaries land on
+    // stripe edges).
+    let mut fd_size = hull.len.div_ceil(naggs as u64);
+    if let Some(unit) = cfg.align_fd_to_stripes {
+        fd_size = fd_size.div_ceil(unit) * unit;
+    }
+    let mut aggregators = Vec::with_capacity(naggs);
+    for (i, &rank) in agg_ranks.iter().enumerate() {
+        let start = (hull.offset + i as u64 * fd_size).min(hull.end());
+        let end = (start + fd_size).min(hull.end());
+        let fd = Extent::from_bounds(start, end);
+        let buffer = cfg.cb_buffer.min(mem.budget(rank)).max(1);
+        let data_bytes: u64 = req.ranks.iter().map(|r| r.bytes_in(&fd)).sum();
+        aggregators.push(AggregatorAssignment {
+            rank,
+            fd,
+            buffer,
+            data_bytes,
+        });
+    }
+
+    // ROMIO's ntimes: the global number of rounds is the maximum any
+    // aggregator needs.
+    let ntimes = aggregators
+        .iter()
+        .map(AggregatorAssignment::rounds)
+        .max()
+        .unwrap_or(0);
+
+    let mut rounds = Vec::with_capacity(ntimes);
+    for r in 0..ntimes {
+        let mut round = Round::default();
+        for a in &aggregators {
+            let win_start = a.fd.offset + r as u64 * a.buffer;
+            if win_start >= a.fd.end() {
+                continue; // this aggregator is already done
+            }
+            let window =
+                Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
+            build_window(req, a.rank, window, &mut round);
+        }
+        rounds.push(round);
+    }
+
+    CollectivePlan {
+        rw: req.rw,
+        strategy: Strategy::TwoPhase,
+        sync: SyncMode::Global,
+        groups: vec![GroupPlan {
+            ranks: all_ranks,
+            aggregators,
+            rounds,
+        }],
+    }
+}
+
+/// Emit the messages and the I/O op of one aggregator window into
+/// `round`. Shared with the memory-conscious planner: the inner loop of
+/// the two-phase exchange is identical; the strategies differ in *who*
+/// aggregates *what*, not in the per-window mechanics.
+pub(crate) fn build_window(
+    req: &CollectiveRequest,
+    agg: Rank,
+    window: Extent,
+    round: &mut Round,
+) {
+    let mut all_extents: Vec<Extent> = Vec::new();
+    for rr in &req.ranks {
+        let extents = rr.extents_in(&window);
+        if extents.is_empty() {
+            continue;
+        }
+        all_extents.extend(extents.iter().copied());
+        let (src, dst) = match req.rw {
+            Rw::Write => (rr.rank, agg),
+            Rw::Read => (agg, rr.rank),
+        };
+        round.messages.push(Message { src, dst, extents });
+    }
+    let extents = coalesce(all_extents);
+    if !extents.is_empty() {
+        round.ios.push(IoOp {
+            agg,
+            window,
+            extents,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_cluster::Placement;
+
+    fn setup(
+        nranks: usize,
+        nnodes: usize,
+        per_rank: Vec<Vec<Extent>>,
+        buffer: u64,
+    ) -> (CollectiveRequest, ProcessMap, ProcMemory, CollectiveConfig) {
+        let req = CollectiveRequest::new(Rw::Write, per_rank);
+        let map = ProcessMap::new(nranks, nnodes, Placement::Block);
+        let mem = ProcMemory::uniform(nranks, u64::MAX / 2);
+        let mut cfg = CollectiveConfig::with_buffer(buffer);
+        cfg.mem_min = 0;
+        (req, map, mem, cfg)
+    }
+
+    #[test]
+    fn one_aggregator_per_node() {
+        let (req, map, mem, cfg) = setup(
+            8,
+            4,
+            (0..8).map(|r| vec![Extent::new(r * 10, 10)]).collect(),
+            1024,
+        );
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.naggs(), 4);
+        let aggs: Vec<Rank> = p.aggregators().map(|a| a.rank).collect();
+        // First rank of each node: 0, 2, 4, 6.
+        assert_eq!(aggs, vec![Rank(0), Rank(2), Rank(4), Rank(6)]);
+        assert_eq!(p.check(&req), Ok(()));
+    }
+
+    #[test]
+    fn file_domains_tile_hull_evenly() {
+        let (req, map, mem, cfg) = setup(
+            4,
+            2,
+            (0..4).map(|r| vec![Extent::new(r * 25, 25)]).collect(),
+            1024,
+        );
+        let p = plan(&req, &map, &mem, &cfg);
+        let fds: Vec<Extent> = p.aggregators().map(|a| a.fd).collect();
+        assert_eq!(fds, vec![Extent::new(0, 50), Extent::new(50, 50)]);
+    }
+
+    #[test]
+    fn rounds_are_global_max() {
+        // Rank 0 (aggregator of node 0) has a tiny budget → many rounds.
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            (0..4).map(|r| vec![Extent::new(r * 100, 100)]).collect(),
+        );
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::from_budgets(vec![10, 1000, 1000, 1000]);
+        let mut cfg = CollectiveConfig::with_buffer(1000);
+        cfg.mem_min = 0;
+        let p = plan(&req, &map, &mem, &cfg);
+        // Agg 0: fd 200 bytes / buffer 10 = 20 rounds; agg 2: 1 round.
+        assert_eq!(p.max_rounds(), 20);
+        assert_eq!(p.check(&req), Ok(()));
+        // Late rounds only involve the starved aggregator.
+        let last = &p.groups[0].rounds[19];
+        assert_eq!(last.ios.len(), 1);
+        assert_eq!(last.ios[0].agg, Rank(0));
+    }
+
+    #[test]
+    fn interleaved_request_plans_correctly() {
+        // Two ranks interleave 4-byte blocks over [0, 64).
+        let per_rank: Vec<Vec<Extent>> = (0..2)
+            .map(|r| (0..8).map(|b| Extent::new((b * 2 + r) * 4, 4)).collect())
+            .collect();
+        let (req, map, mem, cfg) = setup(2, 2, per_rank, 16);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        // Each window is dense, so each IoOp is one contiguous extent.
+        for g in &p.groups {
+            for r in &g.rounds {
+                for io in &r.ios {
+                    assert_eq!(io.extents.len(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_plan_reverses_messages() {
+        let mut req = CollectiveRequest::new(
+            Rw::Read,
+            vec![vec![Extent::new(0, 10)], vec![Extent::new(10, 10)]],
+        );
+        req.rw = Rw::Read;
+        let map = ProcessMap::new(2, 1, Placement::Block);
+        let mem = ProcMemory::uniform(2, 1 << 30);
+        let cfg = CollectiveConfig::with_buffer(1024);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        for m in &p.groups[0].rounds[0].messages {
+            assert_eq!(m.src, Rank(0)); // the aggregator
+        }
+    }
+
+    #[test]
+    fn empty_request_empty_plan() {
+        let (req, map, mem, cfg) = setup(3, 3, vec![vec![], vec![], vec![]], 64);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.naggs(), 0);
+        assert_eq!(p.max_rounds(), 0);
+        assert_eq!(p.check(&req), Ok(()));
+    }
+
+    #[test]
+    fn single_rank_job() {
+        let (req, map, mem, cfg) = setup(1, 1, vec![vec![Extent::new(100, 50)]], 20);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.naggs(), 1);
+        assert_eq!(p.max_rounds(), 3); // 50 / 20
+        assert_eq!(p.check(&req), Ok(()));
+    }
+
+    #[test]
+    fn stripe_alignment_rounds_fd_size() {
+        let (req, map, mem, mut cfg) = setup(
+            4,
+            2,
+            (0..4).map(|r| vec![Extent::new(r * 25, 25)]).collect(),
+            1024,
+        );
+        cfg.align_fd_to_stripes = Some(64);
+        let p = plan(&req, &map, &mem, &cfg);
+        let fds: Vec<Extent> = p.aggregators().map(|a| a.fd).collect();
+        // fd_size = ceil(ceil(100/2)/64)*64 = 64.
+        assert_eq!(fds[0], Extent::new(0, 64));
+        assert_eq!(fds[1], Extent::new(64, 36));
+        assert_eq!(p.check(&req), Ok(()));
+    }
+
+    #[test]
+    fn holes_in_request_preserved() {
+        // Ranks request [0,10) and [90,10): the hull has a big hole.
+        let (req, map, mem, cfg) = setup(
+            2,
+            2,
+            vec![vec![Extent::new(0, 10)], vec![Extent::new(90, 10)]],
+            1024,
+        );
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        let stats = p.stats(None);
+        assert_eq!(stats.io_bytes, 20); // holes not written
+    }
+
+    #[test]
+    fn overlapping_writes_single_io() {
+        // Two ranks write the same region: messages double, I/O does not.
+        let (req, map, mem, cfg) = setup(
+            2,
+            1,
+            vec![vec![Extent::new(0, 10)], vec![Extent::new(0, 10)]],
+            1024,
+        );
+        let p = plan(&req, &map, &mem, &cfg);
+        assert_eq!(p.check(&req), Ok(()));
+        let stats = p.stats(None);
+        assert_eq!(stats.message_bytes, 20);
+        assert_eq!(stats.io_bytes, 10);
+    }
+}

@@ -1,0 +1,303 @@
+//! FIFO bandwidth resources.
+//!
+//! A resource models a single server with a fixed bandwidth: a NIC port, a
+//! node's off-chip memory bus, an object storage target. Jobs queue in FIFO
+//! order and occupy the server for `overhead + bytes / bandwidth`. This
+//! store-and-forward service discipline is what produces contention in the
+//! simulation: two transfers crossing the same memory bus serialize, exactly
+//! the off-chip bandwidth pressure the paper is about.
+
+use crate::activity::ActivityId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Identifier of a resource within a [`crate::Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub(crate) usize);
+
+impl ResourceId {
+    /// The index of this resource in the simulation's resource table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Service rate of a resource, in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// A bandwidth of `bps` bytes per second. Non-finite or non-positive
+    /// values are treated as infinite bandwidth (pure-overhead resource).
+    pub fn bytes_per_sec(bps: f64) -> Self {
+        if bps.is_finite() && bps > 0.0 {
+            Bandwidth(bps)
+        } else {
+            Bandwidth(f64::INFINITY)
+        }
+    }
+
+    /// Convenience constructor: mebibytes per second.
+    pub fn mib_per_sec(mibps: f64) -> Self {
+        Self::bytes_per_sec(mibps * 1024.0 * 1024.0)
+    }
+
+    /// Convenience constructor: gibibytes per second.
+    pub fn gib_per_sec(gibps: f64) -> Self {
+        Self::bytes_per_sec(gibps * 1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Infinite bandwidth: jobs cost only their fixed overhead.
+    pub fn infinite() -> Self {
+        Bandwidth(f64::INFINITY)
+    }
+
+    /// Bytes per second as a float (may be infinite).
+    pub fn as_bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// Time to push `bytes` through this resource, excluding overhead.
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        if self.0.is_infinite() || bytes == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(bytes as f64 / self.0)
+        }
+    }
+}
+
+/// One queued unit of work at a resource: a specific stage of an activity.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    pub activity: ActivityId,
+    pub bytes: u64,
+    pub overhead: SimDuration,
+}
+
+/// A FIFO bandwidth server with `capacity` parallel service slots
+/// (capacity 1 = the classic single server; an OST with several disk
+/// channels or server threads uses more).
+#[derive(Debug)]
+pub struct Resource {
+    name: String,
+    bandwidth: Bandwidth,
+    capacity: usize,
+    queue: VecDeque<Job>,
+    /// Jobs currently in service (≤ capacity).
+    in_service: usize,
+    // --- accounting ---
+    busy_time: SimDuration,
+    bytes_served: u64,
+    jobs_served: u64,
+    max_queue_len: usize,
+}
+
+impl Resource {
+    #[cfg(test)]
+    pub(crate) fn new(name: impl Into<String>, bandwidth: Bandwidth) -> Self {
+        Self::with_capacity(name, bandwidth, 1)
+    }
+
+    pub(crate) fn with_capacity(
+        name: impl Into<String>,
+        bandwidth: Bandwidth,
+        capacity: usize,
+    ) -> Self {
+        assert!(capacity > 0, "resource needs at least one service slot");
+        Resource {
+            name: name.into(),
+            bandwidth,
+            capacity,
+            queue: VecDeque::new(),
+            in_service: 0,
+            busy_time: SimDuration::ZERO,
+            bytes_served: 0,
+            jobs_served: 0,
+            max_queue_len: 0,
+        }
+    }
+
+    /// Number of parallel service slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Human-readable name, e.g. `"node3.membus"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The configured service bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Service time for a job: `overhead + bytes / bandwidth`.
+    pub fn service_time(&self, bytes: u64, overhead: SimDuration) -> SimDuration {
+        overhead + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// Enqueue a job. If a service slot is free the job starts
+    /// immediately and its completion time is returned; otherwise it
+    /// waits in FIFO order.
+    pub(crate) fn enqueue(&mut self, now: SimTime, job: Job) -> Option<SimTime> {
+        if self.in_service < self.capacity {
+            Some(self.start(now, job))
+        } else {
+            self.queue.push_back(job);
+            self.max_queue_len = self.max_queue_len.max(self.queue.len());
+            None
+        }
+    }
+
+    /// Called when an in-service job completes. Returns the next job and
+    /// its completion time, if one was waiting.
+    pub(crate) fn complete_current(&mut self, now: SimTime) -> Option<(Job, SimTime)> {
+        debug_assert!(self.in_service > 0, "resource was not busy");
+        self.in_service -= 1;
+        let job = self.queue.pop_front()?;
+        let done = self.start(now, job);
+        Some((job, done))
+    }
+
+    fn start(&mut self, now: SimTime, job: Job) -> SimTime {
+        let service = self.service_time(job.bytes, job.overhead);
+        let done = now + service;
+        self.in_service += 1;
+        self.busy_time += service;
+        self.bytes_served += job.bytes;
+        self.jobs_served += 1;
+        done
+    }
+
+    pub(crate) fn usage(&self) -> ResourceUsage {
+        ResourceUsage {
+            name: self.name.clone(),
+            busy_time: self.busy_time,
+            bytes_served: self.bytes_served,
+            jobs_served: self.jobs_served,
+            max_queue_len: self.max_queue_len,
+        }
+    }
+}
+
+/// Post-run accounting for one resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Name the resource was registered with.
+    pub name: String,
+    /// Total service time delivered (may exceed the makespan when the
+    /// resource has multiple service slots).
+    pub busy_time: SimDuration,
+    /// Total bytes pushed through the server.
+    pub bytes_served: u64,
+    /// Number of jobs served.
+    pub jobs_served: u64,
+    /// High-water mark of the waiting queue (excludes the job in service).
+    pub max_queue_len: usize,
+}
+
+impl ResourceUsage {
+    /// Fraction of the makespan this resource was busy, in `[0, 1]`
+    /// (assuming `makespan` covers the whole run).
+    pub fn utilization(&self, makespan: SimDuration) -> f64 {
+        if makespan.is_zero() {
+            0.0
+        } else {
+            self.busy_time.as_secs_f64() / makespan.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(bytes: u64) -> Job {
+        Job {
+            activity: ActivityId(0),
+            bytes,
+            overhead: SimDuration::ZERO,
+        }
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::bytes_per_sec(1000.0);
+        assert_eq!(bw.transfer_time(2000), SimDuration::from_secs(2));
+        assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
+        assert_eq!(Bandwidth::infinite().transfer_time(1 << 40), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn degenerate_bandwidth_becomes_infinite() {
+        assert_eq!(
+            Bandwidth::bytes_per_sec(0.0).transfer_time(100),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            Bandwidth::bytes_per_sec(-5.0).transfer_time(100),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            Bandwidth::bytes_per_sec(f64::NAN).transfer_time(100),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mib_gib_constructors() {
+        assert_eq!(
+            Bandwidth::mib_per_sec(1.0).as_bytes_per_sec(),
+            1024.0 * 1024.0
+        );
+        assert_eq!(
+            Bandwidth::gib_per_sec(1.0).as_bytes_per_sec(),
+            1024.0 * 1024.0 * 1024.0
+        );
+    }
+
+    #[test]
+    fn fifo_queueing() {
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        let t0 = SimTime::ZERO;
+        // First job starts immediately.
+        let done = r.enqueue(t0, job(100)).expect("idle server starts job");
+        assert_eq!(done, t0 + SimDuration::from_secs(1));
+        // Second queues.
+        assert!(r.enqueue(t0, job(200)).is_none());
+        assert_eq!(r.usage().max_queue_len, 1);
+        // Completion pops the queue.
+        let (next, next_done) = r.complete_current(done).expect("queued job");
+        assert_eq!(next.bytes, 200);
+        assert_eq!(next_done, done + SimDuration::from_secs(2));
+        assert!(r.complete_current(next_done).is_none());
+        let u = r.usage();
+        assert_eq!(u.jobs_served, 2);
+        assert_eq!(u.bytes_served, 300);
+        assert_eq!(u.busy_time, SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn overhead_adds_to_service() {
+        let r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        assert_eq!(
+            r.service_time(100, SimDuration::from_millis(500)),
+            SimDuration::from_millis(1500)
+        );
+    }
+
+    #[test]
+    fn utilization() {
+        let u = ResourceUsage {
+            name: "r".into(),
+            busy_time: SimDuration::from_secs(1),
+            bytes_served: 0,
+            jobs_served: 0,
+            max_queue_len: 0,
+        };
+        assert!((u.utilization(SimDuration::from_secs(4)) - 0.25).abs() < 1e-12);
+        assert_eq!(u.utilization(SimDuration::ZERO), 0.0);
+    }
+}

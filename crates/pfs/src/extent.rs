@@ -1,0 +1,277 @@
+//! File extents: half-open byte ranges `[offset, offset + len)` in a
+//! linear file. The shared vocabulary of the whole collective I/O stack:
+//! flattened datatypes, file domains, partition-tree leaves, aggregation
+//! groups and PFS requests are all extents or lists of extents.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A half-open byte range in a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Extent {
+    /// First byte covered.
+    pub offset: u64,
+    /// Number of bytes covered (may be zero).
+    pub len: u64,
+}
+
+impl Extent {
+    /// An extent `[offset, offset + len)`.
+    pub const fn new(offset: u64, len: u64) -> Self {
+        Extent { offset, len }
+    }
+
+    /// The empty extent at offset zero.
+    pub const EMPTY: Extent = Extent { offset: 0, len: 0 };
+
+    /// An extent from half-open bounds. Panics if `end < start`.
+    pub fn from_bounds(start: u64, end: u64) -> Self {
+        assert!(end >= start, "invalid extent bounds [{start}, {end})");
+        Extent {
+            offset: start,
+            len: end - start,
+        }
+    }
+
+    /// One past the last byte covered.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// True when the extent covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `pos` falls inside the extent.
+    pub fn contains(&self, pos: u64) -> bool {
+        pos >= self.offset && pos < self.end()
+    }
+
+    /// True when `other` is fully inside `self` (empty extents are
+    /// contained anywhere their offset lies within bounds).
+    pub fn contains_extent(&self, other: &Extent) -> bool {
+        other.offset >= self.offset && other.end() <= self.end()
+    }
+
+    /// The overlapping region, or `None` when disjoint (or when either is
+    /// empty).
+    pub fn intersect(&self, other: &Extent) -> Option<Extent> {
+        let start = self.offset.max(other.offset);
+        let end = self.end().min(other.end());
+        if start < end {
+            Some(Extent::from_bounds(start, end))
+        } else {
+            None
+        }
+    }
+
+    /// True when the extents share at least one byte.
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// True when `other` begins exactly where `self` ends or vice versa.
+    pub fn adjacent(&self, other: &Extent) -> bool {
+        self.end() == other.offset || other.end() == self.offset
+    }
+
+    /// Split at absolute position `pos`, returning (left, right). `pos`
+    /// outside the extent yields an empty side.
+    pub fn split_at(&self, pos: u64) -> (Extent, Extent) {
+        let pos = pos.clamp(self.offset, self.end());
+        (
+            Extent::from_bounds(self.offset, pos),
+            Extent::from_bounds(pos, self.end()),
+        )
+    }
+
+    /// The smallest extent covering both (their convex hull).
+    pub fn hull(&self, other: &Extent) -> Extent {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Extent::from_bounds(self.offset.min(other.offset), self.end().max(other.end()))
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+impl PartialOrd for Extent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Extent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.offset
+            .cmp(&other.offset)
+            .then(self.len.cmp(&other.len))
+    }
+}
+
+/// Sort extents and merge overlapping/adjacent ones, dropping empties.
+/// The result is the canonical minimal disjoint cover of the input.
+pub fn coalesce(mut extents: Vec<Extent>) -> Vec<Extent> {
+    extents.retain(|e| !e.is_empty());
+    extents.sort();
+    let mut out: Vec<Extent> = Vec::with_capacity(extents.len());
+    for e in extents {
+        match out.last_mut() {
+            Some(last) if e.offset <= last.end() => {
+                let end = last.end().max(e.end());
+                *last = Extent::from_bounds(last.offset, end);
+            }
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// Total bytes covered by a set of extents, counting overlaps once.
+pub fn covered_bytes(extents: &[Extent]) -> u64 {
+    coalesce(extents.to_vec()).iter().map(|e| e.len).sum()
+}
+
+/// Total bytes requested (overlaps counted multiply).
+pub fn total_bytes(extents: &[Extent]) -> u64 {
+    extents.iter().map(|e| e.len).sum()
+}
+
+/// Clip every extent in `extents` against `window`, keeping order and
+/// dropping non-overlapping pieces.
+pub fn clip_all(extents: &[Extent], window: &Extent) -> Vec<Extent> {
+    extents
+        .iter()
+        .filter_map(|e| e.intersect(window))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let e = Extent::new(10, 5);
+        assert_eq!(e.end(), 15);
+        assert!(!e.is_empty());
+        assert!(e.contains(10));
+        assert!(e.contains(14));
+        assert!(!e.contains(15));
+        assert_eq!(format!("{e}"), "[10, 15)");
+    }
+
+    #[test]
+    fn from_bounds_round_trips() {
+        let e = Extent::from_bounds(3, 9);
+        assert_eq!(e, Extent::new(3, 6));
+        assert!(Extent::from_bounds(5, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid extent bounds")]
+    fn inverted_bounds_panic() {
+        Extent::from_bounds(9, 3);
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Extent::new(0, 10);
+        let b = Extent::new(5, 10);
+        assert_eq!(a.intersect(&b), Some(Extent::new(5, 5)));
+        assert_eq!(b.intersect(&a), Some(Extent::new(5, 5)));
+        // Touching but not overlapping.
+        let c = Extent::new(10, 5);
+        assert_eq!(a.intersect(&c), None);
+        assert!(a.adjacent(&c));
+        assert!(c.adjacent(&a));
+        // Empty extents never intersect.
+        assert_eq!(a.intersect(&Extent::new(5, 0)), None);
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Extent::new(0, 100);
+        assert!(outer.contains_extent(&Extent::new(10, 20)));
+        assert!(outer.contains_extent(&outer));
+        assert!(!outer.contains_extent(&Extent::new(90, 20)));
+    }
+
+    #[test]
+    fn split() {
+        let e = Extent::new(10, 10);
+        let (l, r) = e.split_at(15);
+        assert_eq!(l, Extent::new(10, 5));
+        assert_eq!(r, Extent::new(15, 5));
+        // Split point clamps.
+        let (l, r) = e.split_at(0);
+        assert!(l.is_empty());
+        assert_eq!(r, e);
+        let (l, r) = e.split_at(100);
+        assert_eq!(l, e);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hull() {
+        let a = Extent::new(0, 5);
+        let b = Extent::new(20, 5);
+        assert_eq!(a.hull(&b), Extent::new(0, 25));
+        assert_eq!(a.hull(&Extent::EMPTY), a);
+        assert_eq!(Extent::EMPTY.hull(&b), b);
+    }
+
+    #[test]
+    fn coalesce_merges_and_sorts() {
+        let merged = coalesce(vec![
+            Extent::new(20, 5),
+            Extent::new(0, 10),
+            Extent::new(8, 4), // overlaps first
+            Extent::new(12, 8), // adjacent to previous merge
+            Extent::new(50, 0), // empty dropped
+        ]);
+        assert_eq!(merged, vec![Extent::new(0, 25)]);
+    }
+
+    #[test]
+    fn coalesce_keeps_gaps() {
+        let merged = coalesce(vec![Extent::new(0, 5), Extent::new(10, 5)]);
+        assert_eq!(merged, vec![Extent::new(0, 5), Extent::new(10, 5)]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let v = vec![Extent::new(0, 10), Extent::new(5, 10)];
+        assert_eq!(covered_bytes(&v), 15);
+        assert_eq!(total_bytes(&v), 20);
+    }
+
+    #[test]
+    fn clipping() {
+        let v = vec![Extent::new(0, 10), Extent::new(20, 10), Extent::new(40, 5)];
+        let w = Extent::new(5, 20);
+        assert_eq!(
+            clip_all(&v, &w),
+            vec![Extent::new(5, 5), Extent::new(20, 5)]
+        );
+    }
+
+    #[test]
+    fn ordering_by_offset_then_len() {
+        let mut v = vec![Extent::new(5, 1), Extent::new(0, 9), Extent::new(0, 2)];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Extent::new(0, 2), Extent::new(0, 9), Extent::new(5, 1)]
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests of the PFS substrate: striping round-trips and
+//! sparse-file equivalence with a flat byte-vector model.
+
+use mcio_pfs::{Extent, SparseFile, StripeLayout};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Stripe pieces tile the extent exactly, each within one stripe,
+    /// on the right OST, with consistent local offsets.
+    #[test]
+    fn split_tiles_exactly(
+        unit in 1u64..4096,
+        count in 1usize..32,
+        offset in 0u64..1_000_000,
+        len in 0u64..500_000,
+    ) {
+        let layout = StripeLayout::new(unit, count);
+        let extent = Extent::new(offset, len);
+        let pieces = layout.split(extent);
+        let mut pos = offset;
+        for p in &pieces {
+            prop_assert_eq!(p.global.offset, pos);
+            pos = p.global.end();
+            // Within a single stripe.
+            prop_assert_eq!(p.global.offset / unit, (p.global.end() - 1) / unit);
+            prop_assert_eq!(p.ost, layout.ost_of(p.global.offset));
+            prop_assert_eq!(p.local_offset, layout.local_offset(p.global.offset));
+        }
+        prop_assert_eq!(pos, extent.end().max(offset));
+        // Per-OST aggregation conserves bytes.
+        let per: u64 = layout.split_per_ost(extent).iter().map(|&(_, b)| b).sum();
+        prop_assert_eq!(per, len);
+    }
+
+    /// A contiguous global extent lands on each OST as a contiguous
+    /// object-local run (the property the cost model exploits).
+    #[test]
+    fn per_ost_runs_are_locally_contiguous(
+        unit in 1u64..1024,
+        count in 1usize..16,
+        offset in 0u64..100_000,
+        len in 1u64..200_000,
+    ) {
+        let layout = StripeLayout::new(unit, count);
+        let mut per_ost: std::collections::BTreeMap<usize, Vec<(u64, u64)>> =
+            std::collections::BTreeMap::new();
+        for p in layout.split(Extent::new(offset, len)) {
+            per_ost
+                .entry(p.ost.index())
+                .or_default()
+                .push((p.local_offset, p.global.len));
+        }
+        for runs in per_ost.values() {
+            for w in runs.windows(2) {
+                prop_assert_eq!(w[0].0 + w[0].1, w[1].0, "gap in object-local run");
+            }
+        }
+    }
+
+    /// SparseFile behaves exactly like a big zero-initialized byte vector.
+    #[test]
+    fn sparse_file_matches_vec_model(
+        block in 1usize..64,
+        ops in proptest::collection::vec(
+            (0u64..5000, proptest::collection::vec(any::<u8>(), 1..200)),
+            1..20,
+        ),
+        probe in 0u64..5200,
+        probe_len in 0usize..300,
+    ) {
+        let mut file = SparseFile::with_block_size(block);
+        let mut model = vec![0u8; 6000];
+        for (off, data) in &ops {
+            file.write_at(*off, data);
+            model[*off as usize..*off as usize + data.len()].copy_from_slice(data);
+        }
+        let got = file.read_vec(probe, probe_len);
+        let want = &model[probe as usize..probe as usize + probe_len];
+        prop_assert_eq!(got.as_slice(), want);
+    }
+}

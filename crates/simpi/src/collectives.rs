@@ -1,0 +1,370 @@
+//! Collective operations over [`Comm`].
+//!
+//! Linear (root-relayed) reference implementations: simple, deterministic
+//! and obviously correct, which is what the correctness executors need.
+//! They mirror the collectives two-phase I/O actually uses: an
+//! `allgather` of request descriptions, `alltoallv` data shuffles, a
+//! `barrier` between rounds, and small reductions for agreement.
+
+use crate::comm::{Comm, TAG_INTERNAL};
+
+const TAG_BARRIER: u64 = TAG_INTERNAL + 16;
+const TAG_BCAST: u64 = TAG_INTERNAL + 17;
+const TAG_GATHER: u64 = TAG_INTERNAL + 18;
+const TAG_ALLTOALL: u64 = TAG_INTERNAL + 19;
+const TAG_SCAN: u64 = TAG_INTERNAL + 20;
+const TAG_SCATTER: u64 = TAG_INTERNAL + 21;
+const TAG_REDUCE: u64 = TAG_INTERNAL + 22;
+
+impl Comm {
+    /// Block until every rank of the communicator has entered.
+    pub fn barrier(&self) {
+        if self.size() == 1 {
+            return;
+        }
+        if self.rank() == 0 {
+            for src in 1..self.size() {
+                let _ = self.recv(src, TAG_BARRIER);
+            }
+            for dst in 1..self.size() {
+                self.send(dst, TAG_BARRIER, Vec::new());
+            }
+        } else {
+            self.send(0, TAG_BARRIER, Vec::new());
+            let _ = self.recv(0, TAG_BARRIER);
+        }
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the payload.
+    pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        if self.size() == 1 {
+            return data;
+        }
+        if self.rank() == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, TAG_BCAST, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, TAG_BCAST)
+        }
+    }
+
+    /// Gather every rank's `data` at `root` (rank order); non-roots get
+    /// `None`. Variable-length payloads are inherently supported
+    /// (gatherv).
+    pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        if self.rank() == root {
+            let mut out = vec![Vec::new(); self.size()];
+            out[root] = data;
+            for src in (0..self.size()).filter(|&s| s != root) {
+                out[src] = self.recv(src, TAG_GATHER);
+            }
+            Some(out)
+        } else {
+            self.send(root, TAG_GATHER, data);
+            None
+        }
+    }
+
+    /// Every rank gets every rank's `data`, in rank order.
+    pub fn allgather(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.allgather_internal(data, TAG_GATHER)
+    }
+
+    /// Personalized all-to-all: `outgoing[d]` goes to rank `d`; returns
+    /// `incoming[s]` from each rank `s`. Variable lengths supported
+    /// (alltoallv); empty vectors are delivered as empty vectors.
+    ///
+    /// # Panics
+    /// Panics if `outgoing.len() != self.size()`.
+    pub fn alltoallv(&self, outgoing: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(
+            outgoing.len(),
+            self.size(),
+            "alltoallv needs one buffer per destination"
+        );
+        let mut incoming = vec![Vec::new(); self.size()];
+        for (dst, data) in outgoing.into_iter().enumerate() {
+            if dst == self.rank() {
+                incoming[dst] = data;
+            } else {
+                self.send(dst, TAG_ALLTOALL, data);
+            }
+        }
+        let me = self.rank();
+        for (src, slot) in incoming.iter_mut().enumerate() {
+            if src != me {
+                *slot = self.recv(src, TAG_ALLTOALL);
+            }
+        }
+        incoming
+    }
+
+    /// Personalized scatter from `root`: `outgoing[d]` (significant only
+    /// at the root) goes to rank `d`; every rank returns its piece.
+    /// Variable lengths supported (scatterv).
+    ///
+    /// # Panics
+    /// Panics at the root if `outgoing.len() != self.size()`.
+    pub fn scatterv(&self, root: usize, outgoing: Vec<Vec<u8>>) -> Vec<u8> {
+        if self.rank() == root {
+            assert_eq!(
+                outgoing.len(),
+                self.size(),
+                "scatterv needs one buffer per destination"
+            );
+            let mut mine = Vec::new();
+            for (dst, data) in outgoing.into_iter().enumerate() {
+                if dst == root {
+                    mine = data;
+                } else {
+                    self.send(dst, TAG_SCATTER, data);
+                }
+            }
+            mine
+        } else {
+            self.recv(root, TAG_SCATTER)
+        }
+    }
+
+    /// Reduce `u64` values at `root` with a commutative-associative `op`;
+    /// the root gets `Some(result)`, others `None`.
+    pub fn reduce_u64(
+        &self,
+        root: usize,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Option<u64> {
+        if self.rank() == root {
+            let mut acc = value;
+            for src in (0..self.size()).filter(|&s| s != root) {
+                let b = self.recv(src, TAG_REDUCE);
+                acc = op(acc, u64::from_le_bytes(b.try_into().expect("u64 payload")));
+            }
+            Some(acc)
+        } else {
+            self.send(root, TAG_REDUCE, value.to_le_bytes().to_vec());
+            None
+        }
+    }
+
+    /// Sum-reduce a `u64` across all ranks; everyone gets the total.
+    pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
+        self.allreduce_u64(value, |a, b| a.wrapping_add(b))
+    }
+
+    /// Max-reduce a `u64` across all ranks.
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        self.allreduce_u64(value, u64::max)
+    }
+
+    /// Min-reduce a `u64` across all ranks.
+    pub fn allreduce_min_u64(&self, value: u64) -> u64 {
+        self.allreduce_u64(value, u64::min)
+    }
+
+    /// Generic commutative-associative `u64` allreduce.
+    pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        self.allgather(value.to_le_bytes().to_vec())
+            .into_iter()
+            .map(|b| u64::from_le_bytes(b.try_into().expect("u64 payload")))
+            .fold(None::<u64>, |acc, x| Some(match acc {
+                None => x,
+                Some(a) => op(a, x),
+            }))
+            .expect("communicator is non-empty")
+    }
+
+    /// Exclusive prefix sum: rank r returns the sum of values on ranks
+    /// `0..r` (0 on rank 0).
+    pub fn exscan_sum_u64(&self, value: u64) -> u64 {
+        // Linear relay keeps it obviously correct.
+        let prefix = if self.rank() == 0 {
+            0
+        } else {
+            let b = self.recv(self.rank() - 1, TAG_SCAN);
+            u64::from_le_bytes(b.try_into().expect("u64 payload"))
+        };
+        if self.rank() + 1 < self.size() {
+            self.send(
+                self.rank() + 1,
+                TAG_SCAN,
+                (prefix + value).to_le_bytes().to_vec(),
+            );
+        }
+        prefix
+    }
+}
+
+/// Encode a `u64` slice little-endian (helper for exchanging request
+/// descriptions).
+pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a little-endian `u64` buffer.
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert_eq!(bytes.len() % 8, 0, "u64 buffer length must be multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn barrier_synchronizes() {
+        static ENTERED: AtomicUsize = AtomicUsize::new(0);
+        run(4, |comm| {
+            ENTERED.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier everyone must have entered.
+            assert_eq!(ENTERED.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn bcast_from_each_root() {
+        run(3, |comm| {
+            for root in 0..3 {
+                let data = if comm.rank() == root {
+                    vec![root as u8; 5]
+                } else {
+                    Vec::new()
+                };
+                let got = comm.bcast(root, data);
+                assert_eq!(got, vec![root as u8; 5]);
+            }
+        });
+    }
+
+    #[test]
+    fn gather_variable_lengths() {
+        run(4, |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank()];
+            match comm.gather(2, mine) {
+                Some(all) => {
+                    assert_eq!(comm.rank(), 2);
+                    for (r, v) in all.iter().enumerate() {
+                        assert_eq!(v, &vec![r as u8; r]);
+                    }
+                }
+                None => assert_ne!(comm.rank(), 2),
+            }
+        });
+    }
+
+    #[test]
+    fn allgather_all_see_all() {
+        run(5, |comm| {
+            let all = comm.allgather(vec![comm.rank() as u8]);
+            let flat: Vec<u8> = all.into_iter().flatten().collect();
+            assert_eq!(flat, vec![0, 1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn alltoallv_exchanges() {
+        run(4, |comm| {
+            // Send dst copies of my rank to dst.
+            let outgoing: Vec<Vec<u8>> = (0..4).map(|d| vec![comm.rank() as u8; d]).collect();
+            let incoming = comm.alltoallv(outgoing);
+            for (src, v) in incoming.iter().enumerate() {
+                assert_eq!(v, &vec![src as u8; comm.rank()]);
+            }
+        });
+    }
+
+    #[test]
+    fn reductions() {
+        run(6, |comm| {
+            let r = comm.rank() as u64;
+            assert_eq!(comm.allreduce_sum_u64(r), 15);
+            assert_eq!(comm.allreduce_max_u64(r), 5);
+            assert_eq!(comm.allreduce_min_u64(10 + r), 10);
+        });
+    }
+
+    #[test]
+    fn exscan() {
+        run(5, |comm| {
+            let r = comm.rank() as u64;
+            let prefix = comm.exscan_sum_u64(r + 1);
+            // prefix of (1,2,3,4,5) = (0,1,3,6,10).
+            assert_eq!(prefix, [0, 1, 3, 6, 10][comm.rank()]);
+        });
+    }
+
+    #[test]
+    fn collectives_in_split_comms() {
+        run(6, |comm| {
+            let sub = comm.split((comm.rank() % 2) as u64, 0);
+            let sum = sub.allreduce_sum_u64(comm.rank() as u64);
+            // Evens: 0+2+4 = 6; odds: 1+3+5 = 9.
+            assert_eq!(sum, if comm.rank() % 2 == 0 { 6 } else { 9 });
+            sub.barrier();
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn scatterv_distributes_pieces() {
+        run(4, |comm| {
+            let outgoing = if comm.rank() == 1 {
+                (0..4).map(|d| vec![d as u8; d + 1]).collect()
+            } else {
+                Vec::new()
+            };
+            let mine = comm.scatterv(1, outgoing);
+            assert_eq!(mine, vec![comm.rank() as u8; comm.rank() + 1]);
+        });
+    }
+
+    #[test]
+    fn reduce_at_root_only() {
+        run(5, |comm| {
+            let r = comm.reduce_u64(3, comm.rank() as u64 + 1, |a, b| a + b);
+            if comm.rank() == 3 {
+                assert_eq!(r, Some(15));
+            } else {
+                assert_eq!(r, None);
+            }
+        });
+    }
+
+    #[test]
+    fn u64_codec_round_trip() {
+        let v = vec![0u64, 1, u64::MAX, 42];
+        assert_eq!(decode_u64s(&encode_u64s(&v)), v);
+        assert!(decode_u64s(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn decode_bad_length_panics() {
+        decode_u64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic] // wrapped by the runtime as "rank N panicked"
+    fn alltoallv_wrong_len_panics() {
+        run(2, |comm| {
+            comm.alltoallv(vec![Vec::new()]); // needs 2
+        });
+    }
+}

@@ -1,0 +1,649 @@
+//! Derived datatypes, MPI style.
+//!
+//! A datatype describes a (possibly noncontiguous) layout of bytes within
+//! a span called its *extent*. Collective I/O only ever needs the
+//! flattened form — the sorted list of `(offset, len)` segments one
+//! instance of the type covers — so that is the canonical operation here,
+//! mirroring ROMIO's `ADIOI_Flatten`.
+
+use std::fmt;
+
+/// One contiguous run of bytes at `offset` (relative to the datatype
+/// origin), `len` bytes long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Byte offset from the datatype origin.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Segment {
+    /// A segment `[offset, offset + len)`.
+    pub const fn new(offset: u64, len: u64) -> Self {
+        Segment { offset, len }
+    }
+
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.offset, self.end())
+    }
+}
+
+/// A derived datatype.
+///
+/// `Vector`/`Indexed` displacements and strides are in units of the child
+/// type's extent (as in `MPI_Type_vector` / `MPI_Type_indexed`);
+/// `HVector`/`HIndexed` use bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datatype {
+    /// `len` contiguous bytes (the leaf; `MPI_BYTE` et al.).
+    Bytes(u64),
+    /// `count` back-to-back copies of `child`.
+    Contiguous {
+        /// Number of copies.
+        count: u64,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// `count` blocks of `blocklen` children, consecutive blocks
+    /// `stride` child-extents apart.
+    Vector {
+        /// Number of blocks.
+        count: u64,
+        /// Children per block.
+        blocklen: u64,
+        /// Distance between block starts, in child extents (≥ blocklen
+        /// for non-overlapping layouts).
+        stride: u64,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// Like [`Datatype::Vector`] but `stride_bytes` is in bytes.
+    HVector {
+        /// Number of blocks.
+        count: u64,
+        /// Children per block.
+        blocklen: u64,
+        /// Distance between block starts, in bytes.
+        stride_bytes: u64,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// Explicit `(displacement, blocklen)` block list; displacements in
+    /// child extents, in any order.
+    Indexed {
+        /// `(displacement, blocklen)` pairs.
+        blocks: Vec<(u64, u64)>,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// Like [`Datatype::Indexed`] but displacements are in bytes.
+    HIndexed {
+        /// `(byte displacement, blocklen)` pairs.
+        blocks: Vec<(u64, u64)>,
+        /// Element type.
+        child: Box<Datatype>,
+    },
+    /// An n-dimensional C-order (row-major) subarray of `elem`-byte
+    /// elements: the filetype of a block-distributed multidimensional
+    /// array (`MPI_Type_create_subarray`), used by coll_perf.
+    Subarray {
+        /// Full array dimensions, slowest-varying first.
+        sizes: Vec<u64>,
+        /// Subarray dimensions.
+        subsizes: Vec<u64>,
+        /// Subarray start coordinate.
+        starts: Vec<u64>,
+        /// Bytes per array element.
+        elem: u64,
+    },
+    /// `child` with its extent overridden (`MPI_Type_create_resized`),
+    /// for custom tiling periods.
+    Resized {
+        /// Underlying type.
+        child: Box<Datatype>,
+        /// New extent in bytes.
+        extent: u64,
+    },
+}
+
+impl Datatype {
+    /// A contiguous run of `len` bytes.
+    pub fn bytes(len: u64) -> Self {
+        Datatype::Bytes(len)
+    }
+
+    /// `count` contiguous copies of `child`.
+    pub fn contiguous(count: u64, child: Datatype) -> Self {
+        Datatype::Contiguous {
+            count,
+            child: Box::new(child),
+        }
+    }
+
+    /// A strided vector of `child`.
+    pub fn vector(count: u64, blocklen: u64, stride: u64, child: Datatype) -> Self {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            child: Box::new(child),
+        }
+    }
+
+    /// A byte-strided vector of `child`.
+    pub fn hvector(count: u64, blocklen: u64, stride_bytes: u64, child: Datatype) -> Self {
+        Datatype::HVector {
+            count,
+            blocklen,
+            stride_bytes,
+            child: Box::new(child),
+        }
+    }
+
+    /// An indexed block list of `child`.
+    pub fn indexed(blocks: Vec<(u64, u64)>, child: Datatype) -> Self {
+        Datatype::Indexed {
+            blocks,
+            child: Box::new(child),
+        }
+    }
+
+    /// A byte-indexed block list of `child`.
+    pub fn hindexed(blocks: Vec<(u64, u64)>, child: Datatype) -> Self {
+        Datatype::HIndexed {
+            blocks,
+            child: Box::new(child),
+        }
+    }
+
+    /// An n-dimensional row-major subarray.
+    ///
+    /// # Panics
+    /// Panics when the dimension vectors disagree in length or the
+    /// subarray does not fit.
+    pub fn subarray(sizes: Vec<u64>, subsizes: Vec<u64>, starts: Vec<u64>, elem: u64) -> Self {
+        assert_eq!(sizes.len(), subsizes.len(), "dimension mismatch");
+        assert_eq!(sizes.len(), starts.len(), "dimension mismatch");
+        assert!(!sizes.is_empty(), "subarray needs at least one dimension");
+        for d in 0..sizes.len() {
+            assert!(
+                starts[d] + subsizes[d] <= sizes[d],
+                "subarray exceeds array bounds in dimension {d}"
+            );
+        }
+        Datatype::Subarray {
+            sizes,
+            subsizes,
+            starts,
+            elem,
+        }
+    }
+
+    /// Override the extent of `child`.
+    pub fn resized(child: Datatype, extent: u64) -> Self {
+        Datatype::Resized {
+            child: Box::new(child),
+            extent,
+        }
+    }
+
+    /// Total data bytes in one instance (the sum of segment lengths).
+    pub fn size(&self) -> u64 {
+        match self {
+            Datatype::Bytes(len) => *len,
+            Datatype::Contiguous { count, child } => count * child.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                child,
+                ..
+            }
+            | Datatype::HVector {
+                count,
+                blocklen,
+                child,
+                ..
+            } => count * blocklen * child.size(),
+            Datatype::Indexed { blocks, child } | Datatype::HIndexed { blocks, child } => {
+                blocks.iter().map(|&(_, bl)| bl).sum::<u64>() * child.size()
+            }
+            Datatype::Subarray { subsizes, elem, .. } => {
+                subsizes.iter().product::<u64>() * elem
+            }
+            Datatype::Resized { child, .. } => child.size(),
+        }
+    }
+
+    /// The span one instance occupies (distance between consecutive tiles
+    /// when the type is used as a file view).
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Bytes(len) => *len,
+            Datatype::Contiguous { count, child } => count * child.extent(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * child.extent()
+                }
+            }
+            Datatype::HVector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    (count - 1) * stride_bytes + blocklen * child.extent()
+                }
+            }
+            Datatype::Indexed { blocks, child } => blocks
+                .iter()
+                .map(|&(d, bl)| (d + bl) * child.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::HIndexed { blocks, child } => blocks
+                .iter()
+                .map(|&(d, bl)| d + bl * child.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::Subarray { sizes, elem, .. } => sizes.iter().product::<u64>() * elem,
+            Datatype::Resized { extent, .. } => *extent,
+        }
+    }
+
+    /// Flatten one instance to sorted, coalesced `(offset, len)` segments.
+    pub fn flatten(&self) -> Vec<Segment> {
+        let mut segs = Vec::new();
+        self.emit(0, &mut segs);
+        normalize(segs)
+    }
+
+    /// Recursively emit raw segments at byte origin `base`.
+    fn emit(&self, base: u64, out: &mut Vec<Segment>) {
+        match self {
+            Datatype::Bytes(len) => {
+                if *len > 0 {
+                    out.push(Segment::new(base, *len));
+                }
+            }
+            Datatype::Contiguous { count, child } => {
+                let e = child.extent();
+                for i in 0..*count {
+                    child.emit(base + i * e, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                child,
+            } => {
+                let e = child.extent();
+                for i in 0..*count {
+                    let block_base = base + i * stride * e;
+                    for j in 0..*blocklen {
+                        child.emit(block_base + j * e, out);
+                    }
+                }
+            }
+            Datatype::HVector {
+                count,
+                blocklen,
+                stride_bytes,
+                child,
+            } => {
+                let e = child.extent();
+                for i in 0..*count {
+                    let block_base = base + i * stride_bytes;
+                    for j in 0..*blocklen {
+                        child.emit(block_base + j * e, out);
+                    }
+                }
+            }
+            Datatype::Indexed { blocks, child } => {
+                let e = child.extent();
+                for &(disp, blocklen) in blocks {
+                    for j in 0..blocklen {
+                        child.emit(base + (disp + j) * e, out);
+                    }
+                }
+            }
+            Datatype::HIndexed { blocks, child } => {
+                let e = child.extent();
+                for &(disp, blocklen) in blocks {
+                    for j in 0..blocklen {
+                        child.emit(base + disp + j * e, out);
+                    }
+                }
+            }
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                elem,
+            } => {
+                emit_subarray(sizes, subsizes, starts, *elem, base, out);
+            }
+            Datatype::Resized { child, .. } => child.emit(base, out),
+        }
+    }
+}
+
+/// Row-major subarray enumeration: iterate all index tuples over the
+/// leading `n-1` subarray dimensions; each yields one contiguous run of
+/// `subsizes[n-1] * elem` bytes.
+fn emit_subarray(
+    sizes: &[u64],
+    subsizes: &[u64],
+    starts: &[u64],
+    elem: u64,
+    base: u64,
+    out: &mut Vec<Segment>,
+) {
+    let n = sizes.len();
+    if subsizes.contains(&0) || elem == 0 {
+        return;
+    }
+    // Row-major strides in elements.
+    let mut stride = vec![1u64; n];
+    for d in (0..n.saturating_sub(1)).rev() {
+        stride[d] = stride[d + 1] * sizes[d + 1];
+    }
+    let run_len = subsizes[n - 1] * elem;
+    // Odometer over dimensions 0..n-1.
+    let mut idx = vec![0u64; n.saturating_sub(1)];
+    loop {
+        let mut off_elems = starts[n - 1];
+        for d in 0..n - 1 {
+            off_elems += (starts[d] + idx[d]) * stride[d];
+        }
+        out.push(Segment::new(base + off_elems * elem, run_len));
+        // Advance the odometer.
+        let mut d = n - 1;
+        loop {
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+            idx[d] += 1;
+            if idx[d] < subsizes[d] {
+                break;
+            }
+            idx[d] = 0;
+        }
+    }
+}
+
+impl Datatype {
+    /// Gather one instance's data bytes out of a typed buffer into a
+    /// contiguous vector (`MPI_Pack` for a single instance). `typed`
+    /// must cover the extent.
+    ///
+    /// # Panics
+    /// Panics if `typed` is shorter than the extent.
+    pub fn pack(&self, typed: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size() as usize);
+        for seg in self.flatten() {
+            out.extend_from_slice(&typed[seg.offset as usize..seg.end() as usize]);
+        }
+        out
+    }
+
+    /// Scatter a contiguous buffer into the instance's segments of a
+    /// typed buffer (`MPI_Unpack`).
+    ///
+    /// # Panics
+    /// Panics if `packed` is shorter than `size()` or `typed` shorter
+    /// than the extent.
+    pub fn unpack(&self, packed: &[u8], typed: &mut [u8]) {
+        let mut at = 0usize;
+        for seg in self.flatten() {
+            typed[seg.offset as usize..seg.end() as usize]
+                .copy_from_slice(&packed[at..at + seg.len as usize]);
+            at += seg.len as usize;
+        }
+    }
+}
+
+/// Sort segments, drop empties, and merge adjacent/overlapping runs.
+pub fn normalize(mut segs: Vec<Segment>) -> Vec<Segment> {
+    segs.retain(|s| s.len > 0);
+    segs.sort_by_key(|s| (s.offset, s.len));
+    let mut out: Vec<Segment> = Vec::with_capacity(segs.len());
+    for s in segs {
+        match out.last_mut() {
+            Some(last) if s.offset <= last.end() => {
+                let end = last.end().max(s.end());
+                last.len = end - last.offset;
+            }
+            _ => out.push(s),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_leaf() {
+        let t = Datatype::bytes(8);
+        assert_eq!(t.size(), 8);
+        assert_eq!(t.extent(), 8);
+        assert_eq!(t.flatten(), vec![Segment::new(0, 8)]);
+        assert!(Datatype::bytes(0).flatten().is_empty());
+    }
+
+    #[test]
+    fn contiguous_coalesces() {
+        let t = Datatype::contiguous(4, Datatype::bytes(8));
+        assert_eq!(t.size(), 32);
+        assert_eq!(t.extent(), 32);
+        assert_eq!(t.flatten(), vec![Segment::new(0, 32)]);
+    }
+
+    #[test]
+    fn vector_strides() {
+        // 3 blocks of 2 bytes every 5 bytes: {0..2, 5..7, 10..12}.
+        let t = Datatype::vector(3, 2, 5, Datatype::bytes(1));
+        assert_eq!(t.size(), 6);
+        assert_eq!(t.extent(), 12);
+        assert_eq!(
+            t.flatten(),
+            vec![
+                Segment::new(0, 2),
+                Segment::new(5, 2),
+                Segment::new(10, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn vector_of_structs_uses_child_extent() {
+        // Child is 4 bytes; stride 3 children = 12 bytes.
+        let t = Datatype::vector(2, 1, 3, Datatype::bytes(4));
+        assert_eq!(
+            t.flatten(),
+            vec![Segment::new(0, 4), Segment::new(12, 4)]
+        );
+        assert_eq!(t.extent(), (3 + 1) * 4);
+    }
+
+    #[test]
+    fn hvector_byte_stride() {
+        let t = Datatype::hvector(3, 1, 10, Datatype::bytes(4));
+        assert_eq!(
+            t.flatten(),
+            vec![
+                Segment::new(0, 4),
+                Segment::new(10, 4),
+                Segment::new(20, 4)
+            ]
+        );
+        assert_eq!(t.extent(), 24);
+    }
+
+    #[test]
+    fn indexed_out_of_order_sorts() {
+        let t = Datatype::indexed(vec![(6, 2), (0, 2)], Datatype::bytes(3));
+        assert_eq!(t.size(), 12);
+        assert_eq!(t.extent(), 24);
+        assert_eq!(
+            t.flatten(),
+            vec![Segment::new(0, 6), Segment::new(18, 6)]
+        );
+    }
+
+    #[test]
+    fn hindexed_bytes() {
+        let t = Datatype::hindexed(vec![(100, 2), (0, 1)], Datatype::bytes(4));
+        assert_eq!(
+            t.flatten(),
+            vec![Segment::new(0, 4), Segment::new(100, 8)]
+        );
+        assert_eq!(t.extent(), 108);
+    }
+
+    #[test]
+    fn subarray_2d() {
+        // 4x4 array of 1-byte elements; 2x2 block starting at (1,1):
+        // rows 1..3, cols 1..3 → offsets 5..7, 9..11.
+        let t = Datatype::subarray(vec![4, 4], vec![2, 2], vec![1, 1], 1);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.extent(), 16);
+        assert_eq!(
+            t.flatten(),
+            vec![Segment::new(5, 2), Segment::new(9, 2)]
+        );
+    }
+
+    #[test]
+    fn subarray_3d_block() {
+        // 4x4x4 elements of 2 bytes; 2x2x2 block at origin.
+        let t = Datatype::subarray(vec![4, 4, 4], vec![2, 2, 2], vec![0, 0, 0], 2);
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.extent(), 128);
+        let segs = t.flatten();
+        // 2 planes × 2 rows = 4 runs of 4 bytes.
+        assert_eq!(segs.len(), 4);
+        assert_eq!(segs[0], Segment::new(0, 4));
+        assert_eq!(segs[1], Segment::new(8, 4)); // next row: 4 elems * 2B
+        assert_eq!(segs[2], Segment::new(32, 4)); // next plane: 16 elems * 2B
+        assert_eq!(segs[3], Segment::new(40, 4));
+    }
+
+    #[test]
+    fn subarray_full_array_is_one_run() {
+        let t = Datatype::subarray(vec![3, 5], vec![3, 5], vec![0, 0], 4);
+        assert_eq!(t.flatten(), vec![Segment::new(0, 60)]);
+    }
+
+    #[test]
+    fn subarray_1d() {
+        let t = Datatype::subarray(vec![10], vec![4], vec![3], 8);
+        assert_eq!(t.flatten(), vec![Segment::new(24, 32)]);
+        assert_eq!(t.extent(), 80);
+    }
+
+    #[test]
+    fn subarray_zero_subsize_is_empty() {
+        let t = Datatype::subarray(vec![4, 4], vec![0, 2], vec![0, 0], 1);
+        assert!(t.flatten().is_empty());
+        assert_eq!(t.size(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds array bounds")]
+    fn subarray_out_of_bounds_panics() {
+        Datatype::subarray(vec![4], vec![3], vec![2], 1);
+    }
+
+    #[test]
+    fn resized_changes_extent_not_segments() {
+        let t = Datatype::resized(Datatype::bytes(4), 16);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.extent(), 16);
+        assert_eq!(t.flatten(), vec![Segment::new(0, 4)]);
+    }
+
+    #[test]
+    fn nested_contiguous_of_vector() {
+        // Two copies of a 2-block vector; tiles at the vector extent.
+        let v = Datatype::vector(2, 1, 2, Datatype::bytes(1)); // {0, 2}, extent 3
+        let t = Datatype::contiguous(2, v);
+        assert_eq!(
+            t.flatten(),
+            vec![
+                Segment::new(0, 1),
+                Segment::new(2, 2), // {2} from tile 0 merges with {3} from tile 1
+                Segment::new(5, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn normalize_merges_and_drops() {
+        let out = normalize(vec![
+            Segment::new(10, 0),
+            Segment::new(4, 4),
+            Segment::new(0, 5),
+            Segment::new(8, 2),
+        ]);
+        assert_eq!(out, vec![Segment::new(0, 10)]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let t = Datatype::subarray(vec![4, 4], vec![2, 3], vec![1, 0], 2);
+        let typed: Vec<u8> = (0..t.extent() as u8).collect();
+        let packed = t.pack(&typed);
+        assert_eq!(packed.len() as u64, t.size());
+        // Rows 1..3, cols 0..3 of a 4x4 2-byte array.
+        assert_eq!(&packed[..6], &typed[8..14]);
+        let mut back = vec![0u8; t.extent() as usize];
+        t.unpack(&packed, &mut back);
+        // Only the subarray cells are populated.
+        assert_eq!(&back[8..14], &typed[8..14]);
+        assert_eq!(&back[16..22], &typed[16..22]);
+        assert!(back[..8].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn pack_strided_vector() {
+        let t = Datatype::vector(3, 1, 2, Datatype::bytes(2));
+        let typed: Vec<u8> = (0..12).collect();
+        assert_eq!(t.pack(&typed), vec![0, 1, 4, 5, 8, 9]);
+    }
+
+    #[test]
+    fn flatten_size_invariant() {
+        // Sum of flattened lengths equals size() for non-overlapping types.
+        let types = vec![
+            Datatype::vector(7, 3, 5, Datatype::bytes(2)),
+            Datatype::subarray(vec![5, 6, 7], vec![2, 3, 4], vec![1, 2, 3], 4),
+            Datatype::contiguous(3, Datatype::vector(2, 1, 4, Datatype::bytes(8))),
+            Datatype::hindexed(vec![(0, 1), (64, 2), (256, 3)], Datatype::bytes(16)),
+        ];
+        for t in types {
+            let total: u64 = t.flatten().iter().map(|s| s.len).sum();
+            assert_eq!(total, t.size(), "size mismatch for {t:?}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! MPI-IO file views: mapping a rank's linear data stream onto absolute
+//! file offsets.
+//!
+//! A view is `(disp, filetype)`: starting at byte `disp`, copies of
+//! `filetype` tile the file every `filetype.extent()` bytes, and the
+//! rank's data bytes fill the non-hole portions in order. This is the
+//! information collective I/O flattens to build each rank's offset/length
+//! request list — and, for complex structured datatypes, the input the
+//! paper says group division should analyze ("the aggregation group
+//! division can be determined by analyzing the MPI file view across
+//! processes").
+
+use crate::datatype::{normalize, Datatype, Segment};
+
+/// A rank's file view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileView {
+    /// Absolute byte displacement where the tiling starts.
+    pub disp: u64,
+    /// The tiled filetype.
+    pub filetype: Datatype,
+}
+
+impl FileView {
+    /// A view tiling `filetype` from byte `disp`.
+    pub fn new(disp: u64, filetype: Datatype) -> Self {
+        FileView { disp, filetype }
+    }
+
+    /// A trivial contiguous view of the whole file from `disp`.
+    pub fn contiguous(disp: u64) -> Self {
+        // One unbounded-ish byte run per tile; `segments` special-cases
+        // the fully contiguous filetype and never actually tiles it.
+        FileView {
+            disp,
+            filetype: Datatype::bytes(u64::MAX),
+        }
+    }
+
+    /// Bytes of data one tile carries.
+    pub fn tile_size(&self) -> u64 {
+        self.filetype.size()
+    }
+
+    /// Absolute file segments covering data bytes
+    /// `[data_offset, data_offset + nbytes)` of this view, sorted and
+    /// coalesced.
+    ///
+    /// `data_offset` is a position in the rank's *data stream* (as in a
+    /// file-view-relative `MPI_File_write_at`), not a file offset.
+    pub fn segments(&self, data_offset: u64, nbytes: u64) -> Vec<Segment> {
+        if nbytes == 0 {
+            return Vec::new();
+        }
+        let tile_segs = self.filetype.flatten();
+        let tile_size: u64 = tile_segs.iter().map(|s| s.len).sum();
+        assert!(
+            tile_size > 0,
+            "file view with empty filetype cannot map data"
+        );
+        // Fast path: fully contiguous filetype (covers `contiguous()`).
+        if tile_segs.len() == 1
+            && tile_segs[0].offset == 0
+            && tile_segs[0].len >= self.filetype.extent()
+        {
+            return vec![Segment::new(self.disp + data_offset, nbytes)];
+        }
+        let extent = self.filetype.extent();
+        let mut out = Vec::new();
+        let mut tile = data_offset / tile_size;
+        // Position within the tile's data bytes.
+        let mut in_tile = data_offset % tile_size;
+        let mut remaining = nbytes;
+        while remaining > 0 {
+            let tile_base = self.disp + tile * extent;
+            let mut data_pos = 0u64;
+            for seg in &tile_segs {
+                if remaining == 0 {
+                    break;
+                }
+                let seg_data_end = data_pos + seg.len;
+                if in_tile < seg_data_end {
+                    let skip = in_tile.saturating_sub(data_pos);
+                    let take = (seg.len - skip).min(remaining);
+                    out.push(Segment::new(tile_base + seg.offset + skip, take));
+                    remaining -= take;
+                    in_tile += take;
+                }
+                data_pos = seg_data_end;
+            }
+            tile += 1;
+            in_tile = 0;
+        }
+        normalize(out)
+    }
+
+    /// Convenience: the absolute segments of the first `nbytes` of data.
+    pub fn first_segments(&self, nbytes: u64) -> Vec<Segment> {
+        self.segments(0, nbytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_view_maps_identity_plus_disp() {
+        let v = FileView::contiguous(100);
+        assert_eq!(v.segments(0, 50), vec![Segment::new(100, 50)]);
+        assert_eq!(v.segments(10, 5), vec![Segment::new(110, 5)]);
+        assert!(v.segments(0, 0).is_empty());
+    }
+
+    #[test]
+    fn strided_view_tiles() {
+        // Filetype: 4 data bytes then 12 bytes hole (extent 16).
+        let ft = Datatype::resized(Datatype::bytes(4), 16);
+        let v = FileView::new(0, ft);
+        assert_eq!(v.tile_size(), 4);
+        // 10 data bytes: tiles 0,1 full, tile 2 partial.
+        assert_eq!(
+            v.segments(0, 10),
+            vec![
+                Segment::new(0, 4),
+                Segment::new(16, 4),
+                Segment::new(32, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn mid_stream_offset() {
+        let ft = Datatype::resized(Datatype::bytes(4), 16);
+        let v = FileView::new(0, ft);
+        // Data byte 6 lives in tile 1 at in-tile offset 2.
+        assert_eq!(
+            v.segments(6, 4),
+            vec![Segment::new(18, 2), Segment::new(32, 2)]
+        );
+    }
+
+    #[test]
+    fn displacement_shifts_everything() {
+        let ft = Datatype::resized(Datatype::bytes(4), 8);
+        let v = FileView::new(1000, ft);
+        assert_eq!(
+            v.segments(0, 8),
+            vec![Segment::new(1000, 4), Segment::new(1008, 4)]
+        );
+    }
+
+    #[test]
+    fn multi_segment_filetype() {
+        // Tile: data at {0..2, 6..8}, extent 10, size 4.
+        let ft = Datatype::hindexed(vec![(0, 2), (6, 2)], Datatype::bytes(1));
+        let ft = Datatype::resized(ft, 10);
+        let v = FileView::new(0, ft);
+        assert_eq!(
+            v.segments(0, 6),
+            vec![
+                Segment::new(0, 2),
+                Segment::new(6, 2),
+                Segment::new(10, 2),
+            ]
+        );
+        // Second tile's tail segment, third tile's head.
+        assert_eq!(
+            v.segments(6, 4),
+            vec![Segment::new(16, 2), Segment::new(20, 2)]
+        );
+    }
+
+    #[test]
+    fn interleaved_ranks_partition_file() {
+        // The IOR interleaved pattern: rank r of 3 sees blocks of 4 bytes
+        // every 12 bytes, starting at 4r. Together they tile the file.
+        let mut all = Vec::new();
+        for r in 0..3u64 {
+            let ft = Datatype::resized(Datatype::bytes(4), 12);
+            let v = FileView::new(4 * r, ft);
+            all.extend(v.segments(0, 8)); // two blocks each
+        }
+        let merged = normalize(all);
+        assert_eq!(merged, vec![Segment::new(0, 24)]);
+    }
+
+    #[test]
+    fn subarray_view_round_trip() {
+        // 2D 4x4 array, rank owns the 2x4 bottom half.
+        let ft = Datatype::subarray(vec![4, 4], vec![2, 4], vec![2, 0], 1);
+        let v = FileView::new(0, ft);
+        assert_eq!(v.segments(0, 8), vec![Segment::new(8, 8)]);
+    }
+
+    #[test]
+    fn total_mapped_bytes_equals_request() {
+        let ft = Datatype::vector(3, 2, 4, Datatype::bytes(2));
+        let v = FileView::new(5, Datatype::resized(ft, 64));
+        for n in [1u64, 5, 11, 12, 13, 24, 100] {
+            let total: u64 = v.segments(3, n).iter().map(|s| s.len).sum();
+            assert_eq!(total, n, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty filetype")]
+    fn empty_filetype_panics() {
+        FileView::new(0, Datatype::bytes(0)).segments(0, 1);
+    }
+}

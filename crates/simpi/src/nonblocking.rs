@@ -1,0 +1,117 @@
+//! Nonblocking point-to-point: `isend` / `irecv` and request completion.
+//!
+//! The runtime's sends are already asynchronous (unbounded buffering), so
+//! [`Comm::isend`] completes immediately; [`Comm::irecv`] returns a
+//! [`RecvRequest`] that is matched on demand. `waitall` mirrors
+//! `MPI_Waitall` for the common post-all-receives-then-wait pattern that
+//! two-phase implementations use during the shuffle.
+
+use crate::comm::Comm;
+
+/// A pending receive posted with [`Comm::irecv`].
+#[derive(Debug)]
+pub struct RecvRequest {
+    src: usize,
+    tag: u64,
+}
+
+impl RecvRequest {
+    /// Block until the matching message arrives; returns the payload.
+    pub fn wait(self, comm: &Comm) -> Vec<u8> {
+        comm.recv(self.src, self.tag)
+    }
+
+    /// The local source rank this request matches.
+    pub fn source(&self) -> usize {
+        self.src
+    }
+
+    /// The tag this request matches.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+}
+
+impl Comm {
+    /// Start a send. The runtime buffers unboundedly, so the operation
+    /// is complete upon return (like an `MPI_Isend` whose buffer may be
+    /// reused immediately); there is nothing to wait on.
+    pub fn isend(&self, dst: usize, tag: u64, data: Vec<u8>) {
+        self.send(dst, tag, data);
+    }
+
+    /// Post a receive for `(src, tag)`; completion is deferred to
+    /// [`RecvRequest::wait`] / [`waitall`].
+    pub fn irecv(&self, src: usize, tag: u64) -> RecvRequest {
+        RecvRequest { src, tag }
+    }
+}
+
+/// Complete a batch of receives, returning payloads in posting order.
+pub fn waitall(comm: &Comm, requests: Vec<RecvRequest>) -> Vec<Vec<u8>> {
+    requests.into_iter().map(|r| r.wait(comm)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+
+    #[test]
+    fn irecv_posted_before_send_arrives() {
+        run(2, |comm| {
+            if comm.rank() == 0 {
+                let req = comm.irecv(1, 5);
+                assert_eq!(req.source(), 1);
+                assert_eq!(req.tag(), 5);
+                // The message is sent only after the post.
+                comm.send(1, 6, vec![0]); // release the peer
+                assert_eq!(req.wait(&comm), vec![9, 9]);
+            } else {
+                let _ = comm.recv(0, 6);
+                comm.isend(0, 5, vec![9, 9]);
+            }
+        });
+    }
+
+    #[test]
+    fn waitall_preserves_posting_order() {
+        let n = 5;
+        run(n, move |comm| {
+            if comm.rank() == 0 {
+                // Post receives from everyone, then wait for all.
+                let reqs: Vec<RecvRequest> =
+                    (1..n).map(|src| comm.irecv(src, 1)).collect();
+                let payloads = waitall(&comm, reqs);
+                for (i, p) in payloads.iter().enumerate() {
+                    assert_eq!(p, &vec![(i + 1) as u8]);
+                }
+            } else {
+                comm.isend(0, 1, vec![comm.rank() as u8]);
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_nonblocking_exchange() {
+        // Every rank posts receives from every other rank, then sends —
+        // the all-to-all shuffle shape, deadlock-free because receives
+        // are posted first.
+        let n = 4;
+        run(n, move |comm| {
+            let me = comm.rank();
+            let reqs: Vec<RecvRequest> = (0..n)
+                .filter(|&s| s != me)
+                .map(|s| comm.irecv(s, 2))
+                .collect();
+            for dst in 0..n {
+                if dst != me {
+                    comm.isend(dst, 2, vec![me as u8; dst + 1]);
+                }
+            }
+            for (req, src) in reqs.into_iter().zip((0..n).filter(|&s| s != me)) {
+                assert_eq!(req.wait(&comm), vec![src as u8; me + 1]);
+            }
+        });
+    }
+}

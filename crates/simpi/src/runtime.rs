@@ -1,0 +1,101 @@
+//! Spawning a parallel "job": one OS thread per rank.
+//!
+//! [`run`] is the whole API: give it a rank count and a closure; every
+//! rank executes the closure with its own [`Comm`] world handle, and the
+//! per-rank return values come back in rank order. A panic on any rank
+//! propagates to the caller (after the other ranks either finish or hit
+//! the closed channel and panic themselves), so tests fail loudly rather
+//! than hanging.
+
+use crate::comm::{Comm, Envelope};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// Run `f` on `nranks` ranks; collect the per-rank results in rank order.
+///
+/// # Panics
+/// Panics if `nranks == 0` or if any rank panics.
+pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Comm) -> T + Send + Sync,
+{
+    assert!(nranks > 0, "a job needs at least one rank");
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (tx, rx) = unbounded::<Envelope>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let senders = Arc::new(senders);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(nranks);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let senders = Arc::clone(&senders);
+            handles.push(scope.spawn(move || {
+                let comm = Comm::world(rank, senders, rx);
+                f(comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::panic_any(PanicOnRank { rank, payload: e }),
+            })
+            .collect()
+    })
+}
+
+/// Wrapper preserving which rank panicked.
+struct PanicOnRank {
+    rank: usize,
+    #[allow(dead_code)]
+    payload: Box<dyn std::any::Any + Send>,
+}
+
+impl std::fmt::Debug for PanicOnRank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} panicked", self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn ranks_see_correct_world() {
+        run(3, |comm| {
+            assert_eq!(comm.size(), 3);
+            assert!(comm.rank() < 3);
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        run(0, |_c| ());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        // Rank 1 panics; others return. The runtime must propagate.
+        run(3, |comm| {
+            if comm.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

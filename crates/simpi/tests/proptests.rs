@@ -1,0 +1,85 @@
+//! Property-based tests of the datatype engine: flattening invariants,
+//! pack/unpack round trips, and file-view byte conservation over
+//! randomly generated non-overlapping datatype trees.
+
+use mcio_simpi::{Datatype, FileView};
+use proptest::prelude::*;
+
+/// A random non-overlapping datatype tree of bounded depth.
+fn arb_datatype(depth: u32) -> BoxedStrategy<Datatype> {
+    let leaf = (1u64..16).prop_map(Datatype::bytes).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = arb_datatype(depth - 1);
+    prop_oneof![
+        leaf,
+        (1u64..4, inner.clone()).prop_map(|(c, d)| Datatype::contiguous(c, d)),
+        (1u64..4, 1u64..3, 3u64..6, inner.clone())
+            .prop_map(|(c, b, s, d)| Datatype::vector(c, b, s.max(b), d)),
+        (inner.clone(), 1u64..64).prop_map(|(d, pad)| {
+            let e = d.extent();
+            Datatype::resized(d, e + pad)
+        }),
+        (2u64..5, 2u64..5, 1u64..3).prop_map(|(rows, cols, elem)| {
+            Datatype::subarray(
+                vec![rows + 1, cols + 2],
+                vec![rows, cols],
+                vec![0, 1],
+                elem,
+            )
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Flattening conserves bytes and yields sorted, disjoint,
+    /// fully-merged segments.
+    #[test]
+    fn flatten_invariants(t in arb_datatype(3)) {
+        let segs = t.flatten();
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, t.size());
+        for w in segs.windows(2) {
+            prop_assert!(w[0].end() < w[1].offset, "unsorted, overlapping or unmerged");
+        }
+    }
+
+    /// pack(unpack(x)) == x for any datatype and matching buffer.
+    #[test]
+    fn pack_unpack_roundtrip(t in arb_datatype(3), seed in any::<u64>()) {
+        let size = t.size() as usize;
+        let extent = t.extent() as usize;
+        prop_assume!(size > 0 && extent < 1 << 20);
+        // Deterministic pseudo-random payload.
+        let payload: Vec<u8> = (0..size)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8)
+            .collect();
+        let mut typed = vec![0u8; extent];
+        t.unpack(&payload, &mut typed);
+        prop_assert_eq!(t.pack(&typed), payload);
+    }
+
+    /// A file view maps exactly n bytes to n bytes of file extents, for
+    /// any data offset.
+    #[test]
+    fn view_conserves_bytes(
+        t in arb_datatype(2),
+        disp in 0u64..10_000,
+        data_off in 0u64..5_000,
+        n in 0u64..5_000,
+    ) {
+        prop_assume!(t.size() > 0);
+        let view = FileView::new(disp, t);
+        let segs = view.segments(data_off, n);
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        prop_assert_eq!(total, n);
+        // All segments at or after the displacement.
+        for s in &segs {
+            prop_assert!(s.offset >= disp);
+        }
+    }
+}

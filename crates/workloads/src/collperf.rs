@@ -1,0 +1,237 @@
+//! The `coll_perf` workload (ROMIO test suite).
+//!
+//! "This benchmark writes and reads a 3D block-distributed array to a
+//! file corresponding to the global array in row-major order using
+//! collective I/O." Each rank owns one block of a `nx × ny × nz` element
+//! array split over a `px × py × pz` process grid, expressed as a
+//! subarray file view — the classic structured noncontiguous pattern.
+
+use mcio_core::{CollectiveRequest, Rw};
+use mcio_simpi::{Datatype, FileView};
+
+/// Parameters of a coll_perf run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CollPerf {
+    /// Global array dimensions (slowest-varying first).
+    pub dims: [u64; 3],
+    /// Process grid (must divide `dims` elementwise... dims need not be
+    /// divisible; trailing ranks get the remainder).
+    pub grid: [usize; 3],
+    /// Bytes per array element (coll_perf uses 4-byte ints).
+    pub elem: u64,
+}
+
+impl CollPerf {
+    /// The paper's configuration, scaled by `scale`: the original run is
+    /// a `2048³` array of 4-byte elements (32 GiB) on a `px×py×pz`
+    /// factorization of 120 processes. `scale = 1` reproduces it;
+    /// smaller powers of two shrink each dimension (e.g. `scale = 4` →
+    /// `512³`, 512 MiB) while preserving the pattern's shape.
+    pub fn paper(nprocs: usize, scale: u64) -> Self {
+        let scale = scale.max(1);
+        CollPerf {
+            dims: [2048 / scale, 2048 / scale, 2048 / scale],
+            grid: balanced_grid(nprocs),
+            elem: 4,
+        }
+    }
+
+    /// Number of processes in the grid.
+    pub fn nprocs(&self) -> usize {
+        self.grid.iter().product()
+    }
+
+    /// Total file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem
+    }
+
+    /// The block (as `(starts, subsizes)`) owned by `rank` in the
+    /// row-major rank order of the process grid.
+    pub fn block_of(&self, rank: usize) -> ([u64; 3], [u64; 3]) {
+        assert!(rank < self.nprocs(), "rank out of grid");
+        let [_, gy, gz] = self.grid;
+        // Row-major rank → (i, j, k).
+        let i = rank / (gy * gz);
+        let j = (rank / gz) % gy;
+        let k = rank % gz;
+        let coord = [i as u64, j as u64, k as u64];
+        let mut starts = [0u64; 3];
+        let mut subsizes = [0u64; 3];
+        for d in 0..3 {
+            let n = self.dims[d];
+            let p = self.grid[d] as u64;
+            let base = n / p;
+            let extra = n % p;
+            let c = coord[d];
+            starts[d] = c * base + c.min(extra);
+            subsizes[d] = base + u64::from(c < extra);
+        }
+        (starts, subsizes)
+    }
+
+    /// The subarray file view of `rank`.
+    pub fn view_of(&self, rank: usize) -> (FileView, u64) {
+        let (starts, subsizes) = self.block_of(rank);
+        let nbytes = subsizes.iter().product::<u64>() * self.elem;
+        let ft = Datatype::subarray(
+            self.dims.to_vec(),
+            subsizes.to_vec(),
+            starts.to_vec(),
+            self.elem,
+        );
+        (FileView::new(0, ft), nbytes)
+    }
+
+    /// The whole collective request.
+    pub fn request(&self, rw: Rw) -> CollectiveRequest {
+        let views: Vec<(FileView, u64)> =
+            (0..self.nprocs()).map(|r| self.view_of(r)).collect();
+        CollectiveRequest::from_views(rw, &views)
+    }
+}
+
+/// A balanced 3-factor grid for `n` processes (largest factors in the
+/// slowest dimension last, like `MPI_Dims_create` does): the product is
+/// exactly `n`.
+pub fn balanced_grid(n: usize) -> [usize; 3] {
+    assert!(n > 0, "need at least one process");
+    let mut best = [n, 1, 1];
+    let mut best_score = usize::MAX;
+    // Enumerate factor triples a*b*c = n.
+    let mut a = 1;
+    while a * a * a <= n {
+        if n.is_multiple_of(a) {
+            let m = n / a;
+            let mut b = a;
+            while b * b <= m {
+                if m.is_multiple_of(b) {
+                    let c = m / b;
+                    // Score: spread (max - min); ties prefer cubic shapes.
+                    let score = c - a;
+                    if score < best_score {
+                        best_score = score;
+                        best = [a, b, c];
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_core::Extent;
+
+    fn coalesce(v: Vec<Extent>) -> Vec<Extent> {
+        // Re-exported helper lives in mcio-pfs; inline via the request API.
+        let req = CollectiveRequest::new(Rw::Write, vec![v]);
+        req.coverage()
+    }
+
+    #[test]
+    fn balanced_grids() {
+        assert_eq!(balanced_grid(8), [2, 2, 2]);
+        assert_eq!(balanced_grid(120), [4, 5, 6]);
+        assert_eq!(balanced_grid(1), [1, 1, 1]);
+        assert_eq!(balanced_grid(7), [1, 1, 7]);
+        assert_eq!(balanced_grid(1080), [9, 10, 12]);
+        for n in [2usize, 6, 12, 24, 64, 100] {
+            let g = balanced_grid(n);
+            assert_eq!(g.iter().product::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn blocks_partition_the_array() {
+        let cp = CollPerf {
+            dims: [8, 8, 8],
+            grid: [2, 2, 2],
+            elem: 4,
+        };
+        let req = cp.request(Rw::Write);
+        assert_eq!(req.nranks(), 8);
+        assert_eq!(req.total_bytes(), cp.file_bytes());
+        // The union of all blocks is the whole file, with no overlap.
+        let cover = req.coverage();
+        assert_eq!(cover, vec![Extent::new(0, cp.file_bytes())]);
+        // No two ranks overlap.
+        let all: Vec<Extent> = req
+            .ranks
+            .iter()
+            .flat_map(|r| r.extents.iter().copied())
+            .collect();
+        let coalesced_len: u64 = coalesce(all).iter().map(|e| e.len).sum();
+        assert_eq!(coalesced_len, req.total_bytes());
+    }
+
+    #[test]
+    fn uneven_dims_still_partition() {
+        let cp = CollPerf {
+            dims: [7, 5, 9],
+            grid: [2, 2, 3],
+            elem: 2,
+        };
+        let req = cp.request(Rw::Write);
+        assert_eq!(req.total_bytes(), 7 * 5 * 9 * 2);
+        assert_eq!(
+            req.coverage(),
+            vec![Extent::new(0, cp.file_bytes())]
+        );
+    }
+
+    #[test]
+    fn rank_block_shapes() {
+        let cp = CollPerf {
+            dims: [4, 4, 4],
+            grid: [2, 1, 2],
+            elem: 1,
+        };
+        // Rank 0: i=0,j=0,k=0 → starts [0,0,0], sub [2,4,2].
+        let (s, z) = cp.block_of(0);
+        assert_eq!(s, [0, 0, 0]);
+        assert_eq!(z, [2, 4, 2]);
+        // Rank 3: i=1,k=1.
+        let (s, z) = cp.block_of(3);
+        assert_eq!(s, [2, 0, 2]);
+        assert_eq!(z, [2, 4, 2]);
+    }
+
+    #[test]
+    fn interior_rank_is_noncontiguous() {
+        let cp = CollPerf {
+            dims: [4, 4, 4],
+            grid: [1, 2, 2],
+            elem: 1,
+        };
+        let req = cp.request(Rw::Write);
+        // Each rank's data is strided (many extents).
+        for r in &req.ranks {
+            assert!(r.extents.len() > 1, "{:?} contiguous?", r.rank);
+        }
+    }
+
+    #[test]
+    fn paper_config_scales() {
+        let cp = CollPerf::paper(120, 8); // 256³ × 4 B = 64 MiB
+        assert_eq!(cp.nprocs(), 120);
+        assert_eq!(cp.file_bytes(), 256 * 256 * 256 * 4);
+        let cp_full = CollPerf::paper(120, 1);
+        assert_eq!(cp_full.file_bytes(), 32 * 1024 * 1024 * 1024); // 32 GiB
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of grid")]
+    fn rank_out_of_grid_panics() {
+        CollPerf {
+            dims: [4, 4, 4],
+            grid: [1, 1, 2],
+            elem: 1,
+        }
+        .block_of(2);
+    }
+}

@@ -1,0 +1,181 @@
+//! The IOR workload (ASCI Purple / LLNL).
+//!
+//! "Interleaved Or Random": a file of `segments` segments, each holding
+//! one `block_size` block per rank. The paper runs the **interleaved**
+//! layout ("we performed interleaved read and write operations to a
+//! file"), where consecutive ranks' blocks alternate within a segment —
+//! the canonical strided collective pattern. The **segmented** layout
+//! (each rank's blocks contiguous) is also provided for ablations.
+
+use mcio_core::{CollectiveRequest, Extent, Rw};
+
+/// File layout of an IOR run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IorLayout {
+    /// Segment `s` holds rank `r`'s block at
+    /// `(s · nprocs + r) · block_size`: ranks interleave (IOR default,
+    /// what the paper measures).
+    Interleaved,
+    /// Rank `r`'s blocks are contiguous:
+    /// `(r · segments + s) · block_size` (IOR `-F`-style per-rank
+    /// locality in a shared file).
+    Segmented,
+}
+
+/// Parameters of an IOR run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ior {
+    /// Number of ranks.
+    pub nprocs: usize,
+    /// Bytes of one block (the paper's "I/O data message per MPI
+    /// process" is `block_size × segments`).
+    pub block_size: u64,
+    /// Segments in the file.
+    pub segments: u64,
+    /// Block placement.
+    pub layout: IorLayout,
+}
+
+impl Ior {
+    /// The paper's Figure 7/8 configuration: interleaved, `per_proc_bytes`
+    /// of data per process, split into `segments` blocks.
+    ///
+    /// ```
+    /// use mcio_workloads::Ior;
+    /// use mcio_core::Rw;
+    ///
+    /// let ior = Ior::paper(4, 1 << 20, 4); // 4 ranks x 1 MiB, 4 segments
+    /// let req = ior.request(Rw::Write);
+    /// assert_eq!(req.total_bytes(), 4 << 20);
+    /// // Interleaved blocks tile the file with no holes.
+    /// assert_eq!(req.coverage().len(), 1);
+    /// ```
+    pub fn paper(nprocs: usize, per_proc_bytes: u64, segments: u64) -> Self {
+        let segments = segments.max(1);
+        Ior {
+            nprocs,
+            block_size: per_proc_bytes / segments,
+            segments,
+            layout: IorLayout::Interleaved,
+        }
+    }
+
+    /// Total file size.
+    pub fn file_bytes(&self) -> u64 {
+        self.nprocs as u64 * self.block_size * self.segments
+    }
+
+    /// Bytes written/read by each rank.
+    pub fn per_proc_bytes(&self) -> u64 {
+        self.block_size * self.segments
+    }
+
+    /// The extents of one rank.
+    pub fn extents_of(&self, rank: usize) -> Vec<Extent> {
+        assert!(rank < self.nprocs, "rank out of job");
+        let r = rank as u64;
+        let n = self.nprocs as u64;
+        (0..self.segments)
+            .map(|s| {
+                let block = match self.layout {
+                    IorLayout::Interleaved => s * n + r,
+                    IorLayout::Segmented => r * self.segments + s,
+                };
+                Extent::new(block * self.block_size, self.block_size)
+            })
+            .collect()
+    }
+
+    /// The whole collective request.
+    pub fn request(&self, rw: Rw) -> CollectiveRequest {
+        CollectiveRequest::new(
+            rw,
+            (0..self.nprocs).map(|r| self.extents_of(r)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_tiles_file() {
+        let ior = Ior {
+            nprocs: 4,
+            block_size: 100,
+            segments: 3,
+            layout: IorLayout::Interleaved,
+        };
+        let req = ior.request(Rw::Write);
+        assert_eq!(req.total_bytes(), 1200);
+        assert_eq!(req.coverage(), vec![Extent::new(0, 1200)]);
+        // Rank 1's blocks: 100, 500, 900.
+        assert_eq!(
+            ior.extents_of(1),
+            vec![
+                Extent::new(100, 100),
+                Extent::new(500, 100),
+                Extent::new(900, 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn segmented_is_contiguous_per_rank() {
+        let ior = Ior {
+            nprocs: 4,
+            block_size: 100,
+            segments: 3,
+            layout: IorLayout::Segmented,
+        };
+        let req = ior.request(Rw::Write);
+        assert_eq!(req.coverage(), vec![Extent::new(0, 1200)]);
+        // After coalescing, each rank has exactly one extent.
+        for r in &req.ranks {
+            assert_eq!(r.extents.len(), 1, "{:?}", r.rank);
+            assert_eq!(r.extents[0].len, 300);
+        }
+    }
+
+    #[test]
+    fn paper_config() {
+        let ior = Ior::paper(120, 32 << 20, 8);
+        assert_eq!(ior.per_proc_bytes(), 32 << 20);
+        assert_eq!(ior.block_size, 4 << 20);
+        assert_eq!(ior.file_bytes(), 120 * (32 << 20));
+        assert_eq!(ior.layout, IorLayout::Interleaved);
+    }
+
+    #[test]
+    fn no_overlap_between_ranks() {
+        for layout in [IorLayout::Interleaved, IorLayout::Segmented] {
+            let ior = Ior {
+                nprocs: 5,
+                block_size: 64,
+                segments: 4,
+                layout,
+            };
+            let req = ior.request(Rw::Read);
+            let covered: u64 = req.coverage().iter().map(|e| e.len).sum();
+            assert_eq!(covered, req.total_bytes(), "{layout:?} overlaps");
+        }
+    }
+
+    #[test]
+    fn single_segment_degenerates_to_serial_blocks() {
+        let ior = Ior {
+            nprocs: 3,
+            block_size: 10,
+            segments: 1,
+            layout: IorLayout::Interleaved,
+        };
+        assert_eq!(ior.extents_of(2), vec![Extent::new(20, 10)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of job")]
+    fn rank_bounds_checked() {
+        Ior::paper(2, 100, 1).extents_of(2);
+    }
+}

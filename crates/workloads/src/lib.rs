@@ -1,0 +1,23 @@
+//! # mcio-workloads — benchmark workload generators
+//!
+//! The access patterns the paper evaluates with, as
+//! [`mcio_core::CollectiveRequest`] generators:
+//!
+//! * [`collperf`] — ROMIO's `coll_perf`: a 3D block-distributed array
+//!   written/read in row-major order via subarray file views (Figure 6).
+//! * [`ior`] — LLNL's IOR: segmented and interleaved block patterns
+//!   (Figures 7 and 8).
+//! * [`science`] — application-shaped patterns: N-to-1 checkpoints with
+//!   variable record sizes, BTIO-style nested strides.
+//! * [`synthetic`] — serial chunks, random noncontiguous bursts, and
+//!   other shapes used by tests and ablations.
+
+#![warn(missing_docs)]
+
+pub mod collperf;
+pub mod ior;
+pub mod science;
+pub mod synthetic;
+
+pub use collperf::CollPerf;
+pub use ior::{Ior, IorLayout};

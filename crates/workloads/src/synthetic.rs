@@ -1,0 +1,129 @@
+//! Synthetic access patterns for tests, ablations and stress runs.
+
+use mcio_core::{CollectiveRequest, Extent, Rw};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Serially distributed chunks: rank `r` owns `[r·chunk, (r+1)·chunk)` —
+/// the paper's Figure 4 linearization.
+pub fn serial_chunks(rw: Rw, nranks: usize, chunk: u64) -> CollectiveRequest {
+    CollectiveRequest::new(
+        rw,
+        (0..nranks as u64)
+            .map(|r| vec![Extent::new(r * chunk, chunk)])
+            .collect(),
+    )
+}
+
+/// Random noncontiguous bursts: each rank requests `bursts` random
+/// extents of `[min_len, max_len]` bytes within a `file_len`-byte file.
+/// Deterministic in `seed`. Extents may overlap across ranks only when
+/// `allow_overlap` (overlapping writes are racy in any collective I/O,
+/// so most tests keep it off by carving disjoint per-rank lanes).
+#[allow(clippy::too_many_arguments)] // a workload spec, not an API to refactor
+pub fn random_bursts(
+    rw: Rw,
+    nranks: usize,
+    bursts: usize,
+    min_len: u64,
+    max_len: u64,
+    file_len: u64,
+    seed: u64,
+    allow_overlap: bool,
+) -> CollectiveRequest {
+    assert!(min_len <= max_len, "burst length bounds inverted");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lane = file_len / nranks.max(1) as u64;
+    let per_rank = (0..nranks)
+        .map(|r| {
+            let (lo, hi) = if allow_overlap {
+                (0, file_len)
+            } else {
+                (r as u64 * lane, (r as u64 + 1) * lane)
+            };
+            (0..bursts)
+                .filter_map(|_| {
+                    let len = rng.gen_range(min_len..=max_len);
+                    if hi <= lo + len {
+                        return None;
+                    }
+                    let off = rng.gen_range(lo..hi - len);
+                    Some(Extent::new(off, len))
+                })
+                .collect()
+        })
+        .collect();
+    CollectiveRequest::new(rw, per_rank)
+}
+
+/// A pattern with a large hole: the first and last ranks access the ends
+/// of a huge sparse region (stress for hull-based file domains).
+pub fn sparse_ends(rw: Rw, nranks: usize, chunk: u64, span: u64) -> CollectiveRequest {
+    let per_rank = (0..nranks)
+        .map(|r| {
+            if r == 0 {
+                vec![Extent::new(0, chunk)]
+            } else if r == nranks - 1 {
+                vec![Extent::new(span - chunk, chunk)]
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    CollectiveRequest::new(rw, per_rank)
+}
+
+/// Every rank writes the same region (fully overlapping — a conflicting
+/// collective write, legal but value-racy in MPI).
+pub fn all_overlap(rw: Rw, nranks: usize, len: u64) -> CollectiveRequest {
+    CollectiveRequest::new(rw, vec![vec![Extent::new(0, len)]; nranks])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chunks_shape() {
+        let req = serial_chunks(Rw::Write, 4, 10);
+        assert_eq!(req.total_bytes(), 40);
+        assert_eq!(req.hull(), Extent::new(0, 40));
+    }
+
+    #[test]
+    fn random_bursts_deterministic_and_disjoint() {
+        let a = random_bursts(Rw::Write, 4, 8, 10, 100, 10_000, 7, false);
+        let b = random_bursts(Rw::Write, 4, 8, 10, 100, 10_000, 7, false);
+        assert_eq!(a, b);
+        // Disjoint lanes: coverage equals total bytes (within a rank,
+        // overlap with itself is coalesced).
+        for (i, r) in a.ranks.iter().enumerate() {
+            let lane = 10_000 / 4;
+            for e in &r.extents {
+                assert!(e.offset >= (i as u64) * lane);
+                assert!(e.end() <= (i as u64 + 1) * lane);
+            }
+        }
+    }
+
+    #[test]
+    fn random_bursts_overlapping_mode() {
+        let req = random_bursts(Rw::Read, 3, 16, 50, 200, 5_000, 3, true);
+        assert!(req.total_bytes() > 0);
+    }
+
+    #[test]
+    fn sparse_ends_has_hole() {
+        let req = sparse_ends(Rw::Write, 4, 10, 1_000_000);
+        assert_eq!(req.total_bytes(), 20);
+        assert_eq!(req.hull().len, 1_000_000);
+        assert_eq!(req.coverage().len(), 2);
+    }
+
+    #[test]
+    fn all_overlap_coverage() {
+        let req = all_overlap(Rw::Write, 5, 100);
+        assert_eq!(req.total_bytes(), 500);
+        assert_eq!(req.coverage(), vec![Extent::new(0, 100)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! The mini-ROMIO demo: the full collective protocol run distributedly
+//! through the MPI-IO-style file layer — every rank flattens its own
+//! view, the ranks allgather their requests, each computes the identical
+//! plan and executes its role over real message passing.
+//!
+//! ```sh
+//! cargo run --release --example mini_romio
+//! ```
+
+use mcio::cluster::ProcessMap;
+use mcio::core::mpiio::CollFile;
+use mcio::core::{CollectiveConfig, ProcMemory, Strategy};
+use mcio::pfs::SparseFile;
+use mcio::simpi::runtime::run;
+use mcio::simpi::{Datatype, FileView};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn main() {
+    let nranks = 8;
+    let map = ProcessMap::block_ppn(nranks, 4);
+    // Heterogeneous memory: the memory-conscious placement has real
+    // choices to make.
+    let mem = ProcMemory::normal(nranks, 64 * 1024, 0.35, 2077);
+    let cfg = CollectiveConfig::with_buffer(64 * 1024)
+        .msg_group(2 << 20)
+        .msg_ind(1 << 20)
+        .mem_min(16 * 1024);
+    let file = Arc::new(Mutex::new(SparseFile::new()));
+
+    // A 2D field: 256x256 doubles, each rank owning a 64x128 tile.
+    let (rows, cols) = (256u64, 256u64);
+    let (tr, tc) = (64u64, 128u64);
+    let elem = 8u64;
+
+    let shared = Arc::clone(&file);
+    let checks = run(nranks, move |comm| {
+        let rank = comm.rank() as u64;
+        let (ti, tj) = (rank / 2, rank % 2);
+        let ft = Datatype::subarray(
+            vec![rows, cols],
+            vec![tr, tc],
+            vec![ti * tr, tj * tc],
+            elem,
+        );
+        let mut fh = CollFile::open(
+            comm,
+            Arc::clone(&shared),
+            map.clone(),
+            mem.clone(),
+            cfg.clone(),
+            Strategy::MemoryConscious,
+        );
+        fh.set_view(FileView::new(0, ft.clone()));
+
+        // Write this rank's tile: every cell tagged with the owner.
+        let tile: Vec<u8> = (0..tr * tc * elem).map(|i| (rank * 31 + i % 251) as u8).collect();
+        fh.write_all(&tile).expect("collective write");
+
+        // Read the tile back through the same view and compare.
+        fh.set_view(FileView::new(0, ft));
+        let mut back = vec![0u8; tile.len()];
+        fh.read_all(&mut back).expect("collective read");
+        back == tile
+    });
+
+    assert!(checks.iter().all(|&ok| ok), "some rank read back wrong data");
+    let file = file.lock();
+    println!(
+        "mini-ROMIO: {nranks} rank threads collectively wrote & re-read a {}x{} field ({} KiB file)",
+        rows,
+        cols,
+        file.len() / 1024,
+    );
+    println!("every rank's tile verified byte-for-byte through its subarray view");
+}

@@ -1,0 +1,55 @@
+//! §3's empirical calibration as a user workflow: derive `Msg_ind`,
+//! `N_ah` and `Msg_group` for a machine, then use them in a collective.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use mcio::cluster::spec::ClusterSpec;
+use mcio::cluster::ProcessMap;
+use mcio::core::exec_sim::simulate;
+use mcio::core::{mcio as mc, tuner, CollectiveConfig, ProcMemory};
+use mcio::pfs::Rw;
+use mcio::workloads::Ior;
+
+fn main() {
+    const MIB: u64 = 1 << 20;
+    let spec = ClusterSpec::testbed_120();
+
+    // Probe the machine the way the paper's authors did their testbed.
+    let tuned = tuner::tune(&spec, Rw::Write);
+    println!(
+        "calibration of `{}`: Msg_ind = {} MiB, N_ah = {}, Msg_group = {} MiB",
+        spec.name,
+        tuned.msg_ind / MIB,
+        tuned.nah,
+        tuned.msg_group / MIB,
+    );
+
+    // Use the tuned knobs for a collective write.
+    let nranks = 120;
+    let map = ProcessMap::block_ppn(nranks, 12);
+    let ior = Ior::paper(nranks, 32 * MIB, 8);
+    let req = ior.request(Rw::Write);
+    let buf = 8 * MIB;
+    let env = ProcMemory::normal(nranks, buf, 0.35, 99);
+
+    let tuned_cfg = CollectiveConfig::with_buffer(buf)
+        .nah(tuned.nah)
+        .msg_ind(tuned.msg_ind)
+        .msg_group(tuned.msg_group)
+        .mem_min(buf / 2);
+    // An untuned configuration: one giant aggregation group, one file
+    // domain per aggregator the size of the whole job.
+    let untuned_cfg = CollectiveConfig::with_buffer(buf)
+        .msg_group(req.total_bytes())
+        .msg_ind(req.total_bytes() / 4)
+        .mem_min(buf / 2);
+
+    let tuned_t = simulate(&mc::plan(&req, &map, &env, &tuned_cfg), &map, &spec);
+    let untuned_t = simulate(&mc::plan(&req, &map, &env, &untuned_cfg), &map, &spec);
+    println!(
+        "memory-conscious write, tuned knobs: {:.1} MiB/s; untuned (single group): {:.1} MiB/s",
+        tuned_t.bandwidth_mibs, untuned_t.bandwidth_mibs,
+    );
+}

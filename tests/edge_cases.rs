@@ -1,0 +1,166 @@
+//! Edge cases and failure injection across the stack: degenerate jobs,
+//! extreme offsets, pathological memory environments, and hostile
+//! configurations must either work or fail loudly — never corrupt data.
+
+use mcio::cluster::spec::ClusterSpec;
+use mcio::cluster::ProcessMap;
+use mcio::core::exec_fn::{execute_read, execute_write, verify_read, verify_write};
+use mcio::core::exec_sim::simulate;
+use mcio::core::mcio as mc;
+use mcio::core::{hints, twophase, CollectiveConfig, CollectiveRequest, ProcMemory};
+use mcio::pfs::{Extent, Rw, SparseFile};
+
+fn roundtrip_mc(req_w: &CollectiveRequest, req_r: &CollectiveRequest, map: &ProcessMap, mem: &ProcMemory, cfg: &CollectiveConfig) {
+    let wplan = mc::plan(req_w, map, mem, cfg);
+    wplan.check(req_w).unwrap();
+    let mut file = SparseFile::new();
+    execute_write(&wplan, &mut file).unwrap();
+    verify_write(req_w, &file).unwrap();
+    let rplan = mc::plan(req_r, map, mem, cfg);
+    let (recv, _) = execute_read(&rplan, &file).unwrap();
+    verify_read(req_r, &file, &recv).unwrap();
+}
+
+#[test]
+fn single_rank_single_node() {
+    let req_w = CollectiveRequest::new(Rw::Write, vec![vec![Extent::new(100, 5000)]]);
+    let req_r = CollectiveRequest::new(Rw::Read, vec![vec![Extent::new(100, 5000)]]);
+    let map = ProcessMap::block_ppn(1, 1);
+    let mem = ProcMemory::uniform(1, 512);
+    let cfg = CollectiveConfig::with_buffer(512).mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+}
+
+#[test]
+fn one_byte_requests() {
+    let per: Vec<Vec<Extent>> = (0..7u64).map(|r| vec![Extent::new(r * 3, 1)]).collect();
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(7, 3);
+    let mem = ProcMemory::uniform(7, 1);
+    let cfg = CollectiveConfig::with_buffer(1).msg_group(4).msg_ind(2).mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+}
+
+#[test]
+fn huge_offsets_near_exabyte() {
+    // Extents around 2^60: arithmetic must not overflow anywhere.
+    let base = 1u64 << 60;
+    let per: Vec<Vec<Extent>> = (0..4u64)
+        .map(|r| vec![Extent::new(base + r * 4096, 4096)])
+        .collect();
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(4, 2);
+    let mem = ProcMemory::uniform(4, 8192);
+    let cfg = CollectiveConfig::with_buffer(8192)
+        .msg_group(8192)
+        .msg_ind(4096)
+        .mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+    // The timing model copes too.
+    let plan = mc::plan(&req_w, &map, &mem, &cfg);
+    let t = simulate(&plan, &map, &ClusterSpec::small(2, 2));
+    assert!(t.bandwidth_mibs > 0.0);
+}
+
+#[test]
+fn all_ranks_one_node() {
+    // 16 ranks on a single node: every message is intra-node; groups
+    // collapse to one.
+    let per: Vec<Vec<Extent>> = (0..16u64).map(|r| vec![Extent::new(r * 1000, 1000)]).collect();
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(16, 16);
+    let mem = ProcMemory::normal(16, 2000, 0.5, 5);
+    let cfg = CollectiveConfig::with_buffer(2000).mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+    let plan = mc::plan(&req_w, &map, &mem, &cfg);
+    let stats = plan.stats(Some(&map));
+    assert!((stats.intra_node_fraction() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn extreme_memory_skew() {
+    // One process owns essentially all the memory.
+    let mut budgets = vec![16u64; 12];
+    budgets[7] = 1 << 30;
+    let mem = ProcMemory::from_budgets(budgets);
+    let per: Vec<Vec<Extent>> = (0..12u64).map(|r| vec![Extent::new(r * 5000, 5000)]).collect();
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(12, 3);
+    let cfg = CollectiveConfig::with_buffer(4096)
+        .msg_group(60_000)
+        .msg_ind(30_000)
+        .mem_min(1024);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+    // The rich rank must end up aggregating.
+    let plan = mc::plan(&req_w, &map, &mem, &cfg);
+    assert!(plan.aggregators().any(|a| a.rank.0 == 7));
+}
+
+#[test]
+fn minimum_memory_everywhere() {
+    // Every budget is 1 byte: thousands of one-byte rounds would explode,
+    // so keep the data tiny; correctness must still hold.
+    let per: Vec<Vec<Extent>> = (0..4u64).map(|r| vec![Extent::new(r * 16, 16)]).collect();
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(4, 2);
+    let mem = ProcMemory::from_budgets(vec![1, 1, 1, 1]);
+    let cfg = CollectiveConfig::with_buffer(1).msg_group(32).msg_ind(16).mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+}
+
+#[test]
+fn more_nodes_than_data() {
+    // 10 nodes but only 2 ranks have data.
+    let mut per = vec![Vec::new(); 30];
+    per[0] = vec![Extent::new(0, 10_000)];
+    per[29] = vec![Extent::new(10_000, 10_000)];
+    let req_w = CollectiveRequest::new(Rw::Write, per.clone());
+    let req_r = CollectiveRequest::new(Rw::Read, per);
+    let map = ProcessMap::block_ppn(30, 3);
+    let mem = ProcMemory::uniform(30, 4096);
+    let cfg = CollectiveConfig::with_buffer(4096).mem_min(0);
+    roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
+}
+
+#[test]
+fn hostile_hints_rejected_cleanly() {
+    for bad in [
+        vec![("cb_buffer_size", "0")],
+        vec![("mcio_msg_ind", "-5")],
+        vec![("mcio_nah", "0")],
+        vec![("mcio_placement", "magic")],
+        vec![("striping_unit", "0")],
+    ] {
+        assert!(
+            hints::config_from_hints(&bad).is_err(),
+            "{bad:?} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn mismatched_topology_panics() {
+    let req = CollectiveRequest::new(Rw::Write, vec![vec![Extent::new(0, 10)]; 4]);
+    let map = ProcessMap::block_ppn(8, 2); // wrong rank count
+    let mem = ProcMemory::uniform(4, 100);
+    let result = std::panic::catch_unwind(|| {
+        twophase::plan(&req, &map, &mem, &CollectiveConfig::default())
+    });
+    assert!(result.is_err(), "rank-count mismatch must panic");
+}
+
+#[test]
+fn simulation_rejects_oversized_map() {
+    let req = CollectiveRequest::new(Rw::Write, vec![vec![Extent::new(0, 10)]; 8]);
+    let map = ProcessMap::block_ppn(8, 2); // 4 nodes
+    let mem = ProcMemory::uniform(8, 100);
+    let plan = twophase::plan(&req, &map, &mem, &CollectiveConfig::default().mem_min(0));
+    let spec = ClusterSpec::small(2, 2); // only 2 nodes
+    let result = std::panic::catch_unwind(|| simulate(&plan, &map, &spec));
+    assert!(result.is_err(), "too-small machine must be rejected");
+}

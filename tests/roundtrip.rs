@@ -1,0 +1,232 @@
+//! Cross-crate byte-level round trips: workload generators → planners →
+//! functional executors → verification, for both strategies, on every
+//! workload family.
+
+use mcio::cluster::ProcessMap;
+use mcio::core::exec_fn::{
+    execute_read, execute_write, verify_read, verify_write,
+};
+use mcio::core::mcio as mc;
+use mcio::core::{twophase, CollectiveConfig, CollectiveRequest, ProcMemory};
+// Alias: `Strategy` the planner enum, distinct from proptest's trait.
+use mcio::core::Strategy as Planner;
+use mcio::pfs::{Rw, SparseFile};
+use mcio::workloads::{synthetic, CollPerf, Ior, IorLayout};
+use proptest::prelude::*;
+
+/// Plan with the given strategy.
+fn plan_with(
+    strategy: Planner,
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> mcio::core::CollectivePlan {
+    match strategy {
+        Planner::TwoPhase => twophase::plan(req, map, mem, cfg),
+        Planner::MemoryConscious => mc::plan(req, map, mem, cfg),
+    }
+}
+
+/// Full write→verify→read→verify cycle for one request pair.
+fn roundtrip(
+    wreq: &CollectiveRequest,
+    rreq: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+    strategy: Planner,
+) {
+    let wplan = plan_with(strategy, wreq, map, mem, cfg);
+    wplan.check(wreq).expect("write plan invariants");
+    let mut file = SparseFile::new();
+    execute_write(&wplan, &mut file).expect("write execution");
+    verify_write(wreq, &file).expect("written bytes match oracle");
+
+    let rplan = plan_with(strategy, rreq, map, mem, cfg);
+    rplan.check(rreq).expect("read plan invariants");
+    let (received, _) = execute_read(&rplan, &file).expect("read execution");
+    verify_read(rreq, &file, &received).expect("read bytes match file");
+}
+
+#[test]
+fn ior_interleaved_both_strategies() {
+    let ior = Ior {
+        nprocs: 12,
+        block_size: 1 << 12,
+        segments: 9,
+        layout: IorLayout::Interleaved,
+    };
+    let map = ProcessMap::block_ppn(12, 4);
+    let mem = ProcMemory::normal(12, 16 << 10, 0.5, 21);
+    let cfg = CollectiveConfig::with_buffer(16 << 10)
+        .msg_group(ior.file_bytes() / 3)
+        .msg_ind(ior.file_bytes() / 6)
+        .mem_min(0);
+    for strategy in [Planner::TwoPhase, Planner::MemoryConscious] {
+        roundtrip(
+            &ior.request(Rw::Write),
+            &ior.request(Rw::Read),
+            &map,
+            &mem,
+            &cfg,
+            strategy,
+        );
+    }
+}
+
+#[test]
+fn ior_segmented_both_strategies() {
+    let ior = Ior {
+        nprocs: 8,
+        block_size: 3000,
+        segments: 5,
+        layout: IorLayout::Segmented,
+    };
+    let map = ProcessMap::block_ppn(8, 2);
+    let mem = ProcMemory::normal(8, 8 << 10, 0.5, 5);
+    let cfg = CollectiveConfig::with_buffer(8 << 10)
+        .msg_group(ior.file_bytes() / 4)
+        .msg_ind(ior.file_bytes() / 8)
+        .mem_min(0);
+    for strategy in [Planner::TwoPhase, Planner::MemoryConscious] {
+        roundtrip(
+            &ior.request(Rw::Write),
+            &ior.request(Rw::Read),
+            &map,
+            &mem,
+            &cfg,
+            strategy,
+        );
+    }
+}
+
+#[test]
+fn collperf_3d_both_strategies() {
+    let cp = CollPerf {
+        dims: [16, 12, 20],
+        grid: [2, 3, 2],
+        elem: 4,
+    };
+    let map = ProcessMap::block_ppn(cp.nprocs(), 4);
+    let mem = ProcMemory::normal(cp.nprocs(), 4 << 10, 0.5, 77);
+    let cfg = CollectiveConfig::with_buffer(4 << 10)
+        .msg_group(cp.file_bytes() / 3)
+        .msg_ind(cp.file_bytes() / 9)
+        .mem_min(1 << 10);
+    for strategy in [Planner::TwoPhase, Planner::MemoryConscious] {
+        roundtrip(
+            &cp.request(Rw::Write),
+            &cp.request(Rw::Read),
+            &map,
+            &mem,
+            &cfg,
+            strategy,
+        );
+    }
+}
+
+#[test]
+fn sparse_ends_pattern() {
+    // A giant hole between the first and last rank's data.
+    let wreq = synthetic::sparse_ends(Rw::Write, 6, 4096, 1 << 28);
+    let rreq = synthetic::sparse_ends(Rw::Read, 6, 4096, 1 << 28);
+    let map = ProcessMap::block_ppn(6, 2);
+    let mem = ProcMemory::uniform(6, 64 << 10);
+    let cfg = CollectiveConfig::with_buffer(64 << 10).mem_min(0);
+    for strategy in [Planner::TwoPhase, Planner::MemoryConscious] {
+        roundtrip(&wreq, &rreq, &map, &mem, &cfg, strategy);
+    }
+}
+
+#[test]
+fn overlapping_writers() {
+    // Full overlap: every rank writes the same extent. The oracle data
+    // is identical per position, so the result is well-defined.
+    let wreq = synthetic::all_overlap(Rw::Write, 5, 10_000);
+    let map = ProcessMap::block_ppn(5, 2);
+    let mem = ProcMemory::uniform(5, 4096);
+    let cfg = CollectiveConfig::with_buffer(4096).mem_min(0);
+    // Baseline handles overlap within its single group.
+    let plan = twophase::plan(&wreq, &map, &mem, &cfg);
+    plan.check(&wreq).expect("overlap plan invariants");
+    let mut file = SparseFile::new();
+    execute_write(&plan, &mut file).expect("overlapping write executes");
+    verify_write(&wreq, &file).expect("overlap content verified");
+}
+
+#[test]
+fn many_rounds_tiny_buffers() {
+    let wreq = synthetic::serial_chunks(Rw::Write, 9, 50_000);
+    let rreq = synthetic::serial_chunks(Rw::Read, 9, 50_000);
+    let map = ProcessMap::block_ppn(9, 3);
+    let mem = ProcMemory::from_budgets(vec![700, 900, 1100, 800, 1000, 1200, 650, 950, 1300]);
+    let cfg = CollectiveConfig::with_buffer(1024)
+        .msg_group(150_000)
+        .msg_ind(75_000)
+        .mem_min(0);
+    for strategy in [Planner::TwoPhase, Planner::MemoryConscious] {
+        roundtrip(&wreq, &rreq, &map, &mem, &cfg, strategy);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random noncontiguous bursts round-trip through both strategies.
+    #[test]
+    fn random_bursts_roundtrip(
+        seed in 0u64..1000,
+        nranks in 2usize..10,
+        bursts in 1usize..12,
+        buf in 256u64..8192,
+        strategy_mc in any::<bool>(),
+    ) {
+        let strategy = if strategy_mc {
+            Planner::MemoryConscious
+        } else {
+            Planner::TwoPhase
+        };
+        let file_len = 200_000u64;
+        let wreq = synthetic::random_bursts(
+            Rw::Write, nranks, bursts, 16, 2000, file_len, seed, false,
+        );
+        let rreq = synthetic::random_bursts(
+            Rw::Read, nranks, bursts, 16, 2000, file_len, seed, false,
+        );
+        let map = ProcessMap::block_ppn(nranks, 2);
+        let mem = ProcMemory::normal(nranks, buf, 0.5, seed ^ 0xDEAD);
+        let cfg = CollectiveConfig::with_buffer(buf)
+            .msg_group(file_len / 3)
+            .msg_ind(file_len / 7)
+            .mem_min(buf / 2);
+        roundtrip(&wreq, &rreq, &map, &mem, &cfg, strategy);
+    }
+
+    /// Random subarray decompositions round-trip (datatype engine under
+    /// stress).
+    #[test]
+    fn random_collperf_roundtrip(
+        dx in 4u64..12, dy in 4u64..12, dz in 4u64..12,
+        gx in 1usize..3, gy in 1usize..3, gz in 1usize..3,
+        elem in prop::sample::select(vec![1u64, 2, 4, 8]),
+    ) {
+        prop_assume!(dx >= gx as u64 && dy >= gy as u64 && dz >= gz as u64);
+        let cp = CollPerf { dims: [dx, dy, dz], grid: [gx, gy, gz], elem };
+        let n = cp.nprocs();
+        let map = ProcessMap::block_ppn(n, 2);
+        let mem = ProcMemory::uniform(n, 512);
+        let cfg = CollectiveConfig::with_buffer(512)
+            .msg_group((cp.file_bytes() / 2).max(1))
+            .msg_ind((cp.file_bytes() / 4).max(1))
+            .mem_min(0);
+        roundtrip(
+            &cp.request(Rw::Write),
+            &cp.request(Rw::Read),
+            &map,
+            &mem,
+            &cfg,
+            Planner::MemoryConscious,
+        );
+    }
+}
