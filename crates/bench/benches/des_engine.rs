@@ -12,10 +12,11 @@ fn run_dag(n: usize, r: usize) -> u64 {
         .collect();
     let mut prev = None;
     for i in 0..n {
-        let a = sim.add_activity(
-            Activity::new("a")
-                .stage(res[i % r], 1 << 16, SimDuration::from_nanos(100)),
-        );
+        let a = sim.add_activity(Activity::new("a").stage(
+            res[i % r],
+            1 << 16,
+            SimDuration::from_nanos(100),
+        ));
         if let Some(p) = prev {
             if i % 3 == 0 {
                 sim.add_dep(p, a);

@@ -73,8 +73,16 @@ fn main() {
         // next exchange with the current file access — costs 2x the
         // aggregator memory, so it is exactly the optimization memory
         // pressure takes away.
-        for (label, pl) in [("serial", Pipeline::Serial), ("double-buffered", Pipeline::DoubleBuffered)] {
-            let b = simulate_opts(&twophase::plan(&req, &h.map, &env, &cfg), &h.map, &h.spec, pl);
+        for (label, pl) in [
+            ("serial", Pipeline::Serial),
+            ("double-buffered", Pipeline::DoubleBuffered),
+        ] {
+            let b = simulate_opts(
+                &twophase::plan(&req, &h.map, &env, &cfg),
+                &h.map,
+                &h.spec,
+                pl,
+            );
             let m = simulate_opts(&mcio::plan(&req, &h.map, &env, &cfg), &h.map, &h.spec, pl);
             println!(
                 "  rounds {label:<16}: baseline {:>7.1}, MC {:>7.1} ({:+.1}%)",
@@ -119,7 +127,9 @@ fn main() {
     // the starved domains next door.
     println!("\n== remerging under starved nodes (2-node groups, 16 MiB nominal) ==");
     let buf = 16 * MIB;
-    let mut budgets = ProcMemory::normal(120, buf, 0.35, h.seed).budgets().to_vec();
+    let mut budgets = ProcMemory::normal(120, buf, 0.35, h.seed)
+        .budgets()
+        .to_vec();
     for (rank, budget) in budgets.iter_mut().enumerate() {
         let node = rank / TESTBED_PPN;
         if node == 1 || node == 3 {
@@ -141,7 +151,10 @@ fn main() {
         &h.map,
         &h.spec,
     );
-    println!("two-phase baseline                 {:>8.1} MiB/s", base.bandwidth_mibs);
+    println!(
+        "two-phase baseline                 {:>8.1} MiB/s",
+        base.bandwidth_mibs
+    );
     println!(
         "MC with remerging (Mem_min = buf/2) {:>7.1} MiB/s  ({:+.1}%)",
         with.bandwidth_mibs,

@@ -14,19 +14,26 @@
 //! `--stddev F` (0.35), `--seed N` (42), `--rw read|write` (write),
 //! `--machine testbed|exascale|small` (testbed),
 //! `--pipeline serial|double` (serial), `--two-level`, `--trace FILE`
-//! (write a Chrome-trace JSON of the memory-conscious run).
+//! (write a unified Chrome-trace JSON of the memory-conscious run:
+//! resource service lanes plus logical round phases; open in Perfetto),
+//! `--metrics FILE` (export the run's metric registry — machine config,
+//! workload shape, planner decisions, per-resource utilization,
+//! wait-time histograms, per-phase timings), `--metrics-format
+//! json|csv|prom` (json).
 
 use mcio_bench::{format_bytes, improvement_pct};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
-use mcio_core::exec_sim::{simulate_opts, simulate_two_level, trace_plan, Pipeline};
-use mcio_core::hints::parse_bytes;
-use mcio_core::{
-    mcio as mc, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Rw,
+use mcio_core::exec_sim::{
+    simulate_observed, simulate_opts, simulate_two_level, Exchange, Observe, Pipeline,
 };
+use mcio_core::hints::parse_bytes;
+use mcio_core::{mcio as mc, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Rw};
+use mcio_obs::{MetricsFormat, Registry};
 use mcio_workloads::{science, CollPerf, Ior};
 use std::collections::HashMap;
 use std::process::exit;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -174,9 +181,46 @@ fn main() {
         improvement_pct(tp.bandwidth_mibs, mcr.bandwidth_mibs),
     );
 
-    if let Some(path) = opts.get("trace") {
-        let (_, json) = trace_plan(&mc_plan, &map, &spec);
-        std::fs::write(path, json).expect("trace file writable");
-        println!("memory-conscious timeline written to {path} (open in Perfetto)");
+    // Observability exports: one extra observed run of the
+    // memory-conscious plan produces both the metrics registry and the
+    // unified Chrome trace.
+    let want_metrics = opts.get("metrics");
+    let want_trace = opts.get("trace");
+    if want_metrics.is_some() || want_trace.is_some() {
+        let fmt = match MetricsFormat::parse(&get("metrics-format", "json")) {
+            Some(f) => f,
+            None => {
+                eprintln!("--metrics-format must be json|csv|prom");
+                exit(2);
+            }
+        };
+        let registry = Arc::new(Registry::new());
+        spec.record_into(&registry);
+        mcio_workloads::record_request(&req, &registry);
+        let exchange = if two_level {
+            Exchange::TwoLevel
+        } else {
+            Exchange::Direct
+        };
+        let (_, trace_json) = simulate_observed(
+            &mc_plan,
+            &map,
+            &spec,
+            pipeline,
+            exchange,
+            Observe {
+                registry: want_metrics.map(|_| &registry),
+                trace: want_trace.is_some(),
+            },
+        );
+        if let Some(path) = want_metrics {
+            std::fs::write(path, fmt.render(&registry.snapshot())).expect("metrics file writable");
+            println!("memory-conscious metrics written to {path}");
+        }
+        if let Some(path) = want_trace {
+            let json = trace_json.expect("trace was requested");
+            std::fs::write(path, json).expect("trace file writable");
+            println!("memory-conscious timeline written to {path} (open in Perfetto)");
+        }
     }
 }

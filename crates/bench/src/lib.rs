@@ -20,9 +20,7 @@
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
 use mcio_core::exec_sim::{simulate, TimingReport};
-use mcio_core::{
-    mcio, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Strategy,
-};
+use mcio_core::{mcio, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Strategy};
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone)]
@@ -79,8 +77,7 @@ impl Harness {
     /// a homogeneous-memory machine.
     pub fn memories(&self, buf: u64) -> (ProcMemory, ProcMemory) {
         let uniform = ProcMemory::uniform(self.map.nranks(), buf);
-        let normal =
-            ProcMemory::normal(self.map.nranks(), buf, self.relative_stddev, self.seed);
+        let normal = ProcMemory::normal(self.map.nranks(), buf, self.relative_stddev, self.seed);
         (uniform, normal)
     }
 
@@ -232,7 +229,15 @@ pub fn format_bytes(b: u64) -> String {
 /// 2 MiB).
 pub fn paper_buffer_sweep() -> Vec<u64> {
     const MIB: u64 = 1 << 20;
-    vec![2 * MIB, 4 * MIB, 8 * MIB, 16 * MIB, 32 * MIB, 64 * MIB, 128 * MIB]
+    vec![
+        2 * MIB,
+        4 * MIB,
+        8 * MIB,
+        16 * MIB,
+        32 * MIB,
+        64 * MIB,
+        128 * MIB,
+    ]
 }
 
 /// Ranks-per-node on the testbed (two 6-core Xeons).

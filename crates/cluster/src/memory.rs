@@ -209,8 +209,7 @@ impl MemoryTracker {
             self.available[node.0] + bytes <= self.capacity[node.0],
             "release exceeds capacity on {node}"
         );
-        self.available[node.0] =
-            (self.available[node.0] + bytes).min(self.capacity[node.0]);
+        self.available[node.0] = (self.available[node.0] + bytes).min(self.capacity[node.0]);
     }
 
     /// Among `candidates`, the node with maximum available memory
@@ -255,9 +254,8 @@ mod tests {
         // The [mean/4, 4·mean] window trims more of the lower tail than the
         // upper, so the sample mean sits slightly above the nominal 64.
         assert!((60.0..=72.0).contains(&mean), "mean = {mean}");
-        let sd = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let sd =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!(sd > 20.0 && sd < 40.0, "sd = {sd}");
     }
 
@@ -297,8 +295,9 @@ mod tests {
     #[test]
     fn max_available_breaks_ties_low_id() {
         let m = MemoryTracker::from_available(vec![5, 9, 9, 3]);
-        let (node, avl) =
-            m.max_available(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).unwrap();
+        let (node, avl) = m
+            .max_available(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)])
+            .unwrap();
         assert_eq!(avl, 9);
         assert_eq!(node, NodeId(1));
         assert!(m.max_available(&[]).is_none());

@@ -114,6 +114,52 @@ impl ClusterSpec {
         self.io_servers as f64 * self.ost_read_bandwidth
     }
 
+    /// Record the machine configuration as `cluster.*` gauges so an
+    /// exported metrics file is self-describing about the platform it
+    /// was produced on.
+    pub fn record_into(&self, reg: &mcio_obs::Registry) {
+        reg.describe("cluster.nodes", "count", "Compute nodes in the machine");
+        reg.describe("cluster.cores_per_node", "count", "Cores per compute node");
+        reg.describe("cluster.mem_per_node", "bytes", "Physical memory per node");
+        reg.describe(
+            "cluster.mem_bandwidth",
+            "bytes/s",
+            "Off-chip memory bandwidth per node",
+        );
+        reg.describe(
+            "cluster.nic_bandwidth",
+            "bytes/s",
+            "NIC bandwidth per node per direction",
+        );
+        reg.describe(
+            "cluster.io_servers",
+            "count",
+            "I/O servers (OSTs) in the PFS",
+        );
+        reg.describe(
+            "cluster.pfs_write_bandwidth",
+            "bytes/s",
+            "Aggregate PFS write bandwidth",
+        );
+        reg.describe(
+            "cluster.pfs_read_bandwidth",
+            "bytes/s",
+            "Aggregate PFS read bandwidth",
+        );
+        reg.set_gauge("cluster.nodes", &[], self.nodes as f64);
+        reg.set_gauge("cluster.cores_per_node", &[], self.node.cores as f64);
+        reg.set_gauge("cluster.mem_per_node", &[], self.node.mem_capacity as f64);
+        reg.set_gauge("cluster.mem_bandwidth", &[], self.node.mem_bandwidth);
+        reg.set_gauge("cluster.nic_bandwidth", &[], self.node.nic_bandwidth);
+        reg.set_gauge("cluster.io_servers", &[], self.io_servers as f64);
+        reg.set_gauge(
+            "cluster.pfs_write_bandwidth",
+            &[],
+            self.pfs_write_bandwidth(),
+        );
+        reg.set_gauge("cluster.pfs_read_bandwidth", &[], self.pfs_read_bandwidth());
+    }
+
     /// The paper's evaluation platform: a 640-node Linux cluster, two
     /// 6-core Xeons and 24 GB per node, DDR InfiniBand, a Lustre file
     /// system on DataDirect Networks storage.

@@ -152,19 +152,27 @@ impl Table1 {
         let f = &self.from;
         let t = &self.to;
         vec![
-            row("System Peak", f.system_peak_flops, t.system_peak_flops, |v| {
-                if v >= 1e18 {
-                    format!("{:.0} Ef/s", v / 1e18)
-                } else {
-                    format!("{:.0} Pf/s", v / 1e15)
-                }
-            }),
+            row(
+                "System Peak",
+                f.system_peak_flops,
+                t.system_peak_flops,
+                |v| {
+                    if v >= 1e18 {
+                        format!("{:.0} Ef/s", v / 1e18)
+                    } else {
+                        format!("{:.0} Pf/s", v / 1e15)
+                    }
+                },
+            ),
             row("Power", f.power_watts, t.power_watts, |v| {
                 format!("{:.0} MW", v / 1e6)
             }),
-            row("System Memory", f.system_memory_bytes, t.system_memory_bytes, |v| {
-                format!("{:.1} PB", v / 1e15)
-            }),
+            row(
+                "System Memory",
+                f.system_memory_bytes,
+                t.system_memory_bytes,
+                |v| format!("{:.1} PB", v / 1e15),
+            ),
             row(
                 "Node Performance",
                 f.node_performance_flops,
@@ -174,26 +182,42 @@ impl Table1 {
             row("Node Memory BW", f.node_memory_bw, t.node_memory_bw, |v| {
                 format!("{:.0} GB/s", v / 1e9)
             }),
-            row("Node Concurrency", f.node_concurrency, t.node_concurrency, |v| {
-                format!("{v:.0} CPUs")
-            }),
-            row("Interconnect BW", f.interconnect_bw, t.interconnect_bw, |v| {
-                format!("{:.1} GB/s", v / 1e9)
-            }),
-            row("System Size (nodes)", f.system_size_nodes, t.system_size_nodes, |v| {
-                if v >= 1e6 {
-                    format!("{:.0} M nodes", v / 1e6)
-                } else {
-                    format!("{:.0} K nodes", v / 1e3)
-                }
-            }),
-            row("Total Concurrency", f.total_concurrency, t.total_concurrency, |v| {
-                if v >= 1e9 {
-                    format!("{:.0} B", v / 1e9)
-                } else {
-                    format!("{:.0} K", v / 1e3)
-                }
-            }),
+            row(
+                "Node Concurrency",
+                f.node_concurrency,
+                t.node_concurrency,
+                |v| format!("{v:.0} CPUs"),
+            ),
+            row(
+                "Interconnect BW",
+                f.interconnect_bw,
+                t.interconnect_bw,
+                |v| format!("{:.1} GB/s", v / 1e9),
+            ),
+            row(
+                "System Size (nodes)",
+                f.system_size_nodes,
+                t.system_size_nodes,
+                |v| {
+                    if v >= 1e6 {
+                        format!("{:.0} M nodes", v / 1e6)
+                    } else {
+                        format!("{:.0} K nodes", v / 1e3)
+                    }
+                },
+            ),
+            row(
+                "Total Concurrency",
+                f.total_concurrency,
+                t.total_concurrency,
+                |v| {
+                    if v >= 1e9 {
+                        format!("{:.0} B", v / 1e9)
+                    } else {
+                        format!("{:.0} K", v / 1e3)
+                    }
+                },
+            ),
             row("Storage", f.storage_bytes, t.storage_bytes, |v| {
                 format!("{:.0} PB", v / 1e15)
             }),

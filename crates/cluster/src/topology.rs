@@ -107,10 +107,7 @@ impl ProcessMap {
 
     /// Iterate `(rank, node)` pairs in rank order.
     pub fn iter(&self) -> impl Iterator<Item = (Rank, NodeId)> + '_ {
-        self.node_of
-            .iter()
-            .enumerate()
-            .map(|(r, &n)| (Rank(r), n))
+        self.node_of.iter().enumerate().map(|(r, &n)| (Rank(r), n))
     }
 
     /// True when `a` and `b` share a physical node.
@@ -142,7 +139,10 @@ mod tests {
         assert_eq!(map.node_of(Rank(3)), NodeId(0));
         assert_eq!(map.node_of(Rank(4)), NodeId(1));
         assert_eq!(map.node_of(Rank(11)), NodeId(2));
-        assert_eq!(map.ranks_on(NodeId(1)), &[Rank(4), Rank(5), Rank(6), Rank(7)]);
+        assert_eq!(
+            map.ranks_on(NodeId(1)),
+            &[Rank(4), Rank(5), Rank(6), Rank(7)]
+        );
     }
 
     #[test]

@@ -88,10 +88,7 @@ pub fn execute_write_mpi(plan: &CollectivePlan, file: &mut SparseFile) {
 
 /// Execute a **read** plan over simpi threads; returns each rank's
 /// received `(extent, data)` pieces, like the reference executor.
-pub fn execute_read_mpi(
-    plan: &CollectivePlan,
-    file: &SparseFile,
-) -> Vec<Vec<(Extent, Vec<u8>)>> {
+pub fn execute_read_mpi(plan: &CollectivePlan, file: &SparseFile) -> Vec<Vec<(Extent, Vec<u8>)>> {
     assert_eq!(plan.rw, Rw::Read, "read executor needs a read plan");
     let nranks = plan_nranks(plan);
     if nranks == 0 {

@@ -19,21 +19,64 @@
 
 use crate::plan::{CollectivePlan, Round, SyncMode};
 use mcio_cluster::spec::ClusterSpec;
-use mcio_cluster::{Fabric, ProcessMap};
-use mcio_des::{Activity, ActivityId, SimDuration, Simulation};
+use mcio_cluster::{Fabric, ProcessMap, Rank};
+use mcio_des::{Activity, ActivityId, SimDuration, SimTime, Simulation};
+use mcio_obs::{Registry, TraceCollector};
 use mcio_pfs::{Pfs, Rw};
+use std::sync::Arc;
+
+/// Phase durations of one round slot (one synchronized step of one
+/// chain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundPhase {
+    /// Which round chain the slot belongs to (groups under per-group
+    /// sync; a single chain under global sync).
+    pub chain: usize,
+    /// Round index within the chain.
+    pub round: usize,
+    /// Time attributed to the data shuffle.
+    pub exchange: SimDuration,
+    /// Time attributed to the file access.
+    pub io: SimDuration,
+}
+
+/// Structured metrics of one simulated collective, always computed
+/// alongside the [`TimingReport`] scalars.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetrics {
+    /// `exchange_time / (exchange_time + io_time)`, in `[0, 1]`. Unlike
+    /// the raw attribution sums (which grow with the number of
+    /// independent chains) this is normalized, so it compares safely
+    /// across plans with different group counts.
+    pub exchange_fraction: f64,
+    /// `io_time / (exchange_time + io_time)`, in `[0, 1]`.
+    pub io_fraction: f64,
+    /// Per round-slot phase durations, chain-major.
+    pub rounds: Vec<RoundPhase>,
+    /// Per-aggregator file-access time, summed over its rounds: the span
+    /// from its first PFS request starting to its last completing,
+    /// keyed by rank index.
+    pub agg_io: Vec<(usize, SimDuration)>,
+}
 
 /// Timing results of one simulated collective.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
     /// Wall-clock (simulated) duration of the collective.
     pub elapsed: SimDuration,
-    /// Critical-path time attributed to the data-shuffle phase, summed
-    /// over round chains (with several independent groups this is an
-    /// attribution total and may exceed `elapsed`).
+    /// Critical-path time attributed to the data-shuffle phase.
+    ///
+    /// **Summation semantics:** this is an *attribution sum* over round
+    /// chains. Under [`SyncMode::PerGroup`] every group contributes its
+    /// own chain, and concurrent chains each add their full phase time,
+    /// so `exchange_time + io_time` can exceed `elapsed` (they partition
+    /// `elapsed` only for a single chain). For cross-plan comparison use
+    /// the normalized [`RunMetrics::exchange_fraction`] instead.
     pub exchange_time: SimDuration,
     /// Critical-path time attributed to the file-access phase (same
-    /// summation semantics as `exchange_time`).
+    /// attribution-sum semantics as
+    /// [`exchange_time`](TimingReport::exchange_time); see
+    /// [`RunMetrics::io_fraction`] for the normalized form).
     pub io_time: SimDuration,
     /// Total requested bytes moved.
     pub bytes: u64,
@@ -49,6 +92,8 @@ pub struct TimingReport {
     pub ost_busy_total: SimDuration,
     /// Number of DES activities (diagnostic).
     pub activities: usize,
+    /// Structured per-round / per-aggregator breakdown.
+    pub metrics: RunMetrics,
 }
 
 /// Scheduling of consecutive rounds within a chain.
@@ -90,19 +135,39 @@ pub fn simulate_two_level(
     map: &ProcessMap,
     spec: &ClusterSpec,
 ) -> TimingReport {
-    simulate_inner(plan, map, spec, Pipeline::Serial, Exchange::TwoLevel, false).0
+    simulate_inner(
+        plan,
+        map,
+        spec,
+        Pipeline::Serial,
+        Exchange::TwoLevel,
+        Observe::default(),
+    )
+    .0
 }
 
-/// Simulate and return a Chrome-trace JSON timeline of every resource
-/// service interval (open in Perfetto / `chrome://tracing`), alongside
-/// the report. Expensive on big plans — meant for inspection at small
-/// scale.
+/// Simulate and return a Chrome-trace JSON timeline (open in Perfetto /
+/// `chrome://tracing`), alongside the report. One unified file: every
+/// resource's service intervals plus a `plan.rounds` process with the
+/// per-chain exchange/I-O phase spans. Expensive on big plans — meant
+/// for inspection at small scale.
 pub fn trace_plan(
     plan: &CollectivePlan,
     map: &ProcessMap,
     spec: &ClusterSpec,
 ) -> (TimingReport, String) {
-    simulate_inner(plan, map, spec, Pipeline::Serial, Exchange::Direct, true)
+    let (rep, json) = simulate_inner(
+        plan,
+        map,
+        spec,
+        Pipeline::Serial,
+        Exchange::Direct,
+        Observe {
+            registry: None,
+            trace: true,
+        },
+    );
+    (rep, json.expect("trace was requested"))
 }
 
 /// Simulate with an explicit round-pipelining mode.
@@ -112,7 +177,38 @@ pub fn simulate_opts(
     spec: &ClusterSpec,
     pipeline: Pipeline,
 ) -> TimingReport {
-    simulate_inner(plan, map, spec, pipeline, Exchange::Direct, false).0
+    simulate_inner(
+        plan,
+        map,
+        spec,
+        pipeline,
+        Exchange::Direct,
+        Observe::default(),
+    )
+    .0
+}
+
+/// What to capture while simulating, beyond the [`TimingReport`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Observe<'a> {
+    /// Record planner counters, per-resource utilization, wait-time
+    /// histograms, and PFS request metrics into this registry.
+    pub registry: Option<&'a Arc<Registry>>,
+    /// Capture the unified Chrome-trace timeline (returned as JSON).
+    pub trace: bool,
+}
+
+/// Simulate with metrics recording (and optionally tracing) enabled.
+/// Returns the trace JSON when [`Observe::trace`] was set.
+pub fn simulate_observed(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    pipeline: Pipeline,
+    exchange: Exchange,
+    obs: Observe<'_>,
+) -> (TimingReport, Option<String>) {
+    simulate_inner(plan, map, spec, pipeline, exchange, obs)
 }
 
 fn simulate_inner(
@@ -121,14 +217,17 @@ fn simulate_inner(
     spec: &ClusterSpec,
     pipeline: Pipeline,
     exchange: Exchange,
-    trace: bool,
-) -> (TimingReport, String) {
+    obs: Observe<'_>,
+) -> (TimingReport, Option<String>) {
     let mut sim = Simulation::new();
-    if trace {
+    if obs.trace {
         sim.enable_trace();
     }
     let fabric = Fabric::build(&mut sim, spec);
-    let pfs = Pfs::build(&mut sim, spec);
+    let mut pfs = Pfs::build(&mut sim, spec);
+    if let Some(reg) = obs.registry {
+        pfs.set_registry(Arc::clone(reg));
+    }
     assert!(
         map.nnodes() <= fabric.nnodes(),
         "process map uses more nodes than the cluster has"
@@ -160,9 +259,17 @@ fn simulate_inner(
     }
 
     // Per-slot metadata for phase attribution: the activities the slot's
-    // first phase waited on, its messages and its I/O completions.
-    let mut round_meta: Vec<(Vec<ActivityId>, Vec<ActivityId>, Vec<ActivityId>)> =
-        Vec::new();
+    // first phase waited on, its messages and its I/O completions (also
+    // grouped per aggregator).
+    struct SlotMeta {
+        chain: usize,
+        round: usize,
+        first_deps: Vec<ActivityId>,
+        msgs: Vec<ActivityId>,
+        ios: Vec<ActivityId>,
+        agg_ios: Vec<(Rank, Vec<ActivityId>)>,
+    }
+    let mut round_meta: Vec<SlotMeta> = Vec::new();
     for (ci, chain) in chains.iter().enumerate() {
         let mut ex_joins: Vec<ActivityId> = Vec::new();
         let mut io_joins: Vec<ActivityId> = Vec::new();
@@ -173,9 +280,7 @@ fn simulate_inner(
                 (Vec::new(), Vec::new())
             } else {
                 match pipeline {
-                    Pipeline::Serial => {
-                        (vec![ex_joins[r - 1], io_joins[r - 1]], Vec::new())
-                    }
+                    Pipeline::Serial => (vec![ex_joins[r - 1], io_joins[r - 1]], Vec::new()),
                     Pipeline::DoubleBuffered => {
                         // The first phase of round r reuses the buffer the
                         // second phase of round r-2 released; the second
@@ -194,6 +299,7 @@ fn simulate_inner(
             };
             let mut msgs_all = Vec::new();
             let mut ios_all = Vec::new();
+            let mut agg_ios_all: Vec<(Rank, Vec<ActivityId>)> = Vec::new();
             for round in slot {
                 let h = lower_round(
                     &mut sim,
@@ -208,6 +314,7 @@ fn simulate_inner(
                 );
                 msgs_all.extend(h.msgs);
                 ios_all.extend(h.ios);
+                agg_ios_all.extend(h.agg_ios);
             }
             let ex_join = sim.add_activity(Activity::new(format!("c{ci}.r{r}.ex")));
             for &m in &msgs_all {
@@ -227,7 +334,14 @@ fn simulate_inner(
             if ios_all.is_empty() {
                 sim.add_dep(ex_join, io_join);
             }
-            round_meta.push((first_deps, msgs_all, ios_all));
+            round_meta.push(SlotMeta {
+                chain: ci,
+                round: r,
+                first_deps,
+                msgs: msgs_all,
+                ios: ios_all,
+                agg_ios: agg_ios_all,
+            });
             ex_joins.push(ex_join);
             io_joins.push(io_join);
         }
@@ -241,8 +355,7 @@ fn simulate_inner(
     let mut nic_busy_max = SimDuration::ZERO;
     for n in 0..nnodes {
         let node = mcio_cluster::NodeId(n);
-        membus_busy_max =
-            membus_busy_max.max(report.resource_usage(fabric.membus(node)).busy_time);
+        membus_busy_max = membus_busy_max.max(report.resource_usage(fabric.membus(node)).busy_time);
         nic_busy_max = nic_busy_max
             .max(report.resource_usage(fabric.nic_tx(node)).busy_time)
             .max(report.resource_usage(fabric.nic_rx(node)).busy_time);
@@ -262,41 +375,185 @@ fn simulate_inner(
     // roles of the two interval ends swap.
     let mut exchange_time = SimDuration::ZERO;
     let mut io_time = SimDuration::ZERO;
-    for (deps, msgs, ios) in &round_meta {
-        let t0 = deps
+    let mut round_phases: Vec<RoundPhase> = Vec::with_capacity(round_meta.len());
+    let mut agg_io_acc: std::collections::BTreeMap<usize, SimDuration> =
+        std::collections::BTreeMap::new();
+    for meta in &round_meta {
+        let t0 = meta
+            .first_deps
             .iter()
             .map(|&d| report.finish_time(d))
             .max()
-            .unwrap_or(mcio_des::SimTime::ZERO);
-        let msgs_end = msgs
+            .unwrap_or(SimTime::ZERO);
+        let msgs_end = meta
+            .msgs
             .iter()
             .map(|&a| report.finish_time(a))
             .max()
             .unwrap_or(t0);
-        let ios_end = ios
+        let ios_end = meta
+            .ios
             .iter()
             .map(|&a| report.finish_time(a))
             .max()
             .unwrap_or(t0);
-        match plan.rw {
-            Rw::Write => {
-                exchange_time += msgs_end.saturating_since(t0);
-                io_time += ios_end.saturating_since(msgs_end);
-            }
-            Rw::Read => {
-                io_time += ios_end.saturating_since(t0);
-                exchange_time += msgs_end.saturating_since(ios_end);
+        let (exchange, io) = match plan.rw {
+            Rw::Write => (
+                msgs_end.saturating_since(t0),
+                ios_end.saturating_since(msgs_end),
+            ),
+            Rw::Read => (
+                msgs_end.saturating_since(ios_end),
+                ios_end.saturating_since(t0),
+            ),
+        };
+        exchange_time += exchange;
+        io_time += io;
+        round_phases.push(RoundPhase {
+            chain: meta.chain,
+            round: meta.round,
+            exchange,
+            io,
+        });
+        // Per-aggregator file access: first request start → last done.
+        for (agg, ios) in &meta.agg_ios {
+            let start = ios.iter().map(|&a| report.start_time(a)).min();
+            let end = ios.iter().map(|&a| report.finish_time(a)).max();
+            if let (Some(s), Some(e)) = (start, end) {
+                *agg_io_acc.entry(agg.0).or_insert(SimDuration::ZERO) += e.saturating_since(s);
             }
         }
     }
 
     let bytes: u64 = plan.groups.iter().map(|g| g.io_bytes()).sum();
-    let elapsed = report.makespan().saturating_since(mcio_des::SimTime::ZERO);
+    let elapsed = report.makespan().saturating_since(SimTime::ZERO);
     let bandwidth_mibs = if elapsed.is_zero() {
         0.0
     } else {
         bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
     };
+    let attributed = exchange_time + io_time;
+    let (exchange_fraction, io_fraction) = if attributed.is_zero() {
+        (0.0, 0.0)
+    } else {
+        let total = attributed.as_secs_f64();
+        (
+            exchange_time.as_secs_f64() / total,
+            io_time.as_secs_f64() / total,
+        )
+    };
+    let metrics = RunMetrics {
+        exchange_fraction,
+        io_fraction,
+        rounds: round_phases,
+        agg_io: agg_io_acc.into_iter().collect(),
+    };
+
+    if let Some(reg) = obs.registry {
+        plan.record_into(reg);
+        report.record_into(reg);
+        pfs.record_imbalance();
+        reg.describe(
+            "run.elapsed_ns",
+            "ns",
+            "Simulated wall-clock of the collective",
+        );
+        reg.describe("run.bytes", "bytes", "Requested bytes moved");
+        reg.describe("run.bandwidth_mibs", "MiB/s", "Aggregate bandwidth");
+        reg.describe(
+            "run.exchange_frac",
+            "ratio",
+            "Normalized share of attributed time spent shuffling",
+        );
+        reg.describe(
+            "run.io_frac",
+            "ratio",
+            "Normalized share of attributed time spent in file access",
+        );
+        reg.describe(
+            "run.round.exchange_ns",
+            "ns",
+            "Per-round exchange phase duration",
+        );
+        reg.describe(
+            "run.round.io_ns",
+            "ns",
+            "Per-round file-access phase duration",
+        );
+        reg.describe(
+            "run.agg.io_ns",
+            "ns",
+            "Per-aggregator file-access time summed over rounds",
+        );
+        let strat = [("strategy", plan.strategy.label())];
+        reg.set_gauge("run.elapsed_ns", &strat, elapsed.as_nanos() as f64);
+        reg.inc("run.bytes", &strat, bytes);
+        reg.set_gauge("run.bandwidth_mibs", &strat, bandwidth_mibs);
+        reg.set_gauge("run.exchange_frac", &strat, exchange_fraction);
+        reg.set_gauge("run.io_frac", &strat, io_fraction);
+        for p in &metrics.rounds {
+            reg.observe("run.round.exchange_ns", &strat, p.exchange.as_nanos());
+            reg.observe("run.round.io_ns", &strat, p.io.as_nanos());
+        }
+        for (agg, dur) in &metrics.agg_io {
+            let agg = agg.to_string();
+            reg.set_gauge(
+                "run.agg.io_ns",
+                &[("agg", agg.as_str())],
+                dur.as_nanos() as f64,
+            );
+        }
+    }
+
+    // Unified trace: resource service lanes (pid 1) plus the logical
+    // round-phase lanes (pid 2), one thread per chain.
+    let trace_json = if obs.trace {
+        let tc = TraceCollector::new();
+        report.trace_into(&tc, 1);
+        tc.name_process(2, "plan.rounds");
+        let mut named_chains = std::collections::BTreeSet::new();
+        for (meta, phase) in round_meta.iter().zip(&metrics.rounds) {
+            if named_chains.insert(meta.chain) {
+                tc.name_thread(2, meta.chain as u64, &format!("chain{}", meta.chain));
+            }
+            let t0 = meta
+                .first_deps
+                .iter()
+                .map(|&d| report.finish_time(d))
+                .max()
+                .unwrap_or(SimTime::ZERO)
+                .saturating_since(SimTime::ZERO)
+                .as_nanos();
+            let (ex_start, io_start) = match plan.rw {
+                Rw::Write => (t0, t0 + phase.exchange.as_nanos()),
+                Rw::Read => (t0 + phase.io.as_nanos(), t0),
+            };
+            if !phase.exchange.is_zero() {
+                tc.span(
+                    &format!("r{}.exchange", meta.round),
+                    "exchange",
+                    2,
+                    meta.chain as u64,
+                    ex_start,
+                    phase.exchange.as_nanos(),
+                );
+            }
+            if !phase.io.is_zero() {
+                tc.span(
+                    &format!("r{}.io", meta.round),
+                    "io",
+                    2,
+                    meta.chain as u64,
+                    io_start,
+                    phase.io.as_nanos(),
+                );
+            }
+        }
+        Some(tc.chrome_trace_json())
+    } else {
+        None
+    };
+
     (
         TimingReport {
             elapsed,
@@ -309,8 +566,9 @@ fn simulate_inner(
             ost_busy_max,
             ost_busy_total,
             activities,
+            metrics,
         },
-        report.chrome_trace_json(),
+        trace_json,
     )
 }
 
@@ -420,6 +678,9 @@ struct RoundHandles {
     msgs: Vec<ActivityId>,
     /// The I/O completion activities.
     ios: Vec<ActivityId>,
+    /// I/O completion activities grouped by the aggregator that issued
+    /// them (for per-aggregator phase attribution).
+    agg_ios: Vec<(Rank, Vec<ActivityId>)>,
 }
 
 /// Lower one round. `first_deps` gate the round's first phase (exchange
@@ -439,13 +700,13 @@ fn lower_round(
 ) -> RoundHandles {
     let mut msg_acts: Vec<ActivityId> = Vec::new();
     let mut io_acts: Vec<ActivityId> = Vec::new();
+    let mut agg_io_map: std::collections::BTreeMap<Rank, Vec<ActivityId>> =
+        std::collections::BTreeMap::new();
     match rw {
         Rw::Write => {
             // Exchange, then I/O.
-            let mut msgs_to_agg: std::collections::BTreeMap<
-                mcio_cluster::Rank,
-                Vec<ActivityId>,
-            > = std::collections::BTreeMap::new();
+            let mut msgs_to_agg: std::collections::BTreeMap<mcio_cluster::Rank, Vec<ActivityId>> =
+                std::collections::BTreeMap::new();
             for (dst, chains) in exchange_transfers(round, map, exchange) {
                 for chain in chains {
                     let mut prev: Option<ActivityId> = None;
@@ -499,16 +760,15 @@ fn lower_round(
                         *e,
                         &deps,
                     );
+                    agg_io_map.entry(io.agg).or_default().push(done);
                     io_acts.push(done);
                 }
             }
         }
         Rw::Read => {
             // I/O first, then distribution.
-            let mut io_of_agg: std::collections::BTreeMap<
-                mcio_cluster::Rank,
-                Vec<ActivityId>,
-            > = std::collections::BTreeMap::new();
+            let mut io_of_agg: std::collections::BTreeMap<mcio_cluster::Rank, Vec<ActivityId>> =
+                std::collections::BTreeMap::new();
             for io in &round.ios {
                 let deps: Vec<ActivityId> = first_deps.to_vec();
                 let node = map.node_of(io.agg);
@@ -523,6 +783,7 @@ fn lower_round(
                         &deps,
                     );
                     io_of_agg.entry(io.agg).or_default().push(done);
+                    agg_io_map.entry(io.agg).or_default().push(done);
                     io_acts.push(done);
                 }
             }
@@ -540,14 +801,15 @@ fn lower_round(
                                     bytes,
                                 ))
                             }
-                            Leg::Wire { src: dst_node, bytes } => {
-                                sim.add_activity(fabric.message(
-                                    format!("msg.{agg}->{dst_node}"),
-                                    map.node_of(agg),
-                                    dst_node,
-                                    bytes,
-                                ))
-                            }
+                            Leg::Wire {
+                                src: dst_node,
+                                bytes,
+                            } => sim.add_activity(fabric.message(
+                                format!("msg.{agg}->{dst_node}"),
+                                map.node_of(agg),
+                                dst_node,
+                                bytes,
+                            )),
                         };
                         match prev {
                             None => {
@@ -581,6 +843,7 @@ fn lower_round(
     RoundHandles {
         msgs: msg_acts,
         ios: io_acts,
+        agg_ios: agg_io_map.into_iter().collect(),
     }
 }
 
@@ -769,12 +1032,7 @@ mod tests {
         );
         assert_eq!(two.bytes, flat.bytes);
         // Reads too.
-        let rplan = twophase::plan(
-            &serial_req(Rw::Read, nranks, MIB),
-            &map,
-            &mem,
-            &cfg,
-        );
+        let rplan = twophase::plan(&serial_req(Rw::Read, nranks, MIB), &map, &mem, &cfg);
         let flat_r = simulate(&rplan, &map, &spec);
         let two_r = simulate_two_level(&rplan, &map, &spec);
         assert!(two_r.elapsed < flat_r.elapsed);

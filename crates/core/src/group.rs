@@ -53,11 +53,7 @@ impl AggregationGroup {
 /// Nodes whose ranks request nothing are left out entirely (their ranks
 /// join no group). Returns at least one group whenever any data is
 /// requested.
-pub fn divide(
-    req: &CollectiveRequest,
-    map: &ProcessMap,
-    msg_group: u64,
-) -> Vec<AggregationGroup> {
+pub fn divide(req: &CollectiveRequest, map: &ProcessMap, msg_group: u64) -> Vec<AggregationGroup> {
     assert_eq!(req.nranks(), map.nranks(), "request/topology rank mismatch");
     let msg_group = msg_group.max(1);
 
@@ -235,7 +231,11 @@ mod tests {
         // 2 nodes. Groups stay node-aligned and rank-disjoint even though
         // regions interleave.
         let per_rank: Vec<Vec<Extent>> = (0..4u64)
-            .map(|r| (0..3u64).map(|b| Extent::new((b * 4 + r) * 10, 10)).collect())
+            .map(|r| {
+                (0..3u64)
+                    .map(|b| Extent::new((b * 4 + r) * 10, 10))
+                    .collect()
+            })
             .collect();
         let req = CollectiveRequest::new(Rw::Write, per_rank);
         let map = ProcessMap::new(4, 2, Placement::Block);

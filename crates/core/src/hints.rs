@@ -71,8 +71,7 @@ pub fn apply_hints(
                 cfg.cb_buffer = parse_bytes(value).map_err(|r| err(key, r))?;
             }
             "striping_unit" => {
-                cfg.align_fd_to_stripes =
-                    Some(parse_bytes(value).map_err(|r| err(key, r))?);
+                cfg.align_fd_to_stripes = Some(parse_bytes(value).map_err(|r| err(key, r))?);
             }
             "mcio_msg_ind" => {
                 cfg.msg_ind = parse_bytes(value).map_err(|r| err(key, r))?;
@@ -93,12 +92,7 @@ pub fn apply_hints(
                 cfg.placement = match value.trim() {
                     "memory_aware" => PlacementPolicy::MemoryAware,
                     "first_candidate" => PlacementPolicy::FirstCandidate,
-                    other => {
-                        return Err(err(
-                            key,
-                            format!("unknown placement policy `{other}`"),
-                        ))
-                    }
+                    other => return Err(err(key, format!("unknown placement policy `{other}`"))),
                 };
             }
             // MPI semantics: unrecognized hints are silently ignored.

@@ -53,9 +53,15 @@ pub mod twophase;
 
 pub use config::{CollectiveConfig, PlacementPolicy, Strategy};
 pub use exec_fn::FunctionalReport;
-pub use exec_sim::{simulate, simulate_opts, simulate_two_level, trace_plan, Exchange, Pipeline, TimingReport};
+pub use exec_sim::{
+    simulate, simulate_observed, simulate_opts, simulate_two_level, trace_plan, Exchange, Observe,
+    Pipeline, RoundPhase, RunMetrics, TimingReport,
+};
 pub use memory::ProcMemory;
-pub use plan::{AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, Round, SyncMode};
+pub use placement::PlacementDiag;
+pub use plan::{
+    AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, PlanDiag, Round, SyncMode,
+};
 pub use request::{CollectiveRequest, RankRequest};
 
 // Re-export the vocabulary types callers need constantly.

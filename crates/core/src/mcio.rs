@@ -18,7 +18,7 @@ use crate::config::{CollectiveConfig, Strategy};
 use crate::group;
 use crate::memory::ProcMemory;
 use crate::placement;
-use crate::plan::{CollectivePlan, GroupPlan, Round, SyncMode};
+use crate::plan::{CollectivePlan, GroupPlan, PlanDiag, Round, SyncMode};
 use crate::ptree::PartitionTree;
 use crate::request::{CollectiveRequest, RankRequest};
 use crate::twophase::build_window;
@@ -63,6 +63,7 @@ pub fn plan(
 
     let groups = group::divide(req, map, cfg.msg_group);
     let mut group_plans = Vec::with_capacity(groups.len());
+    let mut diag = PlanDiag::default();
     for g in &groups {
         // Requested bytes within an extent, restricted to this group's
         // region (already coalesced, so binary search would work; linear
@@ -76,18 +77,17 @@ pub fn plan(
                 .sum()
         };
         let mut tree = PartitionTree::build(g.hull(), cfg.msg_ind, &bytes_in);
-        let aggregators = placement::place(g, &mut tree, req, map, mem, cfg);
+        diag.ptree_leaves += tree.leaf_count();
+        let (aggregators, pdiag) = placement::place_with_diag(g, &mut tree, req, map, mem, cfg);
+        diag.remerges += pdiag.remerges;
+        diag.relaxations += pdiag.relaxations;
 
         // Mask the request down to this group's members so windows only
         // shuffle the group's own data (regions of different groups may
         // interleave in offset space).
         let masked = mask_request(req, &g.ranks);
 
-        let ntimes = aggregators
-            .iter()
-            .map(|a| a.rounds())
-            .max()
-            .unwrap_or(0);
+        let ntimes = aggregators.iter().map(|a| a.rounds()).max().unwrap_or(0);
         let mut rounds = Vec::with_capacity(ntimes);
         for r in 0..ntimes {
             let mut round = Round::default();
@@ -96,8 +96,7 @@ pub fn plan(
                 if win_start >= a.fd.end() {
                     continue;
                 }
-                let window =
-                    Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
+                let window = Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
                 build_window(&masked, a.rank, window, &mut round);
             }
             if !round.is_empty() {
@@ -135,6 +134,7 @@ pub fn plan(
         strategy: Strategy::MemoryConscious,
         sync: SyncMode::PerGroup,
         groups: group_plans,
+        diag,
     }
 }
 
@@ -166,11 +166,7 @@ mod tests {
     use mcio_cluster::Placement;
     use mcio_pfs::Rw;
 
-    fn serial_setup(
-        nranks: usize,
-        nnodes: usize,
-        chunk: u64,
-    ) -> (CollectiveRequest, ProcessMap) {
+    fn serial_setup(nranks: usize, nnodes: usize, chunk: u64) -> (CollectiveRequest, ProcessMap) {
         let req = CollectiveRequest::new(
             Rw::Write,
             (0..nranks as u64)
@@ -203,7 +199,11 @@ mod tests {
         // 4 ranks on 2 nodes, IOR-style interleave: rank r owns 10-byte
         // blocks at (b·4 + r)·10.
         let per_rank: Vec<Vec<Extent>> = (0..4u64)
-            .map(|r| (0..5u64).map(|b| Extent::new((b * 4 + r) * 10, 10)).collect())
+            .map(|r| {
+                (0..5u64)
+                    .map(|b| Extent::new((b * 4 + r) * 10, 10))
+                    .collect()
+            })
             .collect();
         let req = CollectiveRequest::new(Rw::Write, per_rank);
         let map = ProcessMap::new(4, 2, Placement::Block);
@@ -252,7 +252,10 @@ mod tests {
         let (mut req, map) = serial_setup(4, 2, 50);
         req.rw = Rw::Read;
         let mem = ProcMemory::uniform(4, 1000);
-        let cfg = CollectiveConfig::with_buffer(50).msg_ind(100).msg_group(100).mem_min(0);
+        let cfg = CollectiveConfig::with_buffer(50)
+            .msg_ind(100)
+            .msg_group(100)
+            .mem_min(0);
         let p = plan(&req, &map, &mem, &cfg);
         assert_eq!(p.check(&req), Ok(()));
         for g in &p.groups {

@@ -100,7 +100,11 @@ mod tests {
         let c = ProcMemory::normal(100, 1000, 0.5, 43);
         assert_ne!(a, c);
         let s = a.stats();
-        assert!(s.stddev() > 100.0, "expected real spread, got {}", s.stddev());
+        assert!(
+            s.stddev() > 100.0,
+            "expected real spread, got {}",
+            s.stddev()
+        );
         // Truncation window keeps everything in [mean/4, 4·mean].
         assert!(s.min() >= 250.0);
         assert!(s.max() <= 4000.0);

@@ -203,8 +203,7 @@ impl CollFile {
     /// = data bytes before extent `i`; monotone views make data order
     /// equal offset order, so a binary search locates the extent.
     fn slice_of<'a>(mine: &[Extent], prefix: &[u64], e: &Extent, buf: &'a [u8]) -> &'a [u8] {
-        let i = mine
-            .partition_point(|x| x.end() <= e.offset);
+        let i = mine.partition_point(|x| x.end() <= e.offset);
         let host = &mine[i];
         debug_assert!(
             host.contains_extent(e),
@@ -348,10 +347,7 @@ mod tests {
                 strategy,
             );
             // Interleaved view: 500-byte blocks every nranks*500 bytes.
-            let ft = Datatype::resized(
-                Datatype::bytes(500),
-                500 * nranks as u64,
-            );
+            let ft = Datatype::resized(Datatype::bytes(500), 500 * nranks as u64);
             fh.set_view(FileView::new(500 * rank as u64, ft));
             let data: Vec<u8> = (0..count).map(|i| (i as u8) ^ (rank as u8) << 4).collect();
             fh.write_all(&data).expect("collective write");

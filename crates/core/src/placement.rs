@@ -28,6 +28,19 @@ use crate::request::CollectiveRequest;
 use mcio_cluster::{NodeId, ProcessMap, Rank};
 use std::collections::{HashMap, HashSet};
 
+/// Counters describing the decisions the placement loop made — how often
+/// it had to fall back from the straightforward "pick the richest host"
+/// path. Aggregated per plan into [`crate::plan::PlanDiag`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementDiag {
+    /// Domains remerged into a neighbor because no candidate host met
+    /// `Mem_min` (the partition-tree takeover of §3.2).
+    pub remerges: usize,
+    /// Last-standing domains placed only after relaxing `Mem_min` and
+    /// the `N_ah` cap.
+    pub relaxations: usize,
+}
+
 /// Assign aggregators to the file domains of one group's partition tree.
 ///
 /// Consumes the tree (remerges mutate it); returns assignments in
@@ -41,6 +54,19 @@ pub fn place(
     mem: &ProcMemory,
     cfg: &CollectiveConfig,
 ) -> Vec<AggregatorAssignment> {
+    place_with_diag(group, tree, req, map, mem, cfg).0
+}
+
+/// [`place`], also returning the fallback-decision counters.
+pub fn place_with_diag(
+    group: &AggregationGroup,
+    tree: &mut PartitionTree,
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> (Vec<AggregatorAssignment>, PlacementDiag) {
+    let mut diag = PlacementDiag::default();
     let mut used_aggs: HashSet<Rank> = HashSet::new();
     let mut host_count: HashMap<NodeId, usize> = HashMap::new();
     let mut assigned: HashMap<NodeIdx, AggregatorAssignment> = HashMap::new();
@@ -82,6 +108,7 @@ pub fn place(
                 // at its N_ah cap): remerge with the neighbor and retry.
                 match tree.remerge(leaf) {
                     Some(absorbed) => {
+                        diag.remerges += 1;
                         if let Some(a) = assigned.get_mut(&absorbed) {
                             // The neighbor already has an aggregator; it
                             // inherits the departed domain.
@@ -95,6 +122,7 @@ pub fn place(
                         // Last domain standing: relax Mem_min (and, if
                         // necessary, the N_ah cap) — the collective must
                         // complete.
+                        diag.relaxations += 1;
                         let relaxed = pick_host(
                             group,
                             &fd,
@@ -109,8 +137,7 @@ pub fn place(
                             },
                         )
                         .or_else(|| best_in_group(group, mem, &used_aggs, map));
-                        let (rank, node, budget) =
-                            relaxed.expect("group has at least one rank");
+                        let (rank, node, budget) = relaxed.expect("group has at least one rank");
                         used_aggs.insert(rank);
                         *host_count.entry(node).or_insert(0) += 1;
                         assigned.insert(
@@ -130,10 +157,12 @@ pub fn place(
     }
 
     // Emit in file-domain order.
-    tree.leaves()
+    let aggs = tree
+        .leaves()
         .into_iter()
         .filter_map(|l| assigned.remove(&l))
-        .collect()
+        .collect();
+    (aggs, diag)
 }
 
 /// Best candidate `(rank, host, budget)` for a file domain, or `None`
@@ -313,7 +342,7 @@ mod tests {
         let aggs = place(&groups[0], &mut tree, &req, &map, &mem, &cfg);
         assert_eq!(aggs.len(), 2);
         assert_eq!(aggs[0].rank, Rank(0)); // node 0, budget 1000
-        // Node 0 is at its cap; node 1 hosts the second domain.
+                                           // Node 0 is at its cap; node 1 hosts the second domain.
         assert_eq!(map.node_of(aggs[1].rank), NodeId(1));
     }
 
@@ -361,6 +390,39 @@ mod tests {
     }
 
     #[test]
+    fn diag_counts_remerges_and_relaxations() {
+        // The memory-starved two-domain layout: one remerge, no relaxing.
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            vec![
+                vec![Extent::new(0, 200)],
+                vec![],
+                vec![Extent::new(200, 200)],
+                vec![],
+            ],
+        );
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::from_budgets(vec![1000, 1000, 20, 20]);
+        let groups = group::divide(&req, &map, u64::MAX);
+        let mut tree = build_tree(&groups[0], 200);
+        let cfg = CollectiveConfig::with_buffer(100).mem_min(100).msg_ind(200);
+        let (aggs, diag) = place_with_diag(&groups[0], &mut tree, &req, &map, &mem, &cfg);
+        assert_eq!(aggs.len(), 1);
+        assert_eq!(diag.remerges, 1);
+        assert_eq!(diag.relaxations, 0);
+
+        // Everyone starved: the chain of remerges ends in one relaxation.
+        let (req, map, mem) = setup(vec![5, 5, 8, 6]);
+        let groups = group::divide(&req, &map, u64::MAX);
+        let mut tree = build_tree(&groups[0], 100);
+        let cfg = CollectiveConfig::with_buffer(100).mem_min(1_000_000);
+        let (aggs, diag) = place_with_diag(&groups[0], &mut tree, &req, &map, &mem, &cfg);
+        assert_eq!(aggs.len(), 1);
+        assert!(diag.remerges >= 1);
+        assert_eq!(diag.relaxations, 1);
+    }
+
+    #[test]
     fn empty_domains_get_no_aggregator() {
         // Data only in [0,100) but hull stretches to 400 via rank 3.
         let req = CollectiveRequest::new(
@@ -391,7 +453,10 @@ mod tests {
         let (req, map, mem) = setup(vec![100, 90, 80, 70]);
         let groups = group::divide(&req, &map, u64::MAX);
         let mut tree = build_tree(&groups[0], 100);
-        let cfg = CollectiveConfig::with_buffer(100).mem_min(0).msg_ind(100).nah(2);
+        let cfg = CollectiveConfig::with_buffer(100)
+            .mem_min(0)
+            .msg_ind(100)
+            .nah(2);
         let aggs = place(&groups[0], &mut tree, &req, &map, &mem, &cfg);
         let mut ranks: Vec<Rank> = aggs.iter().map(|a| a.rank).collect();
         ranks.sort_unstable();

@@ -155,6 +155,21 @@ pub enum SyncMode {
     PerGroup,
 }
 
+/// Decision counters from the planning pipeline: how the group division,
+/// partition tree, and placement loop arrived at the final aggregator
+/// layout. Purely diagnostic — two plans that differ only in `diag`
+/// execute identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanDiag {
+    /// Partition-tree leaves built across all groups *before* placement
+    /// started remerging (the intended file-domain count).
+    pub ptree_leaves: usize,
+    /// Domains remerged into a neighbor during placement (§3.2).
+    pub remerges: usize,
+    /// Placements that went through after relaxing `Mem_min`/`N_ah`.
+    pub relaxations: usize,
+}
+
 /// A complete collective plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CollectivePlan {
@@ -166,6 +181,8 @@ pub struct CollectivePlan {
     pub sync: SyncMode,
     /// Aggregation groups (baseline: exactly one).
     pub groups: Vec<GroupPlan>,
+    /// Planner decision counters.
+    pub diag: PlanDiag,
 }
 
 impl CollectivePlan {
@@ -182,7 +199,11 @@ impl CollectivePlan {
     /// The longest round sequence of any group (the global round count
     /// under [`SyncMode::Global`]).
     pub fn max_rounds(&self) -> usize {
-        self.groups.iter().map(|g| g.rounds.len()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.rounds.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Summary statistics (optionally topology-aware).
@@ -211,10 +232,7 @@ impl CollectivePlan {
                 }
             }
         }
-        let buffers: OnlineStats = self
-            .aggregators()
-            .map(|a| a.buffer as f64)
-            .collect();
+        let buffers: OnlineStats = self.aggregators().map(|a| a.buffer as f64).collect();
         PlanStats {
             ngroups: self.groups.len(),
             naggs: self.naggs(),
@@ -227,6 +245,61 @@ impl CollectivePlan {
             peak_window,
             buffer_stats: buffers,
         }
+    }
+
+    /// Record the planner's decision counters and shape statistics into
+    /// a metrics registry (`plan.*` namespace).
+    pub fn record_into(&self, reg: &mcio_obs::Registry) {
+        reg.describe("plan.groups", "groups", "Aggregation groups");
+        reg.describe("plan.aggregators", "aggregators", "Aggregator assignments");
+        reg.describe("plan.rounds", "rounds", "Longest per-group round sequence");
+        reg.describe(
+            "plan.ptree_leaves",
+            "domains",
+            "Partition-tree leaves built before remerging",
+        );
+        reg.describe(
+            "plan.remerges",
+            "events",
+            "Domains remerged during placement",
+        );
+        reg.describe(
+            "plan.relaxations",
+            "events",
+            "Placements that relaxed Mem_min/N_ah",
+        );
+        reg.describe("plan.messages", "messages", "Shuffle messages planned");
+        reg.describe("plan.message_bytes", "bytes", "Shuffled bytes planned");
+        reg.describe(
+            "plan.io_requests",
+            "requests",
+            "Contiguous PFS requests planned",
+        );
+        reg.describe("plan.io_bytes", "bytes", "PFS bytes planned");
+        reg.describe(
+            "plan.peak_window",
+            "bytes",
+            "Largest single-round aggregation window (per-aggregator memory high-water mark)",
+        );
+        reg.describe(
+            "plan.buffer_cv",
+            "ratio",
+            "Coefficient of variation of aggregator buffer sizes",
+        );
+        let s = self.stats(None);
+        let strat = [("strategy", self.strategy.label())];
+        reg.set_gauge("plan.groups", &strat, s.ngroups as f64);
+        reg.set_gauge("plan.aggregators", &strat, s.naggs as f64);
+        reg.set_gauge("plan.rounds", &strat, s.max_rounds as f64);
+        reg.inc("plan.ptree_leaves", &strat, self.diag.ptree_leaves as u64);
+        reg.inc("plan.remerges", &strat, self.diag.remerges as u64);
+        reg.inc("plan.relaxations", &strat, self.diag.relaxations as u64);
+        reg.inc("plan.messages", &strat, s.messages as u64);
+        reg.inc("plan.message_bytes", &strat, s.message_bytes);
+        reg.inc("plan.io_requests", &strat, s.io_requests as u64);
+        reg.inc("plan.io_bytes", &strat, s.io_bytes);
+        reg.max_gauge("plan.peak_window", &strat, s.peak_window as f64);
+        reg.set_gauge("plan.buffer_cv", &strat, s.buffer_stats.cv());
     }
 
     /// Check structural invariants against the request this plan was
@@ -383,6 +456,7 @@ mod tests {
             rw: Rw::Write,
             strategy: Strategy::TwoPhase,
             sync: SyncMode::Global,
+            diag: PlanDiag::default(),
             groups: vec![GroupPlan {
                 ranks: vec![Rank(0), Rank(1)],
                 aggregators: vec![AggregatorAssignment {
@@ -459,8 +533,7 @@ mod tests {
     #[test]
     fn check_catches_overlapping_io() {
         let (mut plan, req) = simple_plan();
-        plan.groups[0].rounds[0].ios[0].extents =
-            vec![Extent::new(0, 15), Extent::new(10, 10)];
+        plan.groups[0].rounds[0].ios[0].extents = vec![Extent::new(0, 15), Extent::new(10, 10)];
         assert!(plan.check(&req).unwrap_err().contains("overlap"));
     }
 

@@ -180,8 +180,7 @@ impl PartitionTree {
             // directly — their former parent's position is assigned to B
             // (B is spliced up, keeping its identity so callers' per-leaf
             // state survives), and B's region covers both.
-            self.nodes[sibling].region =
-                absorbed_region.hull(&self.nodes[sibling].region);
+            self.nodes[sibling].region = absorbed_region.hull(&self.nodes[sibling].region);
             self.nodes[sibling].data_bytes += absorbed_bytes;
             let gp = self.nodes[parent].parent;
             self.nodes[sibling].parent = gp;
@@ -203,8 +202,7 @@ impl PartitionTree {
             // Case 2 (Fig 5b): DFS into the sibling subtree, visiting the
             // side adjacent to the departing leaf first.
             let neighbor = self.extreme_leaf(sibling, is_left);
-            self.nodes[neighbor].region =
-                self.nodes[neighbor].region.hull(&absorbed_region);
+            self.nodes[neighbor].region = self.nodes[neighbor].region.hull(&absorbed_region);
             self.nodes[neighbor].data_bytes += absorbed_bytes;
             // Splice the parent out: the sibling takes its place.
             let gp = self.nodes[parent].parent;

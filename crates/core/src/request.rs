@@ -74,9 +74,7 @@ impl RankRequest {
     fn overlapping<'a>(&'a self, window: &'a Extent) -> impl Iterator<Item = Extent> + 'a {
         // First extent that could overlap: the last one starting at or
         // before `window.offset` may still reach into the window.
-        let start = self
-            .extents
-            .partition_point(|e| e.end() <= window.offset);
+        let start = self.extents.partition_point(|e| e.end() <= window.offset);
         self.extents[start..]
             .iter()
             .take_while(|e| e.offset < window.end())
@@ -224,10 +222,7 @@ mod tests {
             req.coverage(),
             vec![Extent::new(0, 20), Extent::new(40, 10)]
         );
-        assert_eq!(
-            req.ranks_in(&Extent::new(5, 10)),
-            vec![Rank(0), Rank(1)]
-        );
+        assert_eq!(req.ranks_in(&Extent::new(5, 10)), vec![Rank(0), Rank(1)]);
     }
 
     #[test]

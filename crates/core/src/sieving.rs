@@ -84,8 +84,7 @@ fn simulate_raw(
             if req.rw == Rw::Write && rmw_writes {
                 // Read the cover, then write it back with the
                 // modifications folded in.
-                let read_done =
-                    pfs.submit(&mut sim, &fabric, &label, node, Rw::Read, e, &[]);
+                let read_done = pfs.submit(&mut sim, &fabric, &label, node, Rw::Read, e, &[]);
                 pfs.submit(&mut sim, &fabric, &label, node, Rw::Write, e, &[read_done]);
             } else {
                 pfs.submit(&mut sim, &fabric, &label, node, req.rw, e, &[]);
@@ -121,6 +120,11 @@ fn simulate_raw(
         ost_busy_max,
         ost_busy_total,
         activities,
+        metrics: crate::exec_sim::RunMetrics {
+            exchange_fraction: 0.0,
+            io_fraction: 1.0,
+            ..Default::default()
+        },
     }
 }
 
@@ -134,11 +138,12 @@ mod tests {
 
     #[test]
     fn sieve_merges_across_small_gaps() {
-        let e = vec![Extent::new(0, 10), Extent::new(15, 10), Extent::new(100, 10)];
-        assert_eq!(
-            sieve(&e, 5),
-            vec![Extent::new(0, 25), Extent::new(100, 10)]
-        );
+        let e = vec![
+            Extent::new(0, 10),
+            Extent::new(15, 10),
+            Extent::new(100, 10),
+        ];
+        assert_eq!(sieve(&e, 5), vec![Extent::new(0, 25), Extent::new(100, 10)]);
         assert_eq!(sieve(&e, 0), e);
         assert_eq!(sieve(&e, 1000), vec![Extent::new(0, 110)]);
         assert!(sieve(&[], 10).is_empty());

@@ -37,7 +37,15 @@ fn probe_bandwidth(spec: &ClusterSpec, nodes: usize, naggs: usize, size: u64, rw
     for a in 0..naggs {
         let node = NodeId(a % spec.nodes);
         let extent = Extent::new(a as u64 * size, size);
-        pfs.submit(&mut sim, &fabric, &format!("probe{a}"), node, rw, extent, &[]);
+        pfs.submit(
+            &mut sim,
+            &fabric,
+            &format!("probe{a}"),
+            node,
+            rw,
+            extent,
+            &[],
+        );
     }
     let report = sim.run().expect("probe DAG is acyclic");
     let elapsed = report.makespan().as_secs_f64();

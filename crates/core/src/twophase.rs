@@ -17,7 +17,7 @@
 use crate::config::{CollectiveConfig, Strategy};
 use crate::memory::ProcMemory;
 use crate::plan::{
-    AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, Round, SyncMode,
+    AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, PlanDiag, Round, SyncMode,
 };
 use crate::request::CollectiveRequest;
 use mcio_cluster::{NodeId, ProcessMap, Rank};
@@ -63,6 +63,7 @@ pub fn plan(
             rw: req.rw,
             strategy: Strategy::TwoPhase,
             sync: SyncMode::Global,
+            diag: PlanDiag::default(),
             groups: vec![GroupPlan {
                 ranks: all_ranks,
                 aggregators: Vec::new(),
@@ -115,8 +116,7 @@ pub fn plan(
             if win_start >= a.fd.end() {
                 continue; // this aggregator is already done
             }
-            let window =
-                Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
+            let window = Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
             build_window(req, a.rank, window, &mut round);
         }
         rounds.push(round);
@@ -126,6 +126,7 @@ pub fn plan(
         rw: req.rw,
         strategy: Strategy::TwoPhase,
         sync: SyncMode::Global,
+        diag: PlanDiag::default(),
         groups: vec![GroupPlan {
             ranks: all_ranks,
             aggregators,
@@ -138,12 +139,7 @@ pub fn plan(
 /// `round`. Shared with the memory-conscious planner: the inner loop of
 /// the two-phase exchange is identical; the strategies differ in *who*
 /// aggregates *what*, not in the per-window mechanics.
-pub(crate) fn build_window(
-    req: &CollectiveRequest,
-    agg: Rank,
-    window: Extent,
-    round: &mut Round,
-) {
+pub(crate) fn build_window(req: &CollectiveRequest, agg: Rank, window: Extent, round: &mut Round) {
     let mut all_extents: Vec<Extent> = Vec::new();
     for rr in &req.ranks {
         let extents = rr.extents_in(&window);

@@ -157,7 +157,12 @@ mod tests {
         let r = ResourceId(0);
         let a = Activity::new("x")
             .stage(r, 10, SimDuration::ZERO)
-            .stage_with_latency(r, 20, SimDuration::from_nanos(5), SimDuration::from_nanos(7));
+            .stage_with_latency(
+                r,
+                20,
+                SimDuration::from_nanos(5),
+                SimDuration::from_nanos(7),
+            );
         assert_eq!(a.stages().len(), 2);
         assert_eq!(a.stages()[1].bytes, 20);
         assert_eq!(a.stages()[1].latency_after, SimDuration::from_nanos(7));

@@ -4,6 +4,7 @@
 use crate::activity::{Activity, ActivityId, ActivityState};
 use crate::resource::{Bandwidth, Job, Resource, ResourceId, ResourceUsage};
 use crate::time::{SimDuration, SimTime};
+use mcio_obs::{Histogram, Registry, TraceCollector};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -68,6 +69,21 @@ pub struct Simulation {
     events: Vec<Event>,
     /// Service-interval trace, when enabled.
     trace: Option<Vec<ServiceRecord>>,
+    /// Engine health counters (event count, heap depth distribution).
+    engine_stats: EngineStats,
+}
+
+/// Health statistics of the event engine itself: how much scheduling
+/// work a run took, independent of simulated time. Queue depth is
+/// sampled once per processed event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Total events processed by the run loop.
+    pub events_processed: u64,
+    /// High-water mark of the pending-event heap.
+    pub max_queue_depth: usize,
+    /// Distribution of heap depth observed at each event pop.
+    pub queue_depth: Histogram,
 }
 
 impl Simulation {
@@ -96,7 +112,8 @@ impl Simulation {
         capacity: usize,
     ) -> ResourceId {
         let id = ResourceId(self.resources.len());
-        self.resources.push(Resource::with_capacity(name, bw, capacity));
+        self.resources
+            .push(Resource::with_capacity(name, bw, capacity));
         id
     }
 
@@ -167,6 +184,10 @@ impl Simulation {
         while let Some(Reverse((t, _seq, idx, _class))) = self.heap.pop() {
             debug_assert!(t >= now, "time went backwards");
             now = t;
+            self.engine_stats.events_processed += 1;
+            let depth = self.heap.len();
+            self.engine_stats.max_queue_depth = self.engine_stats.max_queue_depth.max(depth);
+            self.engine_stats.queue_depth.observe(depth as u64);
             match self.events[idx] {
                 Event::Ready(a) => {
                     debug_assert!(self.activities[a.0].started.is_none());
@@ -228,9 +249,14 @@ impl Simulation {
             finishes: self.activities.iter().map(|a| a.finished).collect(),
             starts: self.activities.iter().map(|a| a.started).collect(),
             labels: self.activities.iter().map(|a| a.label.clone()).collect(),
-            resource_names: self.resources.iter().map(|r| r.name().to_string()).collect(),
+            resource_names: self
+                .resources
+                .iter()
+                .map(|r| r.name().to_string())
+                .collect(),
             usages: self.resources.iter().map(|r| r.usage()).collect(),
             trace: self.trace.take(),
+            engine_stats: self.engine_stats.clone(),
         })
     }
 
@@ -287,6 +313,7 @@ pub struct RunReport {
     resource_names: Vec<String>,
     usages: Vec<ResourceUsage>,
     trace: Option<Vec<ServiceRecord>>,
+    engine_stats: EngineStats,
 }
 
 impl RunReport {
@@ -333,6 +360,114 @@ impl RunReport {
     /// The recorded service trace, if tracing was enabled.
     pub fn trace(&self) -> Option<&[ServiceRecord]> {
         self.trace.as_deref()
+    }
+
+    /// Engine health counters for the run (event count, heap depth).
+    pub fn engine_stats(&self) -> &EngineStats {
+        &self.engine_stats
+    }
+
+    /// Record this run's accounting into a metrics [`Registry`]:
+    /// per-resource busy time, bytes, jobs, utilization, peak queue
+    /// length, and wait-time histograms, plus engine event/heap-depth
+    /// stats and the makespan. Metric names are stable and documented
+    /// in `docs/observability.md`.
+    pub fn record_into(&self, reg: &Registry) {
+        reg.describe(
+            "des.makespan_ns",
+            "ns",
+            "simulated time of the last completion",
+        );
+        reg.describe(
+            "des.engine.events",
+            "1",
+            "events processed by the DES run loop",
+        );
+        reg.describe(
+            "des.engine.queue_depth",
+            "1",
+            "pending-event heap depth per event pop",
+        );
+        reg.describe(
+            "des.engine.max_queue_depth",
+            "1",
+            "peak pending-event heap depth",
+        );
+        reg.describe(
+            "des.resource.busy_ns",
+            "ns",
+            "total service time delivered per resource",
+        );
+        reg.describe("des.resource.bytes", "bytes", "bytes served per resource");
+        reg.describe("des.resource.jobs", "1", "jobs served per resource");
+        reg.describe(
+            "des.resource.utilization",
+            "1",
+            "busy time / makespan per resource (can exceed 1 for multi-slot resources)",
+        );
+        reg.describe(
+            "des.resource.max_queue",
+            "1",
+            "peak FIFO queue length per resource",
+        );
+        reg.describe(
+            "des.resource.wait_ns",
+            "ns",
+            "per-job queueing delay per resource",
+        );
+
+        let makespan = self.makespan.saturating_since(SimTime::ZERO);
+        reg.set_gauge("des.makespan_ns", &[], makespan.as_nanos() as f64);
+        reg.inc("des.engine.events", &[], self.engine_stats.events_processed);
+        reg.merge_histogram(
+            "des.engine.queue_depth",
+            &[],
+            &self.engine_stats.queue_depth,
+        );
+        reg.set_gauge(
+            "des.engine.max_queue_depth",
+            &[],
+            self.engine_stats.max_queue_depth as f64,
+        );
+        for u in &self.usages {
+            // Resources that never served a job (e.g. nodes the process
+            // map leaves idle on a large machine spec) would only add
+            // all-zero series; skip them to keep exports readable.
+            if u.jobs_served == 0 {
+                continue;
+            }
+            let labels = &[("resource", u.name.as_str())][..];
+            reg.inc("des.resource.busy_ns", labels, u.busy_time.as_nanos());
+            reg.inc("des.resource.bytes", labels, u.bytes_served);
+            reg.inc("des.resource.jobs", labels, u.jobs_served);
+            reg.set_gauge("des.resource.utilization", labels, u.utilization(makespan));
+            reg.set_gauge("des.resource.max_queue", labels, u.max_queue_len as f64);
+            reg.merge_histogram("des.resource.wait_ns", labels, &u.wait_hist);
+        }
+    }
+
+    /// Push the recorded service trace into a [`TraceCollector`] under
+    /// subsystem group `pid`: one lane (`tid`) per resource, one span
+    /// per service interval, with lanes named after the resources.
+    /// No-op when tracing was not enabled.
+    pub fn trace_into(&self, tc: &TraceCollector, pid: u64) {
+        let Some(trace) = &self.trace else { return };
+        tc.name_process(pid, "des.resources");
+        let used: std::collections::BTreeSet<usize> =
+            trace.iter().map(|r| r.resource.index()).collect();
+        for tid in used {
+            tc.name_thread(pid, tid as u64, &self.resource_names[tid]);
+        }
+        for rec in trace {
+            tc.span(
+                &self.labels[rec.activity.index()],
+                &self.resource_names[rec.resource.index()],
+                pid,
+                rec.resource.index() as u64,
+                rec.start.as_nanos(),
+                rec.end.saturating_since(rec.start).as_nanos(),
+            );
+        }
     }
 
     /// Render the service trace in Chrome trace-event JSON (open in
@@ -396,7 +531,10 @@ mod tests {
         let r = sim.add_resource("r", bw(100.0));
         let a = sim.add_activity(Activity::new("a").stage(r, 200, SimDuration::ZERO));
         let rep = sim.run().unwrap();
-        assert_eq!(rep.finish_time(a), SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(
+            rep.finish_time(a),
+            SimTime::ZERO + SimDuration::from_secs(2)
+        );
         assert_eq!(rep.makespan().as_secs_f64(), 2.0);
     }
 
@@ -447,11 +585,11 @@ mod tests {
         let mut sim = Simulation::new();
         let r1 = sim.add_resource("r1", bw(100.0));
         let r2 = sim.add_resource("r2", bw(50.0));
-        let a = sim.add_activity(
-            Activity::new("a")
-                .stage(r1, 100, SimDuration::ZERO)
-                .stage(r2, 100, SimDuration::ZERO),
-        );
+        let a = sim.add_activity(Activity::new("a").stage(r1, 100, SimDuration::ZERO).stage(
+            r2,
+            100,
+            SimDuration::ZERO,
+        ));
         let rep = sim.run().unwrap();
         // 1s on r1 then 2s on r2.
         assert_eq!(rep.finish_time(a).as_secs_f64(), 3.0);
@@ -614,6 +752,76 @@ mod tests {
         let rep = sim.run().unwrap();
         assert!(rep.trace().is_none());
         assert_eq!(rep.chrome_trace_json(), "[]");
+    }
+
+    #[test]
+    fn engine_stats_count_events_and_depth() {
+        let mut sim = Simulation::new();
+        let r = sim.add_resource("r", bw(100.0));
+        for i in 0..8 {
+            sim.add_activity(Activity::new(format!("a{i}")).stage(r, 100, SimDuration::ZERO));
+        }
+        let rep = sim.run().unwrap();
+        let es = rep.engine_stats();
+        assert!(
+            es.events_processed >= 16,
+            "8 Ready + 8 StageServed at least"
+        );
+        assert!(es.max_queue_depth >= 7, "ready events pile up at t=0");
+        assert_eq!(es.queue_depth.count(), es.events_processed);
+    }
+
+    #[test]
+    fn record_into_registry_exports_resources() {
+        let mut sim = Simulation::new();
+        let r = sim.add_resource("node0.nic_tx", bw(100.0));
+        sim.add_activity(Activity::new("a").stage(r, 100, SimDuration::ZERO));
+        sim.add_activity(Activity::new("b").stage(r, 300, SimDuration::ZERO));
+        let rep = sim.run().unwrap();
+        let reg = Registry::new();
+        rep.record_into(&reg);
+        let labels = &[("resource", "node0.nic_tx")][..];
+        assert_eq!(reg.counter_value("des.resource.bytes", labels), 400);
+        assert_eq!(reg.counter_value("des.resource.jobs", labels), 2);
+        assert_eq!(
+            reg.counter_value("des.resource.busy_ns", labels),
+            4_000_000_000
+        );
+        let snap = reg.snapshot();
+        // One wait histogram per resource, one observation per job.
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "des.resource.wait_ns")
+            .expect("wait histogram recorded");
+        assert_eq!(wait.count, 2);
+        assert!(snap.counter("des.engine.events", &[]).unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_into_unifies_lanes() {
+        let mut sim = Simulation::new();
+        sim.enable_trace();
+        let r1 = sim.add_resource("r1", bw(100.0));
+        let r2 = sim.add_resource("r2", bw(100.0));
+        sim.add_activity(Activity::new("a").stage(r1, 100, SimDuration::ZERO));
+        sim.add_activity(Activity::new("b").stage(r2, 200, SimDuration::ZERO));
+        let rep = sim.run().unwrap();
+        let tc = TraceCollector::new();
+        rep.trace_into(&tc, 7);
+        let spans = tc.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.pid == 7));
+        assert_eq!(spans[0].tid, 0);
+        assert_eq!(spans[1].tid, 1);
+        // Without tracing enabled, trace_into is a no-op.
+        let mut sim = Simulation::new();
+        let r = sim.add_resource("r", bw(100.0));
+        sim.add_activity(Activity::new("a").stage(r, 100, SimDuration::ZERO));
+        let rep = sim.run().unwrap();
+        let tc = TraceCollector::new();
+        rep.trace_into(&tc, 0);
+        assert!(tc.is_empty());
     }
 
     #[test]

@@ -52,7 +52,7 @@ pub mod stats;
 pub mod time;
 
 pub use activity::{Activity, ActivityId, Stage};
-pub use engine::{RunReport, ServiceRecord, SimError, Simulation};
+pub use engine::{EngineStats, RunReport, ServiceRecord, SimError, Simulation};
 pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -9,6 +9,7 @@
 
 use crate::activity::ActivityId;
 use crate::time::{SimDuration, SimTime};
+use mcio_obs::Histogram;
 use std::collections::VecDeque;
 
 /// Identifier of a resource within a [`crate::Simulation`].
@@ -83,7 +84,8 @@ pub struct Resource {
     name: String,
     bandwidth: Bandwidth,
     capacity: usize,
-    queue: VecDeque<Job>,
+    /// Waiting jobs, each with the time it joined the queue.
+    queue: VecDeque<(Job, SimTime)>,
     /// Jobs currently in service (≤ capacity).
     in_service: usize,
     // --- accounting ---
@@ -91,6 +93,8 @@ pub struct Resource {
     bytes_served: u64,
     jobs_served: u64,
     max_queue_len: usize,
+    /// Per-job queueing delay (ns); immediate starts record 0.
+    wait_hist: Histogram,
 }
 
 impl Resource {
@@ -115,6 +119,7 @@ impl Resource {
             bytes_served: 0,
             jobs_served: 0,
             max_queue_len: 0,
+            wait_hist: Histogram::new(),
         }
     }
 
@@ -143,9 +148,10 @@ impl Resource {
     /// waits in FIFO order.
     pub(crate) fn enqueue(&mut self, now: SimTime, job: Job) -> Option<SimTime> {
         if self.in_service < self.capacity {
+            self.wait_hist.observe(0);
             Some(self.start(now, job))
         } else {
-            self.queue.push_back(job);
+            self.queue.push_back((job, now));
             self.max_queue_len = self.max_queue_len.max(self.queue.len());
             None
         }
@@ -156,7 +162,9 @@ impl Resource {
     pub(crate) fn complete_current(&mut self, now: SimTime) -> Option<(Job, SimTime)> {
         debug_assert!(self.in_service > 0, "resource was not busy");
         self.in_service -= 1;
-        let job = self.queue.pop_front()?;
+        let (job, enqueued) = self.queue.pop_front()?;
+        self.wait_hist
+            .observe(now.saturating_since(enqueued).as_nanos());
         let done = self.start(now, job);
         Some((job, done))
     }
@@ -178,6 +186,7 @@ impl Resource {
             bytes_served: self.bytes_served,
             jobs_served: self.jobs_served,
             max_queue_len: self.max_queue_len,
+            wait_hist: self.wait_hist.clone(),
         }
     }
 }
@@ -196,6 +205,10 @@ pub struct ResourceUsage {
     pub jobs_served: u64,
     /// High-water mark of the waiting queue (excludes the job in service).
     pub max_queue_len: usize,
+    /// Distribution of per-job queueing delay, in nanoseconds. Jobs that
+    /// found a free slot record a zero wait, so `wait_hist.count()`
+    /// equals `jobs_served` after a completed run.
+    pub wait_hist: Histogram,
 }
 
 impl ResourceUsage {
@@ -227,7 +240,10 @@ mod tests {
         let bw = Bandwidth::bytes_per_sec(1000.0);
         assert_eq!(bw.transfer_time(2000), SimDuration::from_secs(2));
         assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
-        assert_eq!(Bandwidth::infinite().transfer_time(1 << 40), SimDuration::ZERO);
+        assert_eq!(
+            Bandwidth::infinite().transfer_time(1 << 40),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -280,6 +296,20 @@ mod tests {
     }
 
     #[test]
+    fn wait_times_recorded_per_job() {
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        let t0 = SimTime::ZERO;
+        let done = r.enqueue(t0, job(100)).unwrap();
+        assert!(r.enqueue(t0, job(100)).is_none());
+        r.complete_current(done);
+        let u = r.usage();
+        // One immediate start (0 ns wait), one that waited a full second.
+        assert_eq!(u.wait_hist.count(), u.jobs_served);
+        assert_eq!(u.wait_hist.min(), Some(0));
+        assert_eq!(u.wait_hist.max(), Some(1_000_000_000));
+    }
+
+    #[test]
     fn overhead_adds_to_service() {
         let r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
         assert_eq!(
@@ -296,6 +326,7 @@ mod tests {
             bytes_served: 0,
             jobs_served: 0,
             max_queue_len: 0,
+            wait_hist: Histogram::new(),
         };
         assert!((u.utilization(SimDuration::from_secs(4)) - 0.25).abs() < 1e-12);
         assert_eq!(u.utilization(SimDuration::ZERO), 0.0);

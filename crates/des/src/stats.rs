@@ -99,7 +99,16 @@ impl OnlineStats {
         }
     }
 
-    /// Merge another accumulator into this one (parallel Welford).
+    /// Merge another accumulator into this one (parallel Welford /
+    /// Chan et al.).
+    ///
+    /// The `count == 0` cases are handled explicitly, **before** the
+    /// combining formula runs: an empty side carries sentinel extrema
+    /// (`min = +inf`, `max = -inf`) and a meaningless `mean = 0`, and
+    /// with `n1 + n2` as a divisor the formula would otherwise blend
+    /// that zero mean in (or divide 0/0 when both sides are empty).
+    /// Merging an empty `other` is a no-op; merging into an empty
+    /// `self` is a plain copy; `empty.merge(&empty)` stays empty.
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.n == 0 {
             return;
@@ -167,7 +176,9 @@ mod tests {
 
     #[test]
     fn basic_moments() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
@@ -207,8 +218,51 @@ mod tests {
     }
 
     #[test]
+    fn merge_two_empties_stays_empty() {
+        let mut a = OnlineStats::new();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        // Sentinel extrema survive untouched so later pushes still work.
+        a.push(5.0);
+        assert_eq!(a.min(), 5.0);
+        assert_eq!(a.max(), 5.0);
+    }
+
+    #[test]
+    fn merge_singletons() {
+        // singleton ⊕ singleton == two pushes.
+        let a: OnlineStats = [2.0].into_iter().collect();
+        let b: OnlineStats = [4.0].into_iter().collect();
+        let mut merged = a;
+        merged.merge(&b);
+        let seq: OnlineStats = [2.0, 4.0].into_iter().collect();
+        assert_eq!(merged.count(), 2);
+        assert!((merged.mean() - seq.mean()).abs() < 1e-12);
+        assert!((merged.variance() - seq.variance()).abs() < 1e-12);
+        assert_eq!(merged.min(), 2.0);
+        assert_eq!(merged.max(), 4.0);
+
+        // singleton ⊕ empty and empty ⊕ singleton both equal the singleton.
+        let mut left = a;
+        left.merge(&OnlineStats::new());
+        assert_eq!(left, a);
+        let mut right = OnlineStats::new();
+        right.merge(&a);
+        assert_eq!(right, a);
+        // The copied-in singleton keeps accumulating correctly.
+        right.push(6.0);
+        assert_eq!(right.count(), 2);
+        assert!((right.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn display_format() {
         let s: OnlineStats = [1.0].into_iter().collect();
-        assert_eq!(format!("{s}"), "n=1 mean=1.000 sd=0.000 min=1.000 max=1.000");
+        assert_eq!(
+            format!("{s}"),
+            "n=1 mean=1.000 sd=0.000 min=1.000 max=1.000"
+        );
     }
 }

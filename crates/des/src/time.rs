@@ -239,10 +239,7 @@ mod tests {
     fn instant_arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(1);
         assert_eq!(t.as_nanos(), 1_000_000_000);
-        assert_eq!(
-            t.saturating_since(SimTime::ZERO),
-            SimDuration::from_secs(1)
-        );
+        assert_eq!(t.saturating_since(SimTime::ZERO), SimDuration::from_secs(1));
         // Saturates instead of panicking.
         assert_eq!(SimTime::ZERO.saturating_since(t), SimDuration::ZERO);
         assert_eq!(SimTime::MAX + SimDuration::from_secs(1), SimTime::MAX);
@@ -250,7 +247,10 @@ mod tests {
 
     #[test]
     fn duration_arithmetic_saturates() {
-        assert_eq!(SimDuration::MAX + SimDuration::from_secs(1), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::MAX + SimDuration::from_secs(1),
+            SimDuration::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO

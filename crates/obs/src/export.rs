@@ -1,0 +1,332 @@
+//! Snapshot exporters: JSON, CSV, and Prometheus text exposition.
+//!
+//! All three render the same [`Snapshot`], so a bench run can emit any
+//! format from one recording. JSON is the machine-readable archive
+//! format (parsed back by the validation tests), CSV feeds spreadsheet
+//! plots of the paper figures, and the Prometheus format lets a real
+//! scrape endpoint serve sim metrics unchanged.
+
+use crate::registry::Snapshot;
+use crate::trace::escape_json;
+use std::fmt::Write as _;
+
+/// Render a float without trailing noise: integers print bare
+/// (`3` not `3.0`), everything else uses shortest round-trip form.
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn labels_json(labels: &[(String, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize a snapshot as a JSON object with `counters`, `gauges`, and
+/// `histograms` arrays. Every sample carries its name, labels, unit,
+/// and help text, so dumps are self-describing.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": [");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{},\"unit\":\"{}\",\"help\":\"{}\"}}",
+            escape_json(&c.name),
+            labels_json(&c.labels),
+            c.value,
+            escape_json(&c.meta.unit),
+            escape_json(&c.meta.help),
+        );
+    }
+    out.push_str("\n  ],\n  \"gauges\": [");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"name\":\"{}\",\"labels\":{},\"value\":{},\"unit\":\"{}\",\"help\":\"{}\"}}",
+            escape_json(&g.name),
+            labels_json(&g.labels),
+            fmt_num(g.value),
+            escape_json(&g.meta.unit),
+            escape_json(&g.meta.help),
+        );
+    }
+    out.push_str("\n  ],\n  \"histograms\": [");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mut buckets = String::from("[");
+        for (j, (bound, count)) in h.buckets.iter().enumerate() {
+            if j > 0 {
+                buckets.push(',');
+            }
+            let _ = write!(buckets, "{{\"le\":{bound},\"count\":{count}}}");
+        }
+        buckets.push(']');
+        let _ = write!(
+            out,
+            "\n    {{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\
+             \"min\":{},\"max\":{},\"buckets\":{},\"unit\":\"{}\",\"help\":\"{}\"}}",
+            escape_json(&h.name),
+            labels_json(&h.labels),
+            h.count,
+            fmt_num(h.sum),
+            h.min.map_or("null".to_string(), |m| m.to_string()),
+            h.max.map_or("null".to_string(), |m| m.to_string()),
+            buckets,
+            escape_json(&h.meta.unit),
+            escape_json(&h.meta.help),
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn labels_csv(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Serialize a snapshot as flat CSV:
+/// `kind,name,labels,field,value,unit`. Histograms expand to one row
+/// per statistic plus one per bucket (`field = le_<bound>`).
+pub fn to_csv(snap: &Snapshot) -> String {
+    let mut out = String::from("kind,name,labels,field,value,unit\n");
+    for c in &snap.counters {
+        let _ = writeln!(
+            out,
+            "counter,{},{},value,{},{}",
+            csv_field(&c.name),
+            csv_field(&labels_csv(&c.labels)),
+            c.value,
+            csv_field(&c.meta.unit),
+        );
+    }
+    for g in &snap.gauges {
+        let _ = writeln!(
+            out,
+            "gauge,{},{},value,{},{}",
+            csv_field(&g.name),
+            csv_field(&labels_csv(&g.labels)),
+            fmt_num(g.value),
+            csv_field(&g.meta.unit),
+        );
+    }
+    for h in &snap.histograms {
+        let name = csv_field(&h.name);
+        let labels = csv_field(&labels_csv(&h.labels));
+        let unit = csv_field(&h.meta.unit);
+        let _ = writeln!(out, "histogram,{name},{labels},count,{},{unit}", h.count);
+        let _ = writeln!(
+            out,
+            "histogram,{name},{labels},sum,{},{unit}",
+            fmt_num(h.sum)
+        );
+        if let (Some(min), Some(max)) = (h.min, h.max) {
+            let _ = writeln!(out, "histogram,{name},{labels},min,{min},{unit}");
+            let _ = writeln!(out, "histogram,{name},{labels},max,{max},{unit}");
+        }
+        for (bound, count) in &h.buckets {
+            let _ = writeln!(out, "histogram,{name},{labels},le_{bound},{count},{unit}");
+        }
+    }
+    out
+}
+
+/// `a.b.c` → `a_b_c`, and any other non-`[a-zA-Z0-9_]` byte → `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body = labels
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}=\"{}\"",
+                prom_name(k),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{{{body}}}")
+}
+
+fn prom_labels_with(labels: &[(String, String)], extra_key: &str, extra_val: &str) -> String {
+    let mut all = labels.to_vec();
+    all.push((extra_key.to_string(), extra_val.to_string()));
+    prom_labels(&all)
+}
+
+/// Serialize a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers per metric name,
+/// histograms expanded to cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_header = String::new();
+    let mut header = |out: &mut String, name: &str, kind: &str, help: &str| {
+        if last_header != name {
+            if !help.is_empty() {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_header = name.to_string();
+        }
+    };
+    for c in &snap.counters {
+        let name = prom_name(&c.name);
+        header(&mut out, &name, "counter", &c.meta.help);
+        let _ = writeln!(out, "{name}{} {}", prom_labels(&c.labels), c.value);
+    }
+    for g in &snap.gauges {
+        let name = prom_name(&g.name);
+        header(&mut out, &name, "gauge", &g.meta.help);
+        let _ = writeln!(out, "{name}{} {}", prom_labels(&g.labels), fmt_num(g.value));
+    }
+    for h in &snap.histograms {
+        let name = prom_name(&h.name);
+        header(&mut out, &name, "histogram", &h.meta.help);
+        let mut cumulative = 0u64;
+        for (bound, count) in &h.buckets {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                prom_labels_with(&h.labels, "le", &bound.to_string()),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            prom_labels_with(&h.labels, "le", "+Inf"),
+            h.count,
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            prom_labels(&h.labels),
+            fmt_num(h.sum)
+        );
+        let _ = writeln!(out, "{name}_count{} {}", prom_labels(&h.labels), h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use crate::registry::Registry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = Registry::new();
+        r.describe("simpi.msgs", "1", "point-to-point messages");
+        r.describe("pfs.req.bytes", "bytes", "per-OST request sizes");
+        r.inc("simpi.msgs", &[("op", "alltoallv")], 12);
+        r.inc("simpi.msgs", &[("op", "bcast")], 3);
+        r.set_gauge("plan.groups", &[], 4.0);
+        r.observe("pfs.req.bytes", &[("ost", "0")], 4096);
+        r.observe("pfs.req.bytes", &[("ost", "0")], 65536);
+        r.observe("pfs.req.bytes", &[("ost", "0")], 100);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_parses_and_contains_samples() {
+        let snap = sample_snapshot();
+        let doc = parse(&to_json(&snap)).expect("exporter emits valid JSON");
+        let counters = doc.get("counters").unwrap().as_array().unwrap();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(
+            counters[0].get("name").and_then(JsonValue::as_str),
+            Some("simpi.msgs")
+        );
+        let hists = doc.get("histograms").unwrap().as_array().unwrap();
+        assert_eq!(hists[0].get("count").and_then(JsonValue::as_f64), Some(3.0));
+        let buckets = hists[0].get("buckets").unwrap().as_array().unwrap();
+        let total: f64 = buckets
+            .iter()
+            .map(|b| b.get("count").and_then(JsonValue::as_f64).unwrap())
+            .sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_sample() {
+        let csv = to_csv(&sample_snapshot());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kind,name,labels,field,value,unit");
+        // 2 counters + 1 gauge + (count,sum,min,max + 3 buckets) = 10.
+        assert_eq!(lines.len(), 11);
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("counter,simpi.msgs,op=alltoallv,value,12")));
+        // 4096 falls in [2^12, 2^13), whose inclusive bound is 8191.
+        assert!(lines.iter().any(|l| l.contains("le_8191,1")));
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let prom = to_prometheus(&sample_snapshot());
+        assert!(prom.contains("# TYPE simpi_msgs counter"));
+        assert!(prom.contains("simpi_msgs{op=\"alltoallv\"} 12"));
+        assert!(prom.contains("# TYPE plan_groups gauge"));
+        assert!(prom.contains("pfs_req_bytes_bucket{ost=\"0\",le=\"+Inf\"} 3"));
+        assert!(prom.contains("pfs_req_bytes_count{ost=\"0\"} 3"));
+        // Cumulative buckets are non-decreasing.
+        let counts: Vec<u64> = prom
+            .lines()
+            .filter(|l| l.starts_with("pfs_req_bytes_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn empty_snapshot_exports() {
+        let snap = Snapshot::default();
+        assert!(parse(&to_json(&snap)).is_ok());
+        assert_eq!(to_csv(&snap).lines().count(), 1);
+        assert_eq!(to_prometheus(&snap), "");
+    }
+}

@@ -1,0 +1,99 @@
+//! # mcio-obs — unified observability for the mcio simulation stack
+//!
+//! The paper's entire argument is about *where time goes*: shuffle
+//! versus file access, rounds forced by memory-starved aggregators,
+//! per-group versus global stalls. This crate is the measurement layer
+//! every other crate reports into:
+//!
+//! * [`Registry`] — named counters, gauges, and log2-bucketed
+//!   [`Histogram`]s with label sets, recorded through `&self` so one
+//!   `Arc<Registry>` threads through the planner, the DES engine, the
+//!   PFS model, and the simpi runtime.
+//! * [`TraceCollector`] — closed spans over *simulated* nanoseconds,
+//!   serialized as Chrome trace-event JSON so a whole collective run
+//!   (DES resource lanes, planner phases, per-round exchange/IO) lands
+//!   in one Perfetto-loadable file.
+//! * [`export`] — JSON, CSV, and Prometheus text renderings of a
+//!   [`Snapshot`].
+//! * [`json`] — a strict JSON parser used to *validate* exporter
+//!   output in tests rather than trusting it by construction.
+//!
+//! `mcio-obs` deliberately depends on nothing (not even the vendored
+//! workspace deps): it sits below every other crate in the dependency
+//! graph, including `mcio-des`, and timestamps are plain `u64`
+//! nanoseconds to avoid coupling to any clock type.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use registry::{
+    CounterSample, GaugeSample, HistogramSample, Labels, MetricMeta, Registry, Snapshot,
+};
+pub use trace::{Span, TraceCollector};
+
+/// The export formats `mcio_cli --metrics-format` accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Self-describing JSON object (default).
+    Json,
+    /// Flat CSV, one row per sample/statistic.
+    Csv,
+    /// Prometheus text exposition format 0.0.4.
+    Prom,
+}
+
+impl MetricsFormat {
+    /// Parse a `--metrics-format` argument value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "json" => Some(MetricsFormat::Json),
+            "csv" => Some(MetricsFormat::Csv),
+            "prom" | "prometheus" => Some(MetricsFormat::Prom),
+            _ => None,
+        }
+    }
+
+    /// Render `snap` in this format.
+    pub fn render(self, snap: &Snapshot) -> String {
+        match self {
+            MetricsFormat::Json => export::to_json(snap),
+            MetricsFormat::Csv => export::to_csv(snap),
+            MetricsFormat::Prom => export::to_prometheus(snap),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parse_round_trip() {
+        assert_eq!(MetricsFormat::parse("json"), Some(MetricsFormat::Json));
+        assert_eq!(MetricsFormat::parse("csv"), Some(MetricsFormat::Csv));
+        assert_eq!(MetricsFormat::parse("prom"), Some(MetricsFormat::Prom));
+        assert_eq!(
+            MetricsFormat::parse("prometheus"),
+            Some(MetricsFormat::Prom)
+        );
+        assert_eq!(MetricsFormat::parse("xml"), None);
+    }
+
+    #[test]
+    fn render_dispatches() {
+        let r = Registry::new();
+        r.inc("c", &[], 1);
+        let snap = r.snapshot();
+        assert!(MetricsFormat::Json.render(&snap).contains("\"counters\""));
+        assert!(MetricsFormat::Csv.render(&snap).starts_with("kind,"));
+        assert!(MetricsFormat::Prom
+            .render(&snap)
+            .contains("# TYPE c counter"));
+    }
+}

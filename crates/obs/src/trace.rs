@@ -1,0 +1,262 @@
+//! Span tracing over simulated time, exported as Chrome trace-event
+//! JSON (loadable in Perfetto / `chrome://tracing`).
+//!
+//! A span is a named, closed interval on one *lane*. Lanes map onto the
+//! Chrome trace model as `(pid, tid)` pairs: `pid` groups a subsystem
+//! (DES resources, planner, rounds...), `tid` is one timeline within it
+//! (a resource, an aggregator). Times are u64 nanoseconds of simulated
+//! time, matching `mcio_des::SimTime::as_nanos()`; the exporter converts
+//! to the microsecond floats the trace format expects.
+
+use std::sync::Mutex;
+
+/// One closed interval on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Display name of the slice.
+    pub name: String,
+    /// Category string (Perfetto lets users filter on it).
+    pub cat: String,
+    /// Subsystem group (Chrome trace `pid`).
+    pub pid: u64,
+    /// Timeline within the group (Chrome trace `tid`).
+    pub tid: u64,
+    /// Start, in simulated nanoseconds.
+    pub start_ns: u64,
+    /// Duration, in simulated nanoseconds.
+    pub dur_ns: u64,
+    /// Extra `args` key/value pairs shown in the slice details.
+    pub args: Vec<(String, String)>,
+}
+
+impl Span {
+    /// End of the span, in simulated nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<Span>,
+    /// `(pid, name)` process-name metadata.
+    processes: Vec<(u64, String)>,
+    /// `(pid, tid, name)` thread-name metadata.
+    threads: Vec<(u64, u64, String)>,
+}
+
+/// Collects spans from every instrumented component and serializes one
+/// unified Chrome trace.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    inner: Mutex<Inner>,
+}
+
+impl TraceCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        TraceCollector::default()
+    }
+
+    /// Name a subsystem group (`pid`) in the trace UI.
+    pub fn name_process(&self, pid: u64, name: &str) {
+        self.lock().processes.push((pid, name.to_string()));
+    }
+
+    /// Name one timeline (`pid`, `tid`) in the trace UI.
+    pub fn name_thread(&self, pid: u64, tid: u64, name: &str) {
+        self.lock().threads.push((pid, tid, name.to_string()));
+    }
+
+    /// Record a span with no extra args.
+    pub fn span(&self, name: &str, cat: &str, pid: u64, tid: u64, start_ns: u64, dur_ns: u64) {
+        self.span_with_args(name, cat, pid, tid, start_ns, dur_ns, &[]);
+    }
+
+    /// Record a span with `args` key/value details.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_with_args(
+        &self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&str, &str)],
+    ) {
+        self.lock().spans.push(Span {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid,
+            tid,
+            start_ns,
+            dur_ns,
+            args: args
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        });
+    }
+
+    /// All spans recorded so far, in recording order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.lock().spans.clone()
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.lock().spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serialize everything as a Chrome trace-event JSON array:
+    /// metadata events (`ph:"M"`) naming lanes, then one complete event
+    /// (`ph:"X"`) per span with `ts`/`dur` in microseconds.
+    pub fn chrome_trace_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut push = |out: &mut String, ev: String| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push('\n');
+            out.push_str(&ev);
+        };
+        for (pid, name) in &inner.processes {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape_json(name)
+                ),
+            );
+        }
+        for (pid, tid, name) in &inner.threads {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape_json(name)
+                ),
+            );
+        }
+        for s in &inner.spans {
+            let mut args = String::new();
+            for (i, (k, v)) in s.args.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                args.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+            }
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{},\"tid\":{},\"args\":{{{args}}}}}",
+                    escape_json(&s.name),
+                    escape_json(&s.cat),
+                    format_us(s.start_ns),
+                    format_us(s.dur_ns),
+                    s.pid,
+                    s.tid,
+                ),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Nanoseconds rendered as decimal microseconds without float rounding
+/// (`1234` ns → `"1.234"`).
+fn format_us(ns: u64) -> String {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    #[test]
+    fn spans_round_trip() {
+        let t = TraceCollector::new();
+        t.span("shuffle", "exchange", 1, 0, 1000, 500);
+        t.span_with_args("io", "pfs", 1, 1, 1500, 2500, &[("ost", "3")]);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].end_ns(), 1500);
+        assert_eq!(spans[1].args, vec![("ost".to_string(), "3".to_string())]);
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_preserves_times() {
+        let t = TraceCollector::new();
+        t.name_process(0, "des");
+        t.name_thread(0, 2, "node0.nic_tx");
+        t.span("a", "c", 0, 2, 1234, 567);
+        let json = t.chrome_trace_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let events = match v {
+            JsonValue::Array(evs) => evs,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(events.len(), 3);
+        let x = &events[2];
+        assert_eq!(x.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert_eq!(x.get("ts").and_then(JsonValue::as_f64), Some(1.234));
+        assert_eq!(x.get("dur").and_then(JsonValue::as_f64), Some(0.567));
+        assert_eq!(x.get("tid").and_then(JsonValue::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let t = TraceCollector::new();
+        t.span("quo\"ted", "c\\at", 0, 0, 0, 1);
+        assert!(crate::json::parse(&t.chrome_trace_json()).is_ok());
+    }
+
+    #[test]
+    fn empty_collector_is_valid_json() {
+        let t = TraceCollector::new();
+        assert!(t.is_empty());
+        assert!(crate::json::parse(&t.chrome_trace_json()).is_ok());
+    }
+}

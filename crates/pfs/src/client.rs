@@ -20,7 +20,9 @@ use crate::extent::Extent;
 use crate::layout::{OstId, StripeLayout};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{Fabric, NodeId};
-use mcio_des::{Activity, ActivityId, Bandwidth, ResourceId, SimDuration, Simulation};
+use mcio_des::{Activity, ActivityId, Bandwidth, OnlineStats, ResourceId, SimDuration, Simulation};
+use mcio_obs::Registry;
+use std::sync::Arc;
 
 /// Direction of an I/O request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +51,7 @@ pub struct Pfs {
     read_bw: f64,
     write_bw: f64,
     request_overhead: SimDuration,
+    registry: Option<Arc<Registry>>,
 }
 
 impl Pfs {
@@ -91,7 +94,57 @@ impl Pfs {
             read_bw: spec.ost_read_bandwidth,
             write_bw: spec.ost_write_bandwidth,
             request_overhead: spec.ost_request_overhead,
+            registry: None,
         }
+    }
+
+    /// Attach a metrics registry. Every subsequent [`Pfs::submit`] records
+    /// request counts, request-size histograms (overall by direction and
+    /// per OST), and per-OST byte counters into it.
+    pub fn set_registry(&mut self, registry: Arc<Registry>) {
+        registry.describe(
+            "pfs.requests",
+            "requests",
+            "Client I/O requests submitted, by direction",
+        );
+        registry.describe(
+            "pfs.req.bytes",
+            "bytes",
+            "Request sizes as issued by clients, by direction",
+        );
+        registry.describe(
+            "pfs.ost.req_bytes",
+            "bytes",
+            "Per-OST piece sizes after striping",
+        );
+        registry.describe("pfs.ost.bytes", "bytes", "Total bytes routed to each OST");
+        registry.describe(
+            "pfs.ost.imbalance_cv",
+            "ratio",
+            "Coefficient of variation of per-OST byte totals (0 = perfectly balanced)",
+        );
+        self.registry = Some(registry);
+    }
+
+    /// Builder-style variant of [`Pfs::set_registry`].
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.set_registry(registry);
+        self
+    }
+
+    /// Recompute the `pfs.ost.imbalance_cv` gauge from the per-OST byte
+    /// counters accumulated so far. Call after submitting the workload
+    /// (counters keep accumulating, so it can be refreshed at any point).
+    /// No-op when no registry is attached.
+    pub fn record_imbalance(&self) {
+        let Some(reg) = &self.registry else { return };
+        let stats: OnlineStats = (0..self.osts.len())
+            .map(|i| {
+                let ost = i.to_string();
+                reg.counter_value("pfs.ost.bytes", &[("ost", &ost)]) as f64
+            })
+            .collect();
+        reg.set_gauge("pfs.ost.imbalance_cv", &[], stats.cv());
     }
 
     /// The stripe layout in force.
@@ -143,6 +196,17 @@ impl Pfs {
         }
 
         let pieces = self.layout.split_per_ost(extent);
+        if let Some(reg) = &self.registry {
+            let dir = [("rw", rw.name())];
+            reg.inc("pfs.requests", &dir, 1);
+            reg.observe("pfs.req.bytes", &dir, extent.len);
+            for (ost, bytes) in &pieces {
+                let ost = ost.0.to_string();
+                let lbl = [("ost", ost.as_str())];
+                reg.observe("pfs.ost.req_bytes", &lbl, *bytes);
+                reg.inc("pfs.ost.bytes", &lbl, *bytes);
+            }
+        }
         match rw {
             Rw::Write => {
                 let mut egress = Activity::new(format!("{label}.egress"));
@@ -156,10 +220,11 @@ impl Pfs {
                 let join = sim.add_activity(Activity::new(format!("{label}.done")));
                 for (ost, bytes) in pieces {
                     let service = self.ost_service_time(Rw::Write, bytes);
-                    let piece = sim.add_activity(
-                        Activity::new(format!("{label}.{ost}"))
-                            .stage(self.osts[ost.0], 0, service),
-                    );
+                    let piece = sim.add_activity(Activity::new(format!("{label}.{ost}")).stage(
+                        self.osts[ost.0],
+                        0,
+                        service,
+                    ));
                     sim.add_dep(egress, piece);
                     sim.add_dep(piece, join);
                 }
@@ -182,10 +247,11 @@ impl Pfs {
                 let ingress = sim.add_activity(ingress);
                 for (ost, bytes) in pieces {
                     let service = self.ost_service_time(Rw::Read, bytes);
-                    let piece = sim.add_activity(
-                        Activity::new(format!("{label}.{ost}"))
-                            .stage(self.osts[ost.0], 0, service),
-                    );
+                    let piece = sim.add_activity(Activity::new(format!("{label}.{ost}")).stage(
+                        self.osts[ost.0],
+                        0,
+                        service,
+                    ));
                     sim.add_dep(rpc, piece);
                     sim.add_dep(piece, ingress);
                 }
@@ -198,7 +264,6 @@ impl Pfs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     /// Round-number spec: membus 1 KB/s, NIC 1 KB/s, zero latency and
     /// overheads, 4 OSTs at 100 B/s write / 200 B/s read, 100 B stripes.
@@ -326,9 +391,8 @@ mod tests {
     #[test]
     fn deps_delay_request() {
         let (mut sim, fabric, pfs) = harness();
-        let gate = sim.add_activity(
-            mcio_des::Activity::new("gate").delay(SimDuration::from_secs(5)),
-        );
+        let gate =
+            sim.add_activity(mcio_des::Activity::new("gate").delay(SimDuration::from_secs(5)));
         let done = pfs.submit(
             &mut sim,
             &fabric,
@@ -374,6 +438,37 @@ mod tests {
         };
         assert!((elapsed(1) - 2.0).abs() < 1e-6);
         assert!((elapsed(2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn registry_records_requests_and_imbalance() {
+        let (mut sim, fabric, mut pfs) = harness();
+        let reg = Registry::shared();
+        pfs.set_registry(Arc::clone(&reg));
+        // 300 B write: stripes of 100 B land on ost0..ost2, ost3 idle.
+        pfs.submit(
+            &mut sim,
+            &fabric,
+            "w",
+            NodeId(0),
+            Rw::Write,
+            Extent::new(0, 300),
+            &[],
+        );
+        pfs.record_imbalance();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("pfs.requests", &[("rw", "write")]), Some(1));
+        assert_eq!(snap.counter("pfs.ost.bytes", &[("ost", "0")]), Some(100));
+        assert_eq!(snap.counter("pfs.ost.bytes", &[("ost", "2")]), Some(100));
+        assert_eq!(snap.counter_total("pfs.ost.bytes"), 300);
+        let cv = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "pfs.ost.imbalance_cv")
+            .expect("imbalance gauge")
+            .value;
+        // Bytes are (100, 100, 100, 0): mean 75, stddev 43.3 → cv ≈ 0.577.
+        assert!((cv - (1.0f64 / 3.0).sqrt()).abs() < 1e-9, "cv = {cv}");
     }
 
     #[test]

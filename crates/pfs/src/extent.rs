@@ -149,10 +149,7 @@ pub fn total_bytes(extents: &[Extent]) -> u64 {
 /// Clip every extent in `extents` against `window`, keeping order and
 /// dropping non-overlapping pieces.
 pub fn clip_all(extents: &[Extent], window: &Extent) -> Vec<Extent> {
-    extents
-        .iter()
-        .filter_map(|e| e.intersect(window))
-        .collect()
+    extents.iter().filter_map(|e| e.intersect(window)).collect()
 }
 
 #[cfg(test)]
@@ -235,7 +232,7 @@ mod tests {
         let merged = coalesce(vec![
             Extent::new(20, 5),
             Extent::new(0, 10),
-            Extent::new(8, 4), // overlaps first
+            Extent::new(8, 4),  // overlaps first
             Extent::new(12, 8), // adjacent to previous merge
             Extent::new(50, 0), // empty dropped
         ]);

@@ -19,6 +19,7 @@ const TAG_REDUCE: u64 = TAG_INTERNAL + 22;
 impl Comm {
     /// Block until every rank of the communicator has entered.
     pub fn barrier(&self) {
+        self.note_collective("barrier", 0);
         if self.size() == 1 {
             return;
         }
@@ -37,6 +38,7 @@ impl Comm {
 
     /// Broadcast `data` from `root`; every rank returns the payload.
     pub fn bcast(&self, root: usize, data: Vec<u8>) -> Vec<u8> {
+        self.note_collective("bcast", data.len() as u64);
         if self.size() == 1 {
             return data;
         }
@@ -56,6 +58,7 @@ impl Comm {
     /// `None`. Variable-length payloads are inherently supported
     /// (gatherv).
     pub fn gather(&self, root: usize, data: Vec<u8>) -> Option<Vec<Vec<u8>>> {
+        self.note_collective("gather", data.len() as u64);
         if self.rank() == root {
             let mut out = vec![Vec::new(); self.size()];
             out[root] = data;
@@ -71,6 +74,7 @@ impl Comm {
 
     /// Every rank gets every rank's `data`, in rank order.
     pub fn allgather(&self, data: Vec<u8>) -> Vec<Vec<u8>> {
+        self.note_collective("allgather", data.len() as u64);
         self.allgather_internal(data, TAG_GATHER)
     }
 
@@ -86,6 +90,7 @@ impl Comm {
             self.size(),
             "alltoallv needs one buffer per destination"
         );
+        self.note_collective("alltoallv", outgoing.iter().map(|v| v.len() as u64).sum());
         let mut incoming = vec![Vec::new(); self.size()];
         for (dst, data) in outgoing.into_iter().enumerate() {
             if dst == self.rank() {
@@ -110,6 +115,7 @@ impl Comm {
     /// # Panics
     /// Panics at the root if `outgoing.len() != self.size()`.
     pub fn scatterv(&self, root: usize, outgoing: Vec<Vec<u8>>) -> Vec<u8> {
+        self.note_collective("scatterv", outgoing.iter().map(|v| v.len() as u64).sum());
         if self.rank() == root {
             assert_eq!(
                 outgoing.len(),
@@ -132,12 +138,8 @@ impl Comm {
 
     /// Reduce `u64` values at `root` with a commutative-associative `op`;
     /// the root gets `Some(result)`, others `None`.
-    pub fn reduce_u64(
-        &self,
-        root: usize,
-        value: u64,
-        op: impl Fn(u64, u64) -> u64,
-    ) -> Option<u64> {
+    pub fn reduce_u64(&self, root: usize, value: u64, op: impl Fn(u64, u64) -> u64) -> Option<u64> {
+        self.note_collective("reduce", 8);
         if self.rank() == root {
             let mut acc = value;
             for src in (0..self.size()).filter(|&s| s != root) {
@@ -168,19 +170,25 @@ impl Comm {
 
     /// Generic commutative-associative `u64` allreduce.
     pub fn allreduce_u64(&self, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
-        self.allgather(value.to_le_bytes().to_vec())
+        self.note_collective("allreduce", 8);
+        // Use the internal allgather so the metrics count one "allreduce",
+        // not an "allgather" as well.
+        self.allgather_internal(value.to_le_bytes().to_vec(), TAG_GATHER)
             .into_iter()
             .map(|b| u64::from_le_bytes(b.try_into().expect("u64 payload")))
-            .fold(None::<u64>, |acc, x| Some(match acc {
-                None => x,
-                Some(a) => op(a, x),
-            }))
+            .fold(None::<u64>, |acc, x| {
+                Some(match acc {
+                    None => x,
+                    Some(a) => op(a, x),
+                })
+            })
             .expect("communicator is non-empty")
     }
 
     /// Exclusive prefix sum: rank r returns the sum of values on ranks
     /// `0..r` (0 on rank 0).
     pub fn exscan_sum_u64(&self, value: u64) -> u64 {
+        self.note_collective("exscan", 8);
         // Linear relay keeps it obviously correct.
         let prefix = if self.rank() == 0 {
             0
@@ -214,7 +222,11 @@ pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
 /// # Panics
 /// Panics if the length is not a multiple of 8.
 pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert_eq!(bytes.len() % 8, 0, "u64 buffer length must be multiple of 8");
+    assert_eq!(
+        bytes.len() % 8,
+        0,
+        "u64 buffer length must be multiple of 8"
+    );
     bytes
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
@@ -345,6 +357,44 @@ mod tests {
                 assert_eq!(r, None);
             }
         });
+    }
+
+    #[test]
+    fn metrics_count_collectives_and_p2p() {
+        use mcio_obs::Registry;
+        let reg = Registry::shared();
+        let reg2 = std::sync::Arc::clone(&reg);
+        run(4, move |mut comm| {
+            comm.set_metrics(std::sync::Arc::clone(&reg2));
+            comm.barrier();
+            let sum = comm.allreduce_sum_u64(comm.rank() as u64);
+            assert_eq!(sum, 6);
+            // Split children inherit the registry.
+            let sub = comm.split((comm.rank() % 2) as u64, 0);
+            sub.bcast(0, vec![0u8; 10]);
+        });
+        let snap = reg.snapshot();
+        // One entry per rank per collective.
+        assert_eq!(
+            snap.counter("simpi.collective.calls", &[("op", "barrier")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter("simpi.collective.calls", &[("op", "allreduce")]),
+            Some(4)
+        );
+        assert_eq!(
+            snap.counter("simpi.collective.calls", &[("op", "bcast")]),
+            Some(4)
+        );
+        // allreduce contributes 8 bytes per rank.
+        assert_eq!(
+            snap.counter("simpi.collective.bytes", &[("op", "allreduce")]),
+            Some(32)
+        );
+        // The linear barrier alone moves 2(N-1) messages; everything the
+        // collectives send is p2p underneath, so the counter is well above.
+        assert!(snap.counter("simpi.p2p.msgs", &[]).unwrap() >= 6);
     }
 
     #[test]

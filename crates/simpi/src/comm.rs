@@ -7,6 +7,7 @@
 //! same signature match in FIFO order, like MPI.
 
 use crossbeam::channel::{Receiver, Sender};
+use mcio_obs::Registry;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -45,6 +46,8 @@ pub struct Comm {
     /// Per-comm split counter, advanced identically on every member
     /// because `split` is collective.
     split_seq: Rc<Cell<u64>>,
+    /// Shared metrics sink; clones and split sub-communicators inherit it.
+    metrics: Option<Arc<Registry>>,
 }
 
 impl Comm {
@@ -64,6 +67,43 @@ impl Comm {
                 pending: RefCell::new(VecDeque::new()),
             }),
             split_seq: Rc::new(Cell::new(0)),
+            metrics: None,
+        }
+    }
+
+    /// Attach a metrics registry. All point-to-point traffic through this
+    /// handle (including the messages that implement collectives) is
+    /// counted into `simpi.p2p.*`, and each collective entry into
+    /// `simpi.collective.*` labeled by operation. Counts are per calling
+    /// rank: an N-rank `barrier` adds N to `simpi.collective.calls`.
+    /// Clones and [`Comm::split`] children made *after* this call inherit
+    /// the registry.
+    pub fn set_metrics(&mut self, registry: Arc<Registry>) {
+        registry.describe("simpi.p2p.msgs", "messages", "Point-to-point messages sent");
+        registry.describe(
+            "simpi.p2p.bytes",
+            "bytes",
+            "Point-to-point payload bytes sent",
+        );
+        registry.describe(
+            "simpi.collective.calls",
+            "calls",
+            "Collective entries, per participating rank, by operation",
+        );
+        registry.describe(
+            "simpi.collective.bytes",
+            "bytes",
+            "Payload bytes contributed to collectives by the calling rank, by operation",
+        );
+        self.metrics = Some(registry);
+    }
+
+    /// Count one collective entry by this rank.
+    pub(crate) fn note_collective(&self, op: &'static str, bytes: u64) {
+        if let Some(reg) = &self.metrics {
+            let lbl = [("op", op)];
+            reg.inc("simpi.collective.calls", &lbl, 1);
+            reg.inc("simpi.collective.bytes", &lbl, bytes);
         }
     }
 
@@ -85,6 +125,10 @@ impl Comm {
     /// Send `data` to local rank `dst` with `tag`. Asynchronous and
     /// unbounded, like an `MPI_Isend` that always buffers.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<u8>) {
+        if let Some(reg) = &self.metrics {
+            reg.inc("simpi.p2p.msgs", &[], 1);
+            reg.inc("simpi.p2p.bytes", &[], data.len() as u64);
+        }
         let env = Envelope {
             ctx: self.ctx,
             src_global: self.members[self.rank],
@@ -163,6 +207,7 @@ impl Comm {
             senders: Arc::clone(&self.senders),
             mailbox: Rc::clone(&self.mailbox),
             split_seq: Rc::new(Cell::new(0)),
+            metrics: self.metrics.clone(),
         }
     }
 

@@ -215,9 +215,7 @@ impl Datatype {
             Datatype::Indexed { blocks, child } | Datatype::HIndexed { blocks, child } => {
                 blocks.iter().map(|&(_, bl)| bl).sum::<u64>() * child.size()
             }
-            Datatype::Subarray { subsizes, elem, .. } => {
-                subsizes.iter().product::<u64>() * elem
-            }
+            Datatype::Subarray { subsizes, elem, .. } => subsizes.iter().product::<u64>() * elem,
             Datatype::Resized { child, .. } => child.size(),
         }
     }
@@ -467,11 +465,7 @@ mod tests {
         assert_eq!(t.extent(), 12);
         assert_eq!(
             t.flatten(),
-            vec![
-                Segment::new(0, 2),
-                Segment::new(5, 2),
-                Segment::new(10, 2)
-            ]
+            vec![Segment::new(0, 2), Segment::new(5, 2), Segment::new(10, 2)]
         );
     }
 
@@ -479,10 +473,7 @@ mod tests {
     fn vector_of_structs_uses_child_extent() {
         // Child is 4 bytes; stride 3 children = 12 bytes.
         let t = Datatype::vector(2, 1, 3, Datatype::bytes(4));
-        assert_eq!(
-            t.flatten(),
-            vec![Segment::new(0, 4), Segment::new(12, 4)]
-        );
+        assert_eq!(t.flatten(), vec![Segment::new(0, 4), Segment::new(12, 4)]);
         assert_eq!(t.extent(), (3 + 1) * 4);
     }
 
@@ -491,11 +482,7 @@ mod tests {
         let t = Datatype::hvector(3, 1, 10, Datatype::bytes(4));
         assert_eq!(
             t.flatten(),
-            vec![
-                Segment::new(0, 4),
-                Segment::new(10, 4),
-                Segment::new(20, 4)
-            ]
+            vec![Segment::new(0, 4), Segment::new(10, 4), Segment::new(20, 4)]
         );
         assert_eq!(t.extent(), 24);
     }
@@ -505,19 +492,13 @@ mod tests {
         let t = Datatype::indexed(vec![(6, 2), (0, 2)], Datatype::bytes(3));
         assert_eq!(t.size(), 12);
         assert_eq!(t.extent(), 24);
-        assert_eq!(
-            t.flatten(),
-            vec![Segment::new(0, 6), Segment::new(18, 6)]
-        );
+        assert_eq!(t.flatten(), vec![Segment::new(0, 6), Segment::new(18, 6)]);
     }
 
     #[test]
     fn hindexed_bytes() {
         let t = Datatype::hindexed(vec![(100, 2), (0, 1)], Datatype::bytes(4));
-        assert_eq!(
-            t.flatten(),
-            vec![Segment::new(0, 4), Segment::new(100, 8)]
-        );
+        assert_eq!(t.flatten(), vec![Segment::new(0, 4), Segment::new(100, 8)]);
         assert_eq!(t.extent(), 108);
     }
 
@@ -528,10 +509,7 @@ mod tests {
         let t = Datatype::subarray(vec![4, 4], vec![2, 2], vec![1, 1], 1);
         assert_eq!(t.size(), 4);
         assert_eq!(t.extent(), 16);
-        assert_eq!(
-            t.flatten(),
-            vec![Segment::new(5, 2), Segment::new(9, 2)]
-        );
+        assert_eq!(t.flatten(), vec![Segment::new(5, 2), Segment::new(9, 2)]);
     }
 
     #[test]

@@ -121,11 +121,7 @@ mod tests {
         // 10 data bytes: tiles 0,1 full, tile 2 partial.
         assert_eq!(
             v.segments(0, 10),
-            vec![
-                Segment::new(0, 4),
-                Segment::new(16, 4),
-                Segment::new(32, 2)
-            ]
+            vec![Segment::new(0, 4), Segment::new(16, 4), Segment::new(32, 2)]
         );
     }
 
@@ -158,11 +154,7 @@ mod tests {
         let v = FileView::new(0, ft);
         assert_eq!(
             v.segments(0, 6),
-            vec![
-                Segment::new(0, 2),
-                Segment::new(6, 2),
-                Segment::new(10, 2),
-            ]
+            vec![Segment::new(0, 2), Segment::new(6, 2), Segment::new(10, 2),]
         );
         // Second tile's tail segment, third tile's head.
         assert_eq!(

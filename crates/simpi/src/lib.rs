@@ -42,7 +42,7 @@ pub mod nonblocking;
 pub mod runtime;
 
 pub use comm::Comm;
-pub use nonblocking::{waitall, RecvRequest};
 pub use datatype::{Datatype, Segment};
 pub use fileview::FileView;
+pub use nonblocking::{waitall, RecvRequest};
 pub use runtime::run;

@@ -80,8 +80,7 @@ mod tests {
         run(n, move |comm| {
             if comm.rank() == 0 {
                 // Post receives from everyone, then wait for all.
-                let reqs: Vec<RecvRequest> =
-                    (1..n).map(|src| comm.irecv(src, 1)).collect();
+                let reqs: Vec<RecvRequest> = (1..n).map(|src| comm.irecv(src, 1)).collect();
                 let payloads = waitall(&comm, reqs);
                 for (i, p) in payloads.iter().enumerate() {
                     assert_eq!(p, &vec![(i + 1) as u8]);

@@ -15,19 +15,18 @@ fn arb_datatype(depth: u32) -> BoxedStrategy<Datatype> {
     prop_oneof![
         leaf,
         (1u64..4, inner.clone()).prop_map(|(c, d)| Datatype::contiguous(c, d)),
-        (1u64..4, 1u64..3, 3u64..6, inner.clone())
-            .prop_map(|(c, b, s, d)| Datatype::vector(c, b, s.max(b), d)),
+        (1u64..4, 1u64..3, 3u64..6, inner.clone()).prop_map(|(c, b, s, d)| Datatype::vector(
+            c,
+            b,
+            s.max(b),
+            d
+        )),
         (inner.clone(), 1u64..64).prop_map(|(d, pad)| {
             let e = d.extent();
             Datatype::resized(d, e + pad)
         }),
         (2u64..5, 2u64..5, 1u64..3).prop_map(|(rows, cols, elem)| {
-            Datatype::subarray(
-                vec![rows + 1, cols + 2],
-                vec![rows, cols],
-                vec![0, 1],
-                elem,
-            )
+            Datatype::subarray(vec![rows + 1, cols + 2], vec![rows, cols], vec![0, 1], elem)
         }),
     ]
     .boxed()

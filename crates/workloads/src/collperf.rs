@@ -85,8 +85,7 @@ impl CollPerf {
 
     /// The whole collective request.
     pub fn request(&self, rw: Rw) -> CollectiveRequest {
-        let views: Vec<(FileView, u64)> =
-            (0..self.nprocs()).map(|r| self.view_of(r)).collect();
+        let views: Vec<(FileView, u64)> = (0..self.nprocs()).map(|r| self.view_of(r)).collect();
         CollectiveRequest::from_views(rw, &views)
     }
 }
@@ -178,10 +177,7 @@ mod tests {
         };
         let req = cp.request(Rw::Write);
         assert_eq!(req.total_bytes(), 7 * 5 * 9 * 2);
-        assert_eq!(
-            req.coverage(),
-            vec![Extent::new(0, cp.file_bytes())]
-        );
+        assert_eq!(req.coverage(), vec![Extent::new(0, cp.file_bytes())]);
     }
 
     #[test]

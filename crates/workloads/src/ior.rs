@@ -88,10 +88,7 @@ impl Ior {
 
     /// The whole collective request.
     pub fn request(&self, rw: Rw) -> CollectiveRequest {
-        CollectiveRequest::new(
-            rw,
-            (0..self.nprocs).map(|r| self.extents_of(r)).collect(),
-        )
+        CollectiveRequest::new(rw, (0..self.nprocs).map(|r| self.extents_of(r)).collect())
     }
 }
 

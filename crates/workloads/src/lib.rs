@@ -21,3 +21,47 @@ pub mod synthetic;
 
 pub use collperf::CollPerf;
 pub use ior::{Ior, IorLayout};
+
+/// Record the shape of a generated request as `workload.*` metrics:
+/// rank/extent/byte totals, the per-extent size histogram, and the file
+/// hull density. Exported metrics files become self-describing about
+/// the access pattern that produced them.
+pub fn record_request(req: &mcio_core::CollectiveRequest, reg: &mcio_obs::Registry) {
+    reg.describe(
+        "workload.ranks",
+        "count",
+        "Ranks participating in the collective",
+    );
+    reg.describe("workload.bytes", "bytes", "Total bytes requested");
+    reg.describe("workload.extents", "count", "File extents across all ranks");
+    reg.describe(
+        "workload.extent_bytes",
+        "bytes",
+        "Per-extent request size distribution",
+    );
+    reg.describe("workload.hull_bytes", "bytes", "Span of the file hull");
+    reg.describe(
+        "workload.density",
+        "ratio",
+        "Requested bytes / hull span (1.0 = fully dense)",
+    );
+    reg.set_gauge("workload.ranks", &[], req.nranks() as f64);
+    let bytes = req.total_bytes();
+    reg.inc("workload.bytes", &[], bytes);
+    let mut extents = 0u64;
+    for r in &req.ranks {
+        for e in &r.extents {
+            extents += 1;
+            reg.observe("workload.extent_bytes", &[], e.len);
+        }
+    }
+    reg.inc("workload.extents", &[], extents);
+    let hull = req.hull();
+    reg.set_gauge("workload.hull_bytes", &[], hull.len as f64);
+    let density = if hull.len == 0 {
+        0.0
+    } else {
+        bytes as f64 / hull.len as f64
+    };
+    reg.set_gauge("workload.density", &[], density);
+}

@@ -104,10 +104,7 @@ mod tests {
         assert_eq!(req.ranks[0].extents[1], Extent::new(32, 8));
         // Second outer block starts at outer_stride cells.
         let per_block = 5;
-        assert_eq!(
-            req.ranks[0].extents[per_block].offset,
-            40 * 8
-        );
+        assert_eq!(req.ranks[0].extents[per_block].offset, 40 * 8);
     }
 
     #[test]

@@ -28,8 +28,18 @@ fn main() {
     // interleaved. On the 2010 design each core has ~1.3 GB; on the 2018
     // design ~10 MB — the aggregation buffer IS the memory budget.
     for (label, spec, ppn, mem_per_core) in [
-        ("petascale-2010 (slice)", ClusterSpec::petascale_2010(), 12usize, 1280 * MIB),
-        ("exascale-2018 (slice)", ClusterSpec::exascale_2018(), 64, 10 * MIB),
+        (
+            "petascale-2010 (slice)",
+            ClusterSpec::petascale_2010(),
+            12usize,
+            1280 * MIB,
+        ),
+        (
+            "exascale-2018 (slice)",
+            ClusterSpec::exascale_2018(),
+            64,
+            10 * MIB,
+        ),
     ] {
         let mut spec = spec;
         spec.nodes = spec.nodes.min(512 / ppn + 1);

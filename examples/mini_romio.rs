@@ -37,12 +37,7 @@ fn main() {
     let checks = run(nranks, move |comm| {
         let rank = comm.rank() as u64;
         let (ti, tj) = (rank / 2, rank % 2);
-        let ft = Datatype::subarray(
-            vec![rows, cols],
-            vec![tr, tc],
-            vec![ti * tr, tj * tc],
-            elem,
-        );
+        let ft = Datatype::subarray(vec![rows, cols], vec![tr, tc], vec![ti * tr, tj * tc], elem);
         let mut fh = CollFile::open(
             comm,
             Arc::clone(&shared),
@@ -54,7 +49,9 @@ fn main() {
         fh.set_view(FileView::new(0, ft.clone()));
 
         // Write this rank's tile: every cell tagged with the owner.
-        let tile: Vec<u8> = (0..tr * tc * elem).map(|i| (rank * 31 + i % 251) as u8).collect();
+        let tile: Vec<u8> = (0..tr * tc * elem)
+            .map(|i| (rank * 31 + i % 251) as u8)
+            .collect();
         fh.write_all(&tile).expect("collective write");
 
         // Read the tile back through the same view and compare.
@@ -64,7 +61,10 @@ fn main() {
         back == tile
     });
 
-    assert!(checks.iter().all(|&ok| ok), "some rank read back wrong data");
+    assert!(
+        checks.iter().all(|&ok| ok),
+        "some rank read back wrong data"
+    );
     let file = file.lock();
     println!(
         "mini-ROMIO: {nranks} rank threads collectively wrote & re-read a {}x{} field ({} KiB file)",

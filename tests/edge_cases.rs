@@ -10,7 +10,13 @@ use mcio::core::mcio as mc;
 use mcio::core::{hints, twophase, CollectiveConfig, CollectiveRequest, ProcMemory};
 use mcio::pfs::{Extent, Rw, SparseFile};
 
-fn roundtrip_mc(req_w: &CollectiveRequest, req_r: &CollectiveRequest, map: &ProcessMap, mem: &ProcMemory, cfg: &CollectiveConfig) {
+fn roundtrip_mc(
+    req_w: &CollectiveRequest,
+    req_r: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) {
     let wplan = mc::plan(req_w, map, mem, cfg);
     wplan.check(req_w).unwrap();
     let mut file = SparseFile::new();
@@ -38,7 +44,10 @@ fn one_byte_requests() {
     let req_r = CollectiveRequest::new(Rw::Read, per);
     let map = ProcessMap::block_ppn(7, 3);
     let mem = ProcMemory::uniform(7, 1);
-    let cfg = CollectiveConfig::with_buffer(1).msg_group(4).msg_ind(2).mem_min(0);
+    let cfg = CollectiveConfig::with_buffer(1)
+        .msg_group(4)
+        .msg_ind(2)
+        .mem_min(0);
     roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
 }
 
@@ -68,7 +77,9 @@ fn huge_offsets_near_exabyte() {
 fn all_ranks_one_node() {
     // 16 ranks on a single node: every message is intra-node; groups
     // collapse to one.
-    let per: Vec<Vec<Extent>> = (0..16u64).map(|r| vec![Extent::new(r * 1000, 1000)]).collect();
+    let per: Vec<Vec<Extent>> = (0..16u64)
+        .map(|r| vec![Extent::new(r * 1000, 1000)])
+        .collect();
     let req_w = CollectiveRequest::new(Rw::Write, per.clone());
     let req_r = CollectiveRequest::new(Rw::Read, per);
     let map = ProcessMap::block_ppn(16, 16);
@@ -86,7 +97,9 @@ fn extreme_memory_skew() {
     let mut budgets = vec![16u64; 12];
     budgets[7] = 1 << 30;
     let mem = ProcMemory::from_budgets(budgets);
-    let per: Vec<Vec<Extent>> = (0..12u64).map(|r| vec![Extent::new(r * 5000, 5000)]).collect();
+    let per: Vec<Vec<Extent>> = (0..12u64)
+        .map(|r| vec![Extent::new(r * 5000, 5000)])
+        .collect();
     let req_w = CollectiveRequest::new(Rw::Write, per.clone());
     let req_r = CollectiveRequest::new(Rw::Read, per);
     let map = ProcessMap::block_ppn(12, 3);
@@ -109,7 +122,10 @@ fn minimum_memory_everywhere() {
     let req_r = CollectiveRequest::new(Rw::Read, per);
     let map = ProcessMap::block_ppn(4, 2);
     let mem = ProcMemory::from_budgets(vec![1, 1, 1, 1]);
-    let cfg = CollectiveConfig::with_buffer(1).msg_group(32).msg_ind(16).mem_min(0);
+    let cfg = CollectiveConfig::with_buffer(1)
+        .msg_group(32)
+        .msg_ind(16)
+        .mem_min(0);
     roundtrip_mc(&req_w, &req_r, &map, &mem, &cfg);
 }
 
@@ -148,9 +164,8 @@ fn mismatched_topology_panics() {
     let req = CollectiveRequest::new(Rw::Write, vec![vec![Extent::new(0, 10)]; 4]);
     let map = ProcessMap::block_ppn(8, 2); // wrong rank count
     let mem = ProcMemory::uniform(4, 100);
-    let result = std::panic::catch_unwind(|| {
-        twophase::plan(&req, &map, &mem, &CollectiveConfig::default())
-    });
+    let result =
+        std::panic::catch_unwind(|| twophase::plan(&req, &map, &mem, &CollectiveConfig::default()));
     assert!(result.is_err(), "rank-count mismatch must panic");
 }
 

@@ -32,7 +32,11 @@ fn byte_accounting_agrees_everywhere() {
         ),
         (
             "checkpoint",
-            science::checkpoint(Rw::Write, 1024, &[MIB, MIB / 2, 0, MIB / 4, MIB, 0, 777, MIB]),
+            science::checkpoint(
+                Rw::Write,
+                1024,
+                &[MIB, MIB / 2, 0, MIB / 4, MIB, 0, 777, MIB],
+            ),
         ),
     ];
 

@@ -3,9 +3,7 @@
 //! workload family.
 
 use mcio::cluster::ProcessMap;
-use mcio::core::exec_fn::{
-    execute_read, execute_write, verify_read, verify_write,
-};
+use mcio::core::exec_fn::{execute_read, execute_write, verify_read, verify_write};
 use mcio::core::mcio as mc;
 use mcio::core::{twophase, CollectiveConfig, CollectiveRequest, ProcMemory};
 // Alias: `Strategy` the planner enum, distinct from proptest's trait.

@@ -125,7 +125,8 @@ fn checkpoint_through_mpiio_layer() {
             header + rank as u64 * record,
             Datatype::bytes(u64::MAX),
         ));
-        fh.write_all(&vec![0xD0 + rank as u8; record as usize]).unwrap();
+        fh.write_all(&vec![0xD0 + rank as u8; record as usize])
+            .unwrap();
     });
 
     let file = file.lock();

@@ -39,12 +39,22 @@ fn reads_not_slower_than_writes() {
     let mem = ProcMemory::uniform(8, 4 * MIB);
     let cfg = CollectiveConfig::with_buffer(4 * MIB);
     let w = simulate(
-        &twophase::plan(&synthetic::serial_chunks(Rw::Write, 8, 8 * MIB), &map, &mem, &cfg),
+        &twophase::plan(
+            &synthetic::serial_chunks(Rw::Write, 8, 8 * MIB),
+            &map,
+            &mem,
+            &cfg,
+        ),
         &map,
         &spec,
     );
     let r = simulate(
-        &twophase::plan(&synthetic::serial_chunks(Rw::Read, 8, 8 * MIB), &map, &mem, &cfg),
+        &twophase::plan(
+            &synthetic::serial_chunks(Rw::Read, 8, 8 * MIB),
+            &map,
+            &mem,
+            &cfg,
+        ),
         &map,
         &spec,
     );
