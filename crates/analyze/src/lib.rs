@@ -1,0 +1,36 @@
+//! # mcio-analyze — trace-driven performance analysis
+//!
+//! PR 1 made every run emit a unified Chrome trace (DES resource lanes
+//! on pid 1, logical round phases on pid 2) and a metrics registry.
+//! This crate *answers questions* from that data — the paper's central
+//! one first: **which phase or resource limits collective I/O as
+//! memory per core shrinks?**
+//!
+//! * [`TraceModel`] — a queryable in-memory form of a trace, built from
+//!   a live [`mcio_obs::TraceCollector`] or parsed back from a Chrome
+//!   trace-event JSON file (`--trace` output round-trips losslessly).
+//! * [`critical_path`] — partitions the run's elapsed simulated time
+//!   into **network-shuffle**, **OST I/O**, **memory-wait**, and
+//!   **idle** by sweeping the critical round chain against the resource
+//!   lanes. The four buckets sum to the elapsed time *exactly* (integer
+//!   nanoseconds), so attributions are audit-safe.
+//! * [`report`] — per-chain and per-aggregator summaries, resource-
+//!   class percentiles (via [`mcio_obs::Histogram::percentile`]), a
+//!   top-K longest-chain table, JSON and terminal renderings, and
+//!   two-run bottleneck comparison (baseline two-phase vs MC-CIO).
+//!
+//! The `mcio_cli analyze` subcommand and the `perf_suite` benchmark
+//! harness are thin shells over this crate.
+
+#![warn(missing_docs)]
+
+pub mod critical_path;
+pub mod report;
+pub mod trace_model;
+
+pub use critical_path::{
+    aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
+    PhaseKind,
+};
+pub use report::{analyze, compare, Analysis, ClassStat, Comparison, PhaseTotals};
+pub use trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS};

@@ -1,0 +1,427 @@
+//! Structured and human-readable renderings of one run's analysis,
+//! plus two-run bottleneck comparison.
+//!
+//! The JSON form is the machine interface (`mcio_cli analyze --report
+//! json`, the `perf_suite` BENCH records); the text form is the
+//! terminal report. Both come from the same [`Analysis`] value so they
+//! can never disagree.
+
+use crate::critical_path::{
+    aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
+};
+use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES};
+use mcio_obs::trace::escape_json;
+use mcio_obs::Histogram;
+use std::fmt::Write as _;
+
+/// Raw per-phase attribution sums across all chains (the trace-side
+/// equivalent of `TimingReport::exchange_time` / `io_time`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Summed exchange-phase nanoseconds over every chain.
+    pub exchange_ns: u64,
+    /// Summed file-access-phase nanoseconds over every chain.
+    pub io_ns: u64,
+}
+
+/// Service-time statistics of one resource class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassStat {
+    /// Class label (`"network"`, `"memory"`, `"storage"`).
+    pub class: &'static str,
+    /// Summed service time across the class's lanes.
+    pub busy_ns: u64,
+    /// Number of service intervals.
+    pub spans: u64,
+    /// Estimated median service-interval duration.
+    pub p50_ns: f64,
+    /// Estimated 95th-percentile duration.
+    pub p95_ns: f64,
+    /// Estimated 99th-percentile duration.
+    pub p99_ns: f64,
+}
+
+/// Everything the analyzer extracts from one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Elapsed simulated time (trace makespan), nanoseconds.
+    pub elapsed_ns: u64,
+    /// The four-bucket critical-path attribution (sums to
+    /// `elapsed_ns` exactly).
+    pub critical_path: CriticalPath,
+    /// Raw per-phase sums across all chains.
+    pub phase_totals: PhaseTotals,
+    /// Every round chain, longest first.
+    pub chains: Vec<ChainSummary>,
+    /// Every reconstructed aggregator, busiest I/O first.
+    pub aggregators: Vec<AggIo>,
+    /// Per-resource-class service statistics.
+    pub class_stats: Vec<ClassStat>,
+    /// How many chains/aggregators the text report prints.
+    pub top_k: usize,
+}
+
+/// Analyze one trace: critical path, chain and aggregator attribution,
+/// and resource-class percentiles. `top_k` bounds only the *text*
+/// rendering; the JSON always carries everything.
+pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
+    let (exchange_ns, io_ns) = phase_sums(model);
+    let mut class_stats = Vec::new();
+    for class in [
+        ResourceClass::Network,
+        ResourceClass::Memory,
+        ResourceClass::Storage,
+    ] {
+        let mut hist = Histogram::new();
+        let mut busy_ns = 0u64;
+        for s in model.spans.iter().filter(|s| {
+            s.pid == PID_RESOURCES
+                && model
+                    .lane_name(PID_RESOURCES, s.tid)
+                    .map(ResourceClass::classify)
+                    == Some(class)
+        }) {
+            hist.observe(s.dur_ns);
+            busy_ns += s.dur_ns;
+        }
+        if hist.count() == 0 {
+            continue;
+        }
+        class_stats.push(ClassStat {
+            class: class.label(),
+            busy_ns,
+            spans: hist.count(),
+            p50_ns: hist.percentile(0.50).unwrap_or(0.0),
+            p95_ns: hist.percentile(0.95).unwrap_or(0.0),
+            p99_ns: hist.percentile(0.99).unwrap_or(0.0),
+        });
+    }
+    Analysis {
+        elapsed_ns: model.makespan_ns(),
+        critical_path: critical_path(model),
+        phase_totals: PhaseTotals { exchange_ns, io_ns },
+        chains: chain_summaries(model),
+        aggregators: aggregator_io(model),
+        class_stats,
+        top_k,
+    }
+}
+
+impl Analysis {
+    /// Render as a self-describing JSON object. The four
+    /// `critical_path` buckets sum to `elapsed_ns` exactly.
+    pub fn to_json(&self) -> String {
+        let cp = &self.critical_path;
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"elapsed_ns\": {},", self.elapsed_ns);
+        let _ = writeln!(out, "  \"critical_path\": {{");
+        let _ = writeln!(
+            out,
+            "    \"network_shuffle_ns\": {},",
+            cp.network_shuffle_ns
+        );
+        let _ = writeln!(out, "    \"ost_io_ns\": {},", cp.ost_io_ns);
+        let _ = writeln!(out, "    \"memory_wait_ns\": {},", cp.memory_wait_ns);
+        let _ = writeln!(out, "    \"idle_ns\": {},", cp.idle_ns);
+        let _ = writeln!(out, "    \"attributed_ns\": {},", cp.attributed_ns());
+        let _ = writeln!(out, "    \"bottleneck\": \"{}\"", cp.bottleneck());
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(
+            out,
+            "  \"phase_totals\": {{\"exchange_ns\": {}, \"io_ns\": {}}},",
+            self.phase_totals.exchange_ns, self.phase_totals.io_ns
+        );
+        out.push_str("  \"chains\": [");
+        for (i, c) in self.chains.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"chain\": {}, \"group\": \"{}\", \"start_ns\": {}, \"end_ns\": {}, \
+                 \"exchange_ns\": {}, \"io_ns\": {}, \"idle_ns\": {}, \"rounds\": {}, \
+                 \"critical\": {}}}",
+                c.chain,
+                escape_json(&c.group),
+                c.start_ns,
+                c.end_ns,
+                c.exchange_ns,
+                c.io_ns,
+                c.idle_ns,
+                c.rounds,
+                c.critical
+            );
+        }
+        out.push_str("\n  ],\n  \"aggregators\": [");
+        for (i, a) in self.aggregators.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"agg\": {}, \"io_busy_ns\": {}, \"io_requests\": {}, \
+                 \"msg_busy_ns\": {}, \"msgs\": {}}}",
+                a.agg, a.io_busy_ns, a.io_requests, a.msg_busy_ns, a.msgs
+            );
+        }
+        out.push_str("\n  ],\n  \"resource_classes\": [");
+        for (i, s) in self.class_stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"class\": \"{}\", \"busy_ns\": {}, \"spans\": {}, \
+                 \"p50_ns\": {:.1}, \"p95_ns\": {:.1}, \"p99_ns\": {:.1}}}",
+                s.class, s.busy_ns, s.spans, s.p50_ns, s.p95_ns, s.p99_ns
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render the terminal report (top-K chains and aggregators).
+    pub fn to_text(&self) -> String {
+        let cp = &self.critical_path;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(out, "== critical path ==");
+        let _ = writeln!(out, "elapsed          {:>12.3} ms", ms(self.elapsed_ns));
+        for (label, ns) in [
+            ("network-shuffle", cp.network_shuffle_ns),
+            ("ost-io", cp.ost_io_ns),
+            ("memory-wait", cp.memory_wait_ns),
+            ("idle", cp.idle_ns),
+        ] {
+            let _ = writeln!(
+                out,
+                "{label:<16} {:>12.3} ms  ({:>5.1}%)",
+                ms(ns),
+                cp.fraction(ns) * 100.0
+            );
+        }
+        let _ = writeln!(out, "bottleneck       {}", cp.bottleneck());
+        let _ = writeln!(
+            out,
+            "\nphase totals (all chains): exchange {:.3} ms, io {:.3} ms",
+            ms(self.phase_totals.exchange_ns),
+            ms(self.phase_totals.io_ns)
+        );
+
+        let _ = writeln!(
+            out,
+            "\n== longest chains (top {}) ==",
+            self.top_k.min(self.chains.len())
+        );
+        let _ = writeln!(
+            out,
+            "{:>5} {:>6} {:>7} {:>12} {:>12} {:>12} {:>9}",
+            "chain", "group", "rounds", "exchange ms", "io ms", "idle ms", "critical"
+        );
+        for c in self.chains.iter().take(self.top_k) {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>6} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>9}",
+                c.chain,
+                c.group,
+                c.rounds,
+                ms(c.exchange_ns),
+                ms(c.io_ns),
+                ms(c.idle_ns),
+                if c.critical { "*" } else { "" }
+            );
+        }
+
+        if !self.aggregators.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n== busiest aggregators (top {}) ==",
+                self.top_k.min(self.aggregators.len())
+            );
+            let _ = writeln!(
+                out,
+                "{:>6} {:>12} {:>9} {:>12} {:>7}",
+                "agg", "io busy ms", "requests", "msg busy ms", "msgs"
+            );
+            for a in self.aggregators.iter().take(self.top_k) {
+                let _ = writeln!(
+                    out,
+                    "{:>6} {:>12.3} {:>9} {:>12.3} {:>7}",
+                    a.agg,
+                    ms(a.io_busy_ns),
+                    a.io_requests,
+                    ms(a.msg_busy_ns),
+                    a.msgs
+                );
+            }
+        }
+
+        if !self.class_stats.is_empty() {
+            let _ = writeln!(out, "\n== resource service intervals ==");
+            let _ = writeln!(
+                out,
+                "{:>8} {:>12} {:>9} {:>10} {:>10} {:>10}",
+                "class", "busy ms", "spans", "p50 us", "p95 us", "p99 us"
+            );
+            for s in &self.class_stats {
+                let _ = writeln!(
+                    out,
+                    "{:>8} {:>12.3} {:>9} {:>10.2} {:>10.2} {:>10.2}",
+                    s.class,
+                    ms(s.busy_ns),
+                    s.spans,
+                    s.p50_ns / 1e3,
+                    s.p95_ns / 1e3,
+                    s.p99_ns / 1e3
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Bottleneck shift between two analyzed runs (e.g. baseline two-phase
+/// vs. memory-conscious on the same workload).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Label of the first run.
+    pub label_a: String,
+    /// Label of the second run.
+    pub label_b: String,
+    /// Elapsed of the first run, ns.
+    pub elapsed_a_ns: u64,
+    /// Elapsed of the second run, ns.
+    pub elapsed_b_ns: u64,
+    /// Dominant bucket of the first run.
+    pub bottleneck_a: &'static str,
+    /// Dominant bucket of the second run.
+    pub bottleneck_b: &'static str,
+    /// `elapsed_b / elapsed_a` (< 1 means B is faster).
+    pub speedup: f64,
+}
+
+/// Compare two analyses: who is faster, and did the bottleneck move?
+pub fn compare(label_a: &str, a: &Analysis, label_b: &str, b: &Analysis) -> Comparison {
+    Comparison {
+        label_a: label_a.to_string(),
+        label_b: label_b.to_string(),
+        elapsed_a_ns: a.elapsed_ns,
+        elapsed_b_ns: b.elapsed_ns,
+        bottleneck_a: a.critical_path.bottleneck(),
+        bottleneck_b: b.critical_path.bottleneck(),
+        speedup: if a.elapsed_ns == 0 {
+            0.0
+        } else {
+            b.elapsed_ns as f64 / a.elapsed_ns as f64
+        },
+    }
+}
+
+impl Comparison {
+    /// One-paragraph terminal rendering of the shift.
+    pub fn to_text(&self) -> String {
+        let pct = (1.0 - self.speedup) * 100.0;
+        let moved = if self.bottleneck_a == self.bottleneck_b {
+            format!("bottleneck stays on {}", self.bottleneck_a)
+        } else {
+            format!(
+                "bottleneck moves {} -> {}",
+                self.bottleneck_a, self.bottleneck_b
+            )
+        };
+        format!(
+            "{} {:.3} ms vs {} {:.3} ms ({:+.1}% elapsed); {}",
+            self.label_a,
+            self.elapsed_a_ns as f64 / 1e6,
+            self.label_b,
+            self.elapsed_b_ns as f64 / 1e6,
+            -pct,
+            moved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_model::{PID_RESOURCES, PID_ROUNDS};
+    use mcio_obs::json::{self, JsonValue};
+    use mcio_obs::TraceCollector;
+
+    fn model() -> TraceModel {
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "node0.nic_tx");
+        tc.name_thread(PID_RESOURCES, 1, "ost0");
+        tc.name_thread(PID_ROUNDS, 0, "chain0");
+        tc.span("msg.node0->rank1", "node0.nic_tx", PID_RESOURCES, 0, 0, 400);
+        tc.span("io.rank1", "ost0", PID_RESOURCES, 1, 400, 600);
+        tc.span("r0.exchange", "exchange", PID_ROUNDS, 0, 0, 400);
+        tc.span("r0.io", "io", PID_ROUNDS, 0, 400, 600);
+        TraceModel::from_collector(&tc)
+    }
+
+    #[test]
+    fn json_report_parses_and_sums() {
+        let a = analyze(&model(), 5);
+        let doc = json::parse(&a.to_json()).expect("report is valid JSON");
+        let elapsed = doc.get("elapsed_ns").and_then(JsonValue::as_f64).unwrap();
+        let cp = doc.get("critical_path").unwrap();
+        let sum: f64 = [
+            "network_shuffle_ns",
+            "ost_io_ns",
+            "memory_wait_ns",
+            "idle_ns",
+        ]
+        .iter()
+        .map(|k| cp.get(k).and_then(JsonValue::as_f64).unwrap())
+        .sum();
+        assert_eq!(sum, elapsed, "buckets partition elapsed exactly");
+        assert_eq!(
+            cp.get("bottleneck").and_then(JsonValue::as_str),
+            Some("ost_io")
+        );
+        assert_eq!(doc.get("chains").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(doc.get("aggregators").unwrap().as_array().unwrap().len(), 1);
+        let classes = doc.get("resource_classes").unwrap().as_array().unwrap();
+        assert_eq!(classes.len(), 2, "network + storage present");
+    }
+
+    #[test]
+    fn text_report_names_the_bottleneck() {
+        let a = analyze(&model(), 3);
+        let text = a.to_text();
+        assert!(text.contains("bottleneck       ost_io"), "{text}");
+        assert!(text.contains("longest chains"));
+        assert!(text.contains("busiest aggregators"));
+        assert!(text.contains("p95 us"));
+    }
+
+    #[test]
+    fn comparison_reports_shift() {
+        let a = analyze(&model(), 3);
+        // A second run twice as fast, network-bound.
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "node0.nic_tx");
+        tc.name_thread(PID_ROUNDS, 0, "chain0");
+        tc.span("msg.node0->rank1", "node0.nic_tx", PID_RESOURCES, 0, 0, 400);
+        tc.span("r0.exchange", "exchange", PID_ROUNDS, 0, 0, 500);
+        let b = analyze(&TraceModel::from_collector(&tc), 3);
+        let cmp = compare("two-phase", &a, "memory-conscious", &b);
+        assert!((cmp.speedup - 0.5).abs() < 1e-12);
+        assert_eq!(cmp.bottleneck_a, "ost_io");
+        assert_eq!(cmp.bottleneck_b, "network_shuffle");
+        let text = cmp.to_text();
+        assert!(
+            text.contains("bottleneck moves ost_io -> network_shuffle"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn empty_model_analysis_is_well_formed() {
+        let a = analyze(&TraceModel::default(), 5);
+        assert_eq!(a.elapsed_ns, 0);
+        assert!(json::parse(&a.to_json()).is_ok());
+        assert!(!a.to_text().is_empty());
+    }
+}

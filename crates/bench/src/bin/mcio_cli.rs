@@ -1,26 +1,39 @@
 //! A small experiment driver: run one collective with both strategies on
-//! a chosen workload/machine, entirely from the command line.
+//! a chosen workload/machine, entirely from the command line — and
+//! analyze the traces it writes.
 //!
 //! ```sh
 //! mcio_cli --workload ior --ranks 120 --ppn 12 --per-proc 32M --buffer 8M
 //! mcio_cli --workload collperf --ranks 64 --scale 4 --buffer 4M --rw read
 //! mcio_cli --workload checkpoint --ranks 48 --per-proc 16M --pipeline double
+//! mcio_cli --trace run.trace.json && mcio_cli analyze --trace run.trace.json
 //! ```
 //!
-//! Flags (all optional; defaults in parentheses):
+//! Run flags (all optional; defaults in parentheses):
 //! `--workload ior|collperf|checkpoint` (ior), `--ranks N` (120),
 //! `--ppn N` (12), `--per-proc BYTES` (32M), `--segments N` (8),
 //! `--scale N` collperf dimension divisor (4), `--buffer BYTES` (16M),
 //! `--stddev F` (0.35), `--seed N` (42), `--rw read|write` (write),
 //! `--machine testbed|exascale|small` (testbed),
-//! `--pipeline serial|double` (serial), `--two-level`, `--trace FILE`
-//! (write a unified Chrome-trace JSON of the memory-conscious run:
-//! resource service lanes plus logical round phases; open in Perfetto),
-//! `--metrics FILE` (export the run's metric registry — machine config,
-//! workload shape, planner decisions, per-resource utilization,
-//! wait-time histograms, per-phase timings), `--metrics-format
-//! json|csv|prom` (json).
+//! `--pipeline serial|double` (serial), `--two-level`,
+//! `--strategy two-phase|mc` (mc) which plan the observed run executes,
+//! `--trace FILE` (write a unified Chrome-trace JSON of the observed
+//! run: resource service lanes plus logical round phases; open in
+//! Perfetto), `--metrics FILE` (export the run's metric registry —
+//! machine config, workload shape, planner decisions, per-resource
+//! utilization, wait-time histograms, per-phase timings),
+//! `--metrics-format json|csv|prom` (json).
+//!
+//! The `analyze` subcommand consumes a `--trace` file and reports the
+//! critical path (network-shuffle / OST-I/O / memory-wait / idle),
+//! top-K longest round chains, per-aggregator I/O pressure, and
+//! resource-class service percentiles:
+//! `mcio_cli analyze --trace FILE [--report text|json] [--top N]`.
+//!
+//! Unknown flags or subcommands exit 2; unreadable/unwritable files
+//! exit 1. Nothing panics on bad input.
 
+use mcio_analyze::TraceModel;
 use mcio_bench::{format_bytes, improvement_pct};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
@@ -35,29 +48,129 @@ use std::collections::HashMap;
 use std::process::exit;
 use std::sync::Arc;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Flags that take a value in run mode.
+const RUN_OPTS: &[&str] = &[
+    "workload",
+    "ranks",
+    "ppn",
+    "per-proc",
+    "segments",
+    "scale",
+    "buffer",
+    "stddev",
+    "seed",
+    "rw",
+    "machine",
+    "pipeline",
+    "strategy",
+    "trace",
+    "metrics",
+    "metrics-format",
+];
+/// Boolean flags in run mode.
+const RUN_FLAGS: &[&str] = &["two-level", "help"];
+/// Flags that take a value in analyze mode.
+const ANALYZE_OPTS: &[&str] = &["trace", "report", "top"];
+/// Boolean flags in analyze mode.
+const ANALYZE_FLAGS: &[&str] = &["help"];
+
+/// Parse `--key value` / `--flag` argument lists against an explicit
+/// whitelist. Anything else is a usage error: exit 2.
+fn parse_args(
+    args: &[String],
+    value_keys: &[&str],
+    bool_keys: &[&str],
+    context: &str,
+) -> (HashMap<String, String>, Vec<String>) {
     let mut opts: HashMap<String, String> = HashMap::new();
     let mut flags: Vec<String> = Vec::new();
-    let mut it = args.iter().peekable();
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         let Some(key) = a.strip_prefix("--") else {
-            eprintln!("unexpected argument `{a}` (flags start with --)");
+            eprintln!("mcio_cli {context}: unexpected argument `{a}` (flags start with --)");
             exit(2);
         };
-        match key {
-            "two-level" | "help" => flags.push(key.to_string()),
-            _ => match it.next() {
+        if bool_keys.contains(&key) {
+            flags.push(key.to_string());
+        } else if value_keys.contains(&key) {
+            match it.next() {
                 Some(v) => {
                     opts.insert(key.to_string(), v.clone());
                 }
                 None => {
-                    eprintln!("flag --{key} needs a value");
+                    eprintln!("mcio_cli {context}: flag --{key} needs a value");
                     exit(2);
                 }
-            },
+            }
+        } else {
+            eprintln!("mcio_cli {context}: unknown flag --{key} (run with --help for usage)");
+            exit(2);
         }
     }
+    (opts, flags)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            args.remove(0);
+            run_analyze(&args);
+        }
+        Some(first) if !first.starts_with("--") => {
+            eprintln!("mcio_cli: unknown subcommand `{first}` (expected `analyze` or run flags)");
+            exit(2);
+        }
+        _ => run_sim(&args),
+    }
+}
+
+/// `mcio_cli analyze --trace FILE [--report text|json] [--top N]`
+fn run_analyze(args: &[String]) {
+    let (opts, flags) = parse_args(args, ANALYZE_OPTS, ANALYZE_FLAGS, "analyze");
+    if flags.iter().any(|f| f == "help") {
+        println!("usage: mcio_cli analyze --trace FILE [--report text|json] [--top N]");
+        exit(0);
+    }
+    let Some(path) = opts.get("trace") else {
+        eprintln!("mcio_cli analyze: --trace FILE is required");
+        exit(2);
+    };
+    let top: usize = match opts.get("top").map(String::as_str).unwrap_or("5").parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("mcio_cli analyze: --top: {e}");
+            exit(2);
+        }
+    };
+    let report = opts.get("report").map(String::as_str).unwrap_or("text");
+    if !matches!(report, "text" | "json") {
+        eprintln!("mcio_cli analyze: --report must be text|json, got `{report}`");
+        exit(2);
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli analyze: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    let model = match TraceModel::from_chrome_json(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mcio_cli analyze: {path} is not a chrome trace: {e}");
+            exit(1);
+        }
+    };
+    let analysis = mcio_analyze::analyze(&model, top);
+    match report {
+        "json" => print!("{}", analysis.to_json()),
+        _ => print!("{}", analysis.to_text()),
+    }
+}
+
+fn run_sim(args: &[String]) {
+    let (opts, flags) = parse_args(args, RUN_OPTS, RUN_FLAGS, "run");
     if flags.iter().any(|f| f == "help") {
         eprintln!("see the module docs at the top of crates/bench/src/bin/mcio_cli.rs");
         exit(0);
@@ -96,6 +209,14 @@ fn main() {
         "double" => Pipeline::DoubleBuffered,
         other => {
             eprintln!("--pipeline must be serial|double, got `{other}`");
+            exit(2);
+        }
+    };
+    let observe_mc = match get("strategy", "mc").as_str() {
+        "mc" | "memory-conscious" => true,
+        "two-phase" | "tp" => false,
+        other => {
+            eprintln!("--strategy must be two-phase|mc, got `{other}`");
             exit(2);
         }
     };
@@ -181,9 +302,9 @@ fn main() {
         improvement_pct(tp.bandwidth_mibs, mcr.bandwidth_mibs),
     );
 
-    // Observability exports: one extra observed run of the
-    // memory-conscious plan produces both the metrics registry and the
-    // unified Chrome trace.
+    // Observability exports: one extra observed run of the selected
+    // strategy (--strategy, default memory-conscious) produces both the
+    // metrics registry and the unified Chrome trace.
     let want_metrics = opts.get("metrics");
     let want_trace = opts.get("trace");
     if want_metrics.is_some() || want_trace.is_some() {
@@ -194,6 +315,11 @@ fn main() {
                 exit(2);
             }
         };
+        let (label, obs_plan) = if observe_mc {
+            ("memory-conscious", &mc_plan)
+        } else {
+            ("two-phase", &tp_plan)
+        };
         let registry = Arc::new(Registry::new());
         spec.record_into(&registry);
         mcio_workloads::record_request(&req, &registry);
@@ -203,7 +329,7 @@ fn main() {
             Exchange::Direct
         };
         let (_, trace_json) = simulate_observed(
-            &mc_plan,
+            obs_plan,
             &map,
             &spec,
             pipeline,
@@ -214,13 +340,19 @@ fn main() {
             },
         );
         if let Some(path) = want_metrics {
-            std::fs::write(path, fmt.render(&registry.snapshot())).expect("metrics file writable");
-            println!("memory-conscious metrics written to {path}");
+            if let Err(e) = std::fs::write(path, fmt.render(&registry.snapshot())) {
+                eprintln!("mcio_cli: cannot write metrics to {path}: {e}");
+                exit(1);
+            }
+            println!("{label} metrics written to {path}");
         }
         if let Some(path) = want_trace {
             let json = trace_json.expect("trace was requested");
-            std::fs::write(path, json).expect("trace file writable");
-            println!("memory-conscious timeline written to {path} (open in Perfetto)");
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("mcio_cli: cannot write trace to {path}: {e}");
+                exit(1);
+            }
+            println!("{label} timeline written to {path} (open in Perfetto)");
         }
     }
 }

@@ -1,0 +1,110 @@
+//! Perf-trajectory benchmark harness with regression gating.
+//!
+//! Runs the fixed scenario matrix (Figure 6/7/8 shapes × two-phase and
+//! memory-conscious), each run traced and reduced to elapsed time,
+//! phase fractions, and the critical-path attribution, then writes the
+//! deterministic `mcio.perf_suite.v1` document:
+//!
+//! ```sh
+//! perf_suite                                  # writes BENCH_perf_suite.json
+//! perf_suite --out somewhere.json
+//! perf_suite --check BENCH_perf_suite.json --tolerance 0.05
+//! ```
+//!
+//! `--check BASELINE.json` additionally gates the fresh run against a
+//! previous document: any (scenario, strategy) whose elapsed simulated
+//! time grew by more than `--tolerance` (relative, default 0.05) fails
+//! the run with exit 1. Unknown flags exit 2; unreadable baselines or
+//! unwritable outputs exit 1.
+
+use mcio_bench::perf::{parse_records, regressions, render_records, run_suite};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_perf_suite.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("perf_suite: flag {flag} needs a value");
+                exit(2);
+            }
+        };
+        match a.as_str() {
+            "--out" => out_path = value("--out"),
+            "--check" => check_path = Some(value("--check")),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                tolerance = match raw.parse() {
+                    Ok(t) if (0.0..10.0).contains(&t) => t,
+                    _ => {
+                        eprintln!(
+                            "perf_suite: --tolerance must be a fraction in [0, 10), got `{raw}`"
+                        );
+                        exit(2);
+                    }
+                }
+            }
+            "--help" => {
+                println!(
+                    "usage: perf_suite [--out FILE] [--check BASELINE.json] [--tolerance FRAC]"
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("perf_suite: unknown argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    let baseline = check_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_suite: cannot read baseline {path}: {e}");
+            exit(1);
+        });
+        parse_records(&text).unwrap_or_else(|e| {
+            eprintln!("perf_suite: baseline {path}: {e}");
+            exit(1);
+        })
+    });
+
+    let records = run_suite();
+    for r in &records {
+        println!(
+            "{:<6} {:<17} elapsed {:>10.3} ms  exchange {:>5.1}%  io {:>5.1}%  bottleneck {}",
+            r.scenario,
+            r.strategy,
+            r.elapsed_ns as f64 / 1e6,
+            r.exchange_fraction * 100.0,
+            r.io_fraction * 100.0,
+            r.critical_path.bottleneck(),
+        );
+    }
+
+    if let Err(e) = std::fs::write(&out_path, render_records(&records)) {
+        eprintln!("perf_suite: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    println!("wrote {out_path}");
+
+    if let Some(base) = baseline {
+        let bad = regressions(&records, &base, tolerance);
+        if bad.is_empty() {
+            println!(
+                "regression gate: ok ({} records within {:.1}% of baseline)",
+                records.len(),
+                tolerance * 100.0
+            );
+        } else {
+            for b in &bad {
+                eprintln!("perf_suite: REGRESSION {b}");
+            }
+            exit(1);
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! the *shape* — who wins, by what factor, where the gap widens — is the
 //! reproduction target).
 
+pub mod perf;
+
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
 use mcio_core::exec_sim::{simulate, TimingReport};

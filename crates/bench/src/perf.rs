@@ -1,0 +1,306 @@
+//! Perf-trajectory suite: a fixed scenario matrix (the paper's Figure
+//! 6/7/8 shapes) × both strategies, each run once with tracing on and
+//! reduced to one flat record — elapsed time, normalized phase
+//! fractions, and the trace-derived critical-path attribution.
+//!
+//! The records are fully deterministic (fixed seeds, integer simulated
+//! nanoseconds, fixed-precision fractions), so the rendered JSON is
+//! byte-identical across runs and machines and can be diffed or gated:
+//! `perf_suite --check BASELINE.json --tolerance 0.05` fails when any
+//! scenario's elapsed time regresses past the tolerance.
+
+use crate::{Harness, TESTBED_PPN};
+use mcio_analyze::{critical_path, CriticalPath, TraceModel};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_core::exec_sim::{simulate_observed, Exchange, Observe, Pipeline};
+use mcio_core::{mcio, twophase, CollectiveRequest, Rw, Strategy};
+use mcio_obs::json::{self, JsonValue};
+
+const MIB: u64 = 1 << 20;
+
+/// One entry of the fixed scenario matrix.
+pub struct Scenario {
+    /// Stable scenario key (`fig6`, `fig7`, `fig8`).
+    pub name: &'static str,
+    /// Nominal aggregator buffer, bytes.
+    pub buffer: u64,
+    /// Seed for the heterogeneous-memory draw (same as the figure
+    /// harness it mirrors).
+    pub seed: u64,
+    /// Total ranks.
+    pub ranks: usize,
+    make: fn() -> (ClusterSpec, CollectiveRequest),
+}
+
+/// The suite's scenario matrix: one representative buffer point from
+/// each figure sweep. Figure 8's IOR shape keeps its 1080 ranks but
+/// carries 8 MiB per process instead of 32 so the whole suite stays a
+/// sub-minute CI job; the *shape* (rank count, machine, interleaving)
+/// is what the trajectory tracks.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "fig6",
+            buffer: 16 * MIB,
+            seed: 0xF166,
+            ranks: 120,
+            make: || {
+                let cp = mcio_workloads::CollPerf::paper(120, 2);
+                (ClusterSpec::testbed_120(), cp.request(Rw::Write))
+            },
+        },
+        Scenario {
+            name: "fig7",
+            buffer: 16 * MIB,
+            seed: 0xF167,
+            ranks: 120,
+            make: || {
+                let ior = mcio_workloads::Ior::paper(120, 32 * MIB, 8);
+                (ClusterSpec::testbed_120(), ior.request(Rw::Write))
+            },
+        },
+        Scenario {
+            name: "fig8",
+            buffer: 16 * MIB,
+            seed: 0xF168,
+            ranks: 1080,
+            make: || {
+                let ior = mcio_workloads::Ior::paper(1080, 8 * MIB, 8);
+                (ClusterSpec::testbed_1080(), ior.request(Rw::Write))
+            },
+        },
+    ]
+}
+
+/// One (scenario, strategy) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Scenario key.
+    pub scenario: String,
+    /// `Strategy::label()` — `two-phase` or `memory-conscious`.
+    pub strategy: String,
+    /// Simulated elapsed nanoseconds.
+    pub elapsed_ns: u64,
+    /// Normalized exchange share of attributed phase time.
+    pub exchange_fraction: f64,
+    /// Normalized I/O share of attributed phase time.
+    pub io_fraction: f64,
+    /// Trace-derived critical-path attribution (buckets sum to
+    /// `elapsed_ns` exactly).
+    pub critical_path: CriticalPath,
+}
+
+/// Run one scenario under both strategies, traced, and reduce each run
+/// to a [`Record`].
+pub fn run_scenario(s: &Scenario) -> Vec<Record> {
+    let (spec, req) = (s.make)();
+    let harness = Harness::new(spec, s.ranks, TESTBED_PPN, s.seed);
+    let cfg = harness.config_for(&req, s.buffer);
+    let (_, env) = harness.memories(s.buffer);
+    [Strategy::TwoPhase, Strategy::MemoryConscious]
+        .iter()
+        .map(|&strategy| {
+            let plan = match strategy {
+                Strategy::TwoPhase => twophase::plan(&req, &harness.map, &env, &cfg),
+                Strategy::MemoryConscious => mcio::plan(&req, &harness.map, &env, &cfg),
+            };
+            let (timing, trace_json) = simulate_observed(
+                &plan,
+                &harness.map,
+                &harness.spec,
+                Pipeline::Serial,
+                Exchange::Direct,
+                Observe {
+                    registry: None,
+                    trace: true,
+                },
+            );
+            let model = TraceModel::from_chrome_json(&trace_json.expect("trace requested"))
+                .expect("simulator emits a valid chrome trace");
+            Record {
+                scenario: s.name.to_string(),
+                strategy: strategy.label().to_string(),
+                elapsed_ns: timing.elapsed.as_nanos(),
+                exchange_fraction: timing.metrics.exchange_fraction,
+                io_fraction: timing.metrics.io_fraction,
+                critical_path: critical_path(&model),
+            }
+        })
+        .collect()
+}
+
+/// Run the whole matrix (scenario-major, two-phase before
+/// memory-conscious — a stable record order).
+pub fn run_suite() -> Vec<Record> {
+    scenarios().iter().flat_map(run_scenario).collect()
+}
+
+/// Render records as the `mcio.perf_suite.v1` JSON document.
+/// Fractions are fixed to six decimals so the bytes are reproducible.
+pub fn render_records(records: &[Record]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mcio.perf_suite.v1\",\n  \"records\": [");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let cp = &r.critical_path;
+        out.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"elapsed_ns\": {}, \
+             \"exchange_fraction\": {:.6}, \"io_fraction\": {:.6}, \
+             \"critical_path\": {{\"network_shuffle_ns\": {}, \"ost_io_ns\": {}, \
+             \"memory_wait_ns\": {}, \"idle_ns\": {}}}}}",
+            r.scenario,
+            r.strategy,
+            r.elapsed_ns,
+            r.exchange_fraction,
+            r.io_fraction,
+            cp.network_shuffle_ns,
+            cp.ost_io_ns,
+            cp.memory_wait_ns,
+            cp.idle_ns,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Parse a `mcio.perf_suite.v1` document back into records.
+pub fn parse_records(input: &str) -> Result<Vec<Record>, String> {
+    let doc = json::parse(input).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mcio.perf_suite.v1") => {}
+        other => return Err(format!("unsupported perf_suite schema {other:?}")),
+    }
+    let arr = doc
+        .get("records")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing records array")?;
+    let num = |v: &JsonValue, k: &str| -> Result<f64, String> {
+        v.get(k)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("record missing numeric field `{k}`"))
+    };
+    let mut out = Vec::with_capacity(arr.len());
+    for v in arr {
+        let cp = v
+            .get("critical_path")
+            .ok_or("record missing critical_path")?;
+        out.push(Record {
+            scenario: v
+                .get("scenario")
+                .and_then(JsonValue::as_str)
+                .ok_or("record missing scenario")?
+                .to_string(),
+            strategy: v
+                .get("strategy")
+                .and_then(JsonValue::as_str)
+                .ok_or("record missing strategy")?
+                .to_string(),
+            elapsed_ns: num(v, "elapsed_ns")? as u64,
+            exchange_fraction: num(v, "exchange_fraction")?,
+            io_fraction: num(v, "io_fraction")?,
+            critical_path: CriticalPath {
+                elapsed_ns: num(v, "elapsed_ns")? as u64,
+                network_shuffle_ns: num(cp, "network_shuffle_ns")? as u64,
+                ost_io_ns: num(cp, "ost_io_ns")? as u64,
+                memory_wait_ns: num(cp, "memory_wait_ns")? as u64,
+                idle_ns: num(cp, "idle_ns")? as u64,
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Gate `current` against `baseline`: one message per (scenario,
+/// strategy) whose elapsed time grew by more than `tolerance`
+/// (relative). Pairs absent from the baseline are ignored — a new
+/// scenario is not a regression.
+pub fn regressions(current: &[Record], baseline: &[Record], tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for cur in current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.scenario == cur.scenario && b.strategy == cur.strategy)
+        else {
+            continue;
+        };
+        if base.elapsed_ns == 0 {
+            continue;
+        }
+        let ratio = cur.elapsed_ns as f64 / base.elapsed_ns as f64;
+        if ratio > 1.0 + tolerance {
+            out.push(format!(
+                "{}/{}: elapsed {:.3} ms -> {:.3} ms ({:+.1}%, tolerance {:.1}%)",
+                cur.scenario,
+                cur.strategy,
+                base.elapsed_ns as f64 / 1e6,
+                cur.elapsed_ns as f64 / 1e6,
+                (ratio - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: &str, strategy: &str, elapsed_ns: u64) -> Record {
+        Record {
+            scenario: scenario.to_string(),
+            strategy: strategy.to_string(),
+            elapsed_ns,
+            exchange_fraction: 0.25,
+            io_fraction: 0.75,
+            critical_path: CriticalPath {
+                elapsed_ns,
+                network_shuffle_ns: elapsed_ns / 4,
+                ost_io_ns: elapsed_ns / 2,
+                memory_wait_ns: elapsed_ns / 8,
+                idle_ns: elapsed_ns - elapsed_ns / 4 - elapsed_ns / 2 - elapsed_ns / 8,
+            },
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let recs = vec![
+            record("fig6", "two-phase", 1_000_000),
+            record("fig6", "memory-conscious", 800_000),
+        ];
+        let rendered = render_records(&recs);
+        let parsed = parse_records(&rendered).unwrap();
+        assert_eq!(parsed, recs);
+        // Determinism: rendering the parse reproduces the bytes.
+        assert_eq!(render_records(&parsed), rendered);
+    }
+
+    #[test]
+    fn bad_schema_is_rejected() {
+        assert!(parse_records("{\"schema\": \"other\", \"records\": []}").is_err());
+        assert!(parse_records("[]").is_err());
+        assert!(parse_records("not json").is_err());
+    }
+
+    #[test]
+    fn regression_gate_triggers_only_past_tolerance() {
+        let base = vec![record("fig6", "two-phase", 1_000_000)];
+        // +4% within 5% tolerance.
+        assert!(regressions(&[record("fig6", "two-phase", 1_040_000)], &base, 0.05).is_empty());
+        // +6% outside it.
+        let r = regressions(&[record("fig6", "two-phase", 1_060_000)], &base, 0.05);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("fig6/two-phase"), "{}", r[0]);
+        // Faster is never a regression; unknown pairs are ignored.
+        assert!(regressions(&[record("fig6", "two-phase", 900_000)], &base, 0.05).is_empty());
+        assert!(regressions(&[record("fig9", "two-phase", 9_000_000)], &base, 0.05).is_empty());
+    }
+
+    #[test]
+    fn scenario_matrix_is_stable() {
+        let names: Vec<_> = scenarios().iter().map(|s| s.name).collect();
+        assert_eq!(names, ["fig6", "fig7", "fig8"]);
+    }
+}

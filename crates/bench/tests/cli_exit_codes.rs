@@ -1,0 +1,179 @@
+//! Exit-code hygiene and analyze-output contracts for `mcio_cli`.
+//!
+//! Usage errors (unknown flags/subcommands) must exit 2, I/O failures
+//! must exit 1 with a one-line error (no panic backtrace), and the
+//! happy path must produce a JSON analysis whose critical-path buckets
+//! partition the elapsed time.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcio_cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli().args(args).output().expect("spawn mcio_cli")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A tiny deterministic run that finishes in well under a second.
+const TINY: &[&str] = &[
+    "--ranks",
+    "4",
+    "--ppn",
+    "2",
+    "--per-proc",
+    "64K",
+    "--buffer",
+    "32K",
+    "--machine",
+    "small",
+    "--segments",
+    "2",
+];
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mcio_cli_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn unknown_flag_exits_2_with_one_line_error() {
+    let out = run(&["--no-such-flag", "1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --no-such-flag"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn unknown_subcommand_exits_2() {
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown subcommand `frobnicate`"));
+}
+
+#[test]
+fn unknown_analyze_flag_exits_2() {
+    let out = run(&["analyze", "--trace", "x.json", "--verbose"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag --verbose"));
+}
+
+#[test]
+fn missing_value_exits_2() {
+    let out = run(&["--ranks"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--ranks needs a value"));
+}
+
+#[test]
+fn unwritable_trace_path_exits_1_without_panic() {
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--trace", "/nonexistent-dir/trace.json"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write trace"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn unwritable_metrics_path_exits_1_without_panic() {
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--metrics", "/nonexistent-dir/metrics.json"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write metrics"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn analyze_missing_trace_file_exits_1() {
+    let out = run(&["analyze", "--trace", "/no/such/trace.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn analyze_garbage_trace_exits_1() {
+    let path = tmp("garbage.json");
+    std::fs::write(&path, "this is not a trace").unwrap();
+    let out = run(&["analyze", "--trace", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("is not a chrome trace"));
+}
+
+#[test]
+fn analyze_requires_trace_flag() {
+    let out = run(&["analyze"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace FILE is required"));
+}
+
+/// End-to-end: run → trace → analyze; for BOTH strategies the JSON
+/// critical-path buckets must sum to within 1% of elapsed (they are an
+/// exact partition, so we assert equality and keep 1% as the contract).
+#[test]
+fn analyze_json_buckets_partition_elapsed_for_both_strategies() {
+    for strategy in ["two-phase", "mc"] {
+        let path = tmp(&format!("trace_{strategy}.json"));
+        let mut args = TINY.to_vec();
+        let path_s = path.to_str().unwrap();
+        args.extend_from_slice(&["--strategy", strategy, "--trace", path_s]);
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+        let out = run(&["analyze", "--trace", path_s, "--report", "json"]);
+        std::fs::remove_file(&path).ok();
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+        let doc = mcio_obs::json::parse(&String::from_utf8_lossy(&out.stdout))
+            .expect("analyze emits valid JSON");
+        let elapsed = doc
+            .get("elapsed_ns")
+            .and_then(mcio_obs::json::JsonValue::as_f64)
+            .expect("elapsed_ns");
+        assert!(elapsed > 0.0, "nonempty run");
+        let cp = doc.get("critical_path").expect("critical_path");
+        let sum: f64 = [
+            "network_shuffle_ns",
+            "ost_io_ns",
+            "memory_wait_ns",
+            "idle_ns",
+        ]
+        .iter()
+        .map(|k| {
+            cp.get(k)
+                .and_then(mcio_obs::json::JsonValue::as_f64)
+                .unwrap()
+        })
+        .sum();
+        assert!(
+            (sum - elapsed).abs() <= elapsed * 0.01,
+            "{strategy}: buckets sum {sum} vs elapsed {elapsed}"
+        );
+        assert_eq!(sum, elapsed, "{strategy}: partition is in fact exact");
+    }
+}
+
+/// The text report renders without error and names a bottleneck.
+#[test]
+fn analyze_text_report_names_a_bottleneck() {
+    let path = tmp("trace_text.json");
+    let path_s = path.to_str().unwrap();
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--trace", path_s]);
+    assert_eq!(run(&args).status.code(), Some(0));
+    let out = run(&["analyze", "--trace", path_s, "--top", "3"]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("== critical path =="), "{text}");
+    assert!(text.contains("bottleneck"), "{text}");
+}

@@ -234,8 +234,11 @@ fn simulate_inner(
     );
 
     // Chains of round-slots: Global sync zips all groups into one chain;
-    // PerGroup gives each group its own.
+    // PerGroup gives each group its own. `chain_groups[ci]` remembers
+    // which plan group chain `ci` serves (`None` = all groups, under
+    // global sync) so the trace can expose per-group span metadata.
     let mut chains: Vec<Vec<Vec<&Round>>> = Vec::new();
+    let mut chain_groups: Vec<Option<usize>> = Vec::new();
     match plan.sync {
         SyncMode::Global => {
             let mut chain = Vec::new();
@@ -248,11 +251,13 @@ fn simulate_inner(
                 );
             }
             chains.push(chain);
+            chain_groups.push(None);
         }
         SyncMode::PerGroup => {
-            for g in &plan.groups {
+            for (gi, g) in plan.groups.iter().enumerate() {
                 if !g.rounds.is_empty() {
                     chains.push(g.rounds.iter().map(|r| vec![r]).collect());
+                    chain_groups.push(Some(gi));
                 }
             }
         }
@@ -513,8 +518,27 @@ fn simulate_inner(
         tc.name_process(2, "plan.rounds");
         let mut named_chains = std::collections::BTreeSet::new();
         for (meta, phase) in round_meta.iter().zip(&metrics.rounds) {
+            // Per-group span metadata: which plan group this chain
+            // serves ("all" when global sync zips every group into one
+            // chain) and how many aggregators work the slot. Critical-
+            // path reconstruction in `mcio-analyze` keys on these args.
+            let group = match chain_groups.get(meta.chain).copied().flatten() {
+                Some(gi) => gi.to_string(),
+                None => "all".to_string(),
+            };
+            let naggs = meta.agg_ios.len().to_string();
+            let round_s = meta.round.to_string();
+            let args: &[(&str, &str)] = &[
+                ("group", group.as_str()),
+                ("round", round_s.as_str()),
+                ("aggs", naggs.as_str()),
+            ];
             if named_chains.insert(meta.chain) {
-                tc.name_thread(2, meta.chain as u64, &format!("chain{}", meta.chain));
+                tc.name_thread(
+                    2,
+                    meta.chain as u64,
+                    &format!("chain{} (group {group})", meta.chain),
+                );
             }
             let t0 = meta
                 .first_deps
@@ -529,23 +553,25 @@ fn simulate_inner(
                 Rw::Read => (t0 + phase.io.as_nanos(), t0),
             };
             if !phase.exchange.is_zero() {
-                tc.span(
+                tc.span_with_args(
                     &format!("r{}.exchange", meta.round),
                     "exchange",
                     2,
                     meta.chain as u64,
                     ex_start,
                     phase.exchange.as_nanos(),
+                    args,
                 );
             }
             if !phase.io.is_zero() {
-                tc.span(
+                tc.span_with_args(
                     &format!("r{}.io", meta.round),
                     "io",
                     2,
                     meta.chain as u64,
                     io_start,
                     phase.io.as_nanos(),
+                    args,
                 );
             }
         }

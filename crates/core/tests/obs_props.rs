@@ -140,4 +140,82 @@ proptest! {
             }
         }
     }
+
+    /// Round-phase spans (pid 2) never dangle over dead time: every
+    /// phase interval is covered by the union of resource service
+    /// spans (pid 1), except for gaps no longer than one wire latency
+    /// (a message in flight occupies no lane). This is the invariant
+    /// that makes critical-path attribution meaningful — whenever a
+    /// chain claims to be exchanging or doing I/O, some membus, NIC,
+    /// or OST is actually serving it (or a message is on the wire).
+    #[test]
+    fn round_phases_are_covered_by_resource_spans(
+        ranks in 2usize..16,
+        s0 in 1u64..u64::MAX,
+        s1 in 1u64..u64::MAX,
+        mc in any::<bool>(),
+        write in any::<bool>(),
+    ) {
+        let rw = if write { Rw::Write } else { Rw::Read };
+        let req = random_request(rw, ranks, &[s0, s1, 13]);
+        let (_, trace, _) = observed_run(&req, mc);
+        let doc = json::parse(&trace).expect("trace is valid JSON");
+        let events = doc.as_array().expect("trace is a JSON array");
+        // Nanosecond intervals per pid (ts/dur are microsecond floats
+        // with exact 0.001 us granularity).
+        let ns = |v: f64| (v * 1000.0).round() as u64;
+        let mut resources: Vec<(u64, u64)> = Vec::new();
+        let mut phases: Vec<(String, u64, u64)> = Vec::new();
+        for ev in events {
+            if ev.get("ph").and_then(|v| v.as_str()) != Some("X") {
+                continue;
+            }
+            let pid = ev.get("pid").and_then(|v| v.as_f64()).expect("pid") as u64;
+            let ts = ns(ev.get("ts").and_then(|v| v.as_f64()).expect("ts"));
+            let dur = ns(ev.get("dur").and_then(|v| v.as_f64()).expect("dur"));
+            match pid {
+                1 => resources.push((ts, ts + dur)),
+                2 => {
+                    let name = ev.get("name").and_then(|v| v.as_str()).expect("name");
+                    phases.push((name.to_string(), ts, ts + dur));
+                }
+                other => prop_assert!(false, "unexpected pid {}", other),
+            }
+        }
+        prop_assert!(!phases.is_empty(), "no round-phase spans");
+        // Merge the resource intervals into a disjoint union.
+        resources.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::new();
+        for (s, e) in resources {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        // The only legitimate all-idle time inside a phase is a message
+        // on the wire: one one-way latency, plus exporter rounding.
+        let max_gap = ClusterSpec::small(1, 4).node.nic_latency.as_nanos() + 4;
+        for (name, start, end) in phases {
+            let mut cursor = start;
+            let mut worst = 0u64;
+            for &(s, e) in &merged {
+                if e <= start || s >= end {
+                    continue;
+                }
+                let s = s.max(start);
+                if s > cursor {
+                    worst = worst.max(s - cursor);
+                }
+                cursor = cursor.max(e.min(end));
+            }
+            if end > cursor {
+                worst = worst.max(end - cursor);
+            }
+            prop_assert!(
+                worst <= max_gap,
+                "phase {} [{start}, {end}) has a {worst} ns all-idle gap (max allowed {max_gap})",
+                name
+            );
+        }
+    }
 }

@@ -173,19 +173,31 @@ fn prom_name(name: &str) -> String {
         .collect()
 }
 
+/// Escape a label *value* per the Prometheus text exposition format:
+/// exactly backslash, double-quote, and line-feed are escaped — nothing
+/// else. This is deliberately not JSON escaping (which would also
+/// rewrite tabs, carriage returns, and control bytes Prometheus passes
+/// through verbatim).
+fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn prom_labels(labels: &[(String, String)]) -> String {
     if labels.is_empty() {
         return String::new();
     }
     let body = labels
         .iter()
-        .map(|(k, v)| {
-            format!(
-                "{}=\"{}\"",
-                prom_name(k),
-                v.replace('\\', "\\\\").replace('"', "\\\"")
-            )
-        })
+        .map(|(k, v)| format!("{}=\"{}\"", prom_name(k), prom_escape_label(v)))
         .collect::<Vec<_>>()
         .join(",");
     format!("{{{body}}}")
@@ -320,6 +332,56 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
         assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    /// Undo [`prom_escape_label`]: the exposition-format unescape a
+    /// scraper applies to quoted label values.
+    fn prom_unescape_label(v: &str) -> String {
+        let mut out = String::new();
+        let mut chars = v.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('\\') => out.push('\\'),
+                    Some('"') => out.push('"'),
+                    Some('n') => out.push('\n'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn prometheus_label_values_round_trip_hostile_input() {
+        // Backslash, quote, and newline must escape; tab and CR must
+        // pass through raw (the exposition format only escapes those
+        // three inside label values).
+        let hostile = "a\\b\"c\nd\te\rf";
+        let r = Registry::new();
+        r.inc("m", &[("k", hostile)], 1);
+        let prom = to_prometheus(&r.snapshot());
+        // The physical line must not be broken by the newline in the
+        // value: exactly one sample line after the TYPE header.
+        let sample_lines: Vec<&str> = prom
+            .lines()
+            .filter(|l| l.starts_with("m{") && l.ends_with(" 1"))
+            .collect();
+        assert_eq!(sample_lines.len(), 1, "escaping kept one line: {prom:?}");
+        let line = sample_lines[0];
+        let start = line.find("k=\"").expect("label present") + 3;
+        let end = line.rfind('"').unwrap();
+        assert_eq!(prom_unescape_label(&line[start..end]), hostile);
+        assert!(line.contains("\\\\b"), "backslash escaped: {line}");
+        assert!(line.contains("\\\"c"), "quote escaped: {line}");
+        assert!(line.contains("\\nd"), "newline escaped: {line}");
+        assert!(line.contains("d\te"), "tab passes through: {line:?}");
     }
 
     #[test]

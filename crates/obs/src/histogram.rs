@@ -104,6 +104,46 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded
+    /// observations: find the bucket containing the target rank, then
+    /// interpolate linearly between the bucket's bounds. The estimate is
+    /// clamped to the exact observed `[min, max]`, so single-sample and
+    /// single-bucket histograms answer exactly at the extremes. Returns
+    /// `None` when the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !q.is_finite() || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        if q == 0.0 {
+            return Some(self.min as f64);
+        }
+        // Target rank in (0, count]: the q-quantile is the value below
+        // which a q fraction of the observations fall.
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = cum;
+            cum += c;
+            if cum as f64 >= target {
+                let (lo, hi) = if i == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        (1u64 << (i - 1)) as f64,
+                        ((1u128 << i) - 1).min(u64::MAX as u128) as f64,
+                    )
+                };
+                let frac = (target - before as f64) / c as f64;
+                let est = lo + frac * (hi - lo);
+                return Some(est.clamp(self.min as f64, self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
     /// Fold `other` into `self`.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
@@ -190,5 +230,66 @@ mod tests {
         let mut h = Histogram::new();
         h.observe(u64::MAX);
         assert_eq!(h.buckets(), vec![(u64::MAX, 1)]);
+        assert_eq!(h.percentile(0.99), Some(u64::MAX as f64));
+    }
+
+    #[test]
+    fn percentile_empty_and_out_of_range() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        let mut h = Histogram::new();
+        h.observe(7);
+        assert_eq!(h.percentile(-0.1), None);
+        assert_eq!(h.percentile(1.1), None);
+        assert_eq!(h.percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_exact() {
+        let mut h = Histogram::new();
+        h.observe(100);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(h.percentile(q), Some(100.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_all_in_one_bucket_interpolates_within_range() {
+        // All samples in [64, 127] (one bucket): any estimate must stay
+        // inside the observed [min, max] and grow with q.
+        let mut h = Histogram::new();
+        for v in [64u64, 80, 100, 127] {
+            h.observe(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((64.0..=127.0).contains(&p50));
+        assert!((64.0..=127.0).contains(&p99));
+        assert!(p50 <= p99);
+        assert_eq!(h.percentile(0.0), Some(64.0));
+        assert_eq!(h.percentile(1.0), Some(127.0));
+    }
+
+    #[test]
+    fn percentile_is_monotonic_and_order_of_magnitude_right() {
+        let mut h = Histogram::new();
+        // 90 small values, 10 large ones: p50 small, p99 large.
+        for _ in 0..90 {
+            h.observe(1000);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p50 < 3000.0, "p50 {p50} should sit in the small bucket");
+        assert!(p99 > 500_000.0, "p99 {p99} should sit in the large bucket");
+        // Zeros land in bucket 0 and report 0.
+        let mut z = Histogram::new();
+        z.observe(0);
+        z.observe(0);
+        assert_eq!(z.percentile(0.5), Some(0.0));
     }
 }

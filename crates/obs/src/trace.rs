@@ -104,6 +104,25 @@ impl TraceCollector {
         self.lock().spans.clone()
     }
 
+    /// Run `f` over the recorded spans without cloning them (the
+    /// analysis layer iterates traces that can hold one span per DES
+    /// service interval).
+    pub fn visit_spans<R>(&self, f: impl FnOnce(&[Span]) -> R) -> R {
+        f(&self.lock().spans)
+    }
+
+    /// Registered `(pid, name)` process-name metadata, in registration
+    /// order.
+    pub fn process_names(&self) -> Vec<(u64, String)> {
+        self.lock().processes.clone()
+    }
+
+    /// Registered `(pid, tid, name)` thread-name metadata, in
+    /// registration order.
+    pub fn thread_names(&self) -> Vec<(u64, u64, String)> {
+        self.lock().threads.clone()
+    }
+
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
         self.lock().spans.len()

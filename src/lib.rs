@@ -41,9 +41,11 @@
 //! // paper-scale comparisons where the memory-conscious plan wins.)
 //! ```
 
+pub use mcio_analyze as analyze;
 pub use mcio_cluster as cluster;
 pub use mcio_core as core;
 pub use mcio_des as des;
+pub use mcio_obs as obs;
 pub use mcio_pfs as pfs;
 pub use mcio_simpi as simpi;
 pub use mcio_workloads as workloads;
