@@ -12,16 +12,21 @@
 //! * **memory-wait** — only memory buses were busy (on-node combines,
 //!   scatter copies, bus contention);
 //! * **OST I/O** — parallel-file-system service;
+//! * **retry/degraded** — the run was absorbing injected faults:
+//!   transient-failure retries and backoff waits, failover
+//!   re-coordination, or degradation re-rounds (pid 3 — the fault
+//!   lanes of a faulted run; always zero for fault-free traces);
 //! * **idle** — the critical chain was waiting on synchronization with
 //!   no underlying resource work (stragglers, round barriers).
 //!
-//! Bucket assignment is phase-aware: inside an `io` phase OST service
-//! wins ties, inside an `exchange` phase NIC service wins, and gaps
-//! outside the critical chain's spans (other chains still running
-//! under per-group sync) are attributed to whatever class is busy,
-//! storage first. All arithmetic is integer nanoseconds over one
-//! boundary sweep, so the four buckets sum to the elapsed time
-//! **exactly**.
+//! Bucket assignment is phase-aware: fault-resilience work wins over
+//! everything (it is time the fault-free run would not have spent),
+//! then inside an `io` phase OST service wins ties, inside an
+//! `exchange` phase NIC service wins, and gaps outside the critical
+//! chain's spans (other chains still running under per-group sync) are
+//! attributed to whatever class is busy, storage first. All arithmetic
+//! is integer nanoseconds over one boundary sweep, so the five buckets
+//! sum to the elapsed time **exactly**.
 
 use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS};
 
@@ -44,7 +49,7 @@ impl PhaseKind {
     }
 }
 
-/// The per-run attribution of elapsed simulated time. The four buckets
+/// The per-run attribution of elapsed simulated time. The five buckets
 /// are disjoint and sum to [`CriticalPath::elapsed_ns`] exactly.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CriticalPath {
@@ -56,24 +61,33 @@ pub struct CriticalPath {
     pub ost_io_ns: u64,
     /// Time only memory buses were busy under the critical path.
     pub memory_wait_ns: u64,
+    /// Time spent absorbing injected faults: retries, backoff waits,
+    /// failover re-coordination, degradation re-rounds. Zero for
+    /// fault-free traces.
+    pub retry_degraded_ns: u64,
     /// Time with no underlying resource work at all.
     pub idle_ns: u64,
 }
 
 impl CriticalPath {
-    /// Sum of the four attribution buckets (equals `elapsed_ns` for any
+    /// Sum of the five attribution buckets (equals `elapsed_ns` for any
     /// trace; kept separate so audits can assert it).
     pub fn attributed_ns(&self) -> u64 {
-        self.network_shuffle_ns + self.ost_io_ns + self.memory_wait_ns + self.idle_ns
+        self.network_shuffle_ns
+            + self.ost_io_ns
+            + self.memory_wait_ns
+            + self.retry_degraded_ns
+            + self.idle_ns
     }
 
     /// The dominant bucket's stable label (`"network_shuffle"`,
-    /// `"ost_io"`, `"memory_wait"`, or `"idle"`).
+    /// `"ost_io"`, `"memory_wait"`, `"retry_degraded"`, or `"idle"`).
     pub fn bottleneck(&self) -> &'static str {
         let buckets = [
             (self.network_shuffle_ns, "network_shuffle"),
             (self.ost_io_ns, "ost_io"),
             (self.memory_wait_ns, "memory_wait"),
+            (self.retry_degraded_ns, "retry_degraded"),
             (self.idle_ns, "idle"),
         ];
         buckets
@@ -174,6 +188,7 @@ pub fn critical_path(model: &TraceModel) -> CriticalPath {
     let network = model.class_busy_intervals(ResourceClass::Network);
     let memory = model.class_busy_intervals(ResourceClass::Memory);
     let storage = model.class_busy_intervals(ResourceClass::Storage);
+    let faults = model.fault_busy_intervals();
 
     // Boundary sweep over [0, elapsed): between consecutive boundaries
     // the active phase and the busy classes are constant.
@@ -182,7 +197,7 @@ pub fn critical_path(model: &TraceModel) -> CriticalPath {
         bounds.push(a);
         bounds.push(b);
     }
-    for ivs in [&network, &memory, &storage] {
+    for ivs in [&network, &memory, &storage, &faults] {
         for &(a, b) in ivs {
             bounds.push(a);
             bounds.push(b);
@@ -194,8 +209,8 @@ pub fn critical_path(model: &TraceModel) -> CriticalPath {
 
     // Forward-only cursors: boundaries are visited in ascending order.
     let mut phase_i = 0usize;
-    let mut cursors = [0usize; 3];
-    let classes = [&network, &memory, &storage];
+    let mut cursors = [0usize; 4];
+    let classes = [&network, &memory, &storage, &faults];
     let busy_at = |cursor: &mut usize, ivs: &[(u64, u64)], t: u64| -> bool {
         while *cursor < ivs.len() && ivs[*cursor].1 <= t {
             *cursor += 1;
@@ -221,42 +236,49 @@ pub fn critical_path(model: &TraceModel) -> CriticalPath {
         let net = busy_at(&mut cursors[0], classes[0], a);
         let mem = busy_at(&mut cursors[1], classes[1], a);
         let sto = busy_at(&mut cursors[2], classes[2], a);
-        let bucket = match phase {
-            Some(PhaseKind::Io) => {
-                if sto {
-                    &mut cp.ost_io_ns
-                } else if mem {
-                    &mut cp.memory_wait_ns
-                } else if net {
-                    &mut cp.network_shuffle_ns
-                } else {
-                    &mut cp.idle_ns
+        let flt = busy_at(&mut cursors[3], classes[3], a);
+        // Fault-resilience work outranks every other class: the time is
+        // attributable to the injection whatever hardware it kept busy.
+        let bucket = if flt {
+            &mut cp.retry_degraded_ns
+        } else {
+            match phase {
+                Some(PhaseKind::Io) => {
+                    if sto {
+                        &mut cp.ost_io_ns
+                    } else if mem {
+                        &mut cp.memory_wait_ns
+                    } else if net {
+                        &mut cp.network_shuffle_ns
+                    } else {
+                        &mut cp.idle_ns
+                    }
                 }
-            }
-            Some(PhaseKind::Exchange) => {
-                if net {
-                    &mut cp.network_shuffle_ns
-                } else if mem {
-                    &mut cp.memory_wait_ns
-                } else if sto {
-                    &mut cp.ost_io_ns
-                } else {
-                    &mut cp.idle_ns
+                Some(PhaseKind::Exchange) => {
+                    if net {
+                        &mut cp.network_shuffle_ns
+                    } else if mem {
+                        &mut cp.memory_wait_ns
+                    } else if sto {
+                        &mut cp.ost_io_ns
+                    } else {
+                        &mut cp.idle_ns
+                    }
                 }
-            }
-            // Outside the critical chain's own spans: other chains may
-            // still be working; attribute to the busy class so cross-
-            // group interference is visible, storage first (it is the
-            // scarce resource in every Table 1 projection).
-            None => {
-                if sto {
-                    &mut cp.ost_io_ns
-                } else if net {
-                    &mut cp.network_shuffle_ns
-                } else if mem {
-                    &mut cp.memory_wait_ns
-                } else {
-                    &mut cp.idle_ns
+                // Outside the critical chain's own spans: other chains may
+                // still be working; attribute to the busy class so cross-
+                // group interference is visible, storage first (it is the
+                // scarce resource in every Table 1 projection).
+                None => {
+                    if sto {
+                        &mut cp.ost_io_ns
+                    } else if net {
+                        &mut cp.network_shuffle_ns
+                    } else if mem {
+                        &mut cp.memory_wait_ns
+                    } else {
+                        &mut cp.idle_ns
+                    }
                 }
             }
         };
@@ -426,6 +448,28 @@ mod tests {
         assert_eq!(cp.ost_io_ns, 450);
         assert_eq!(cp.idle_ns, 200);
         assert_eq!(cp.bottleneck(), "ost_io");
+    }
+
+    #[test]
+    fn fault_lanes_claim_the_fifth_bucket_with_top_priority() {
+        use crate::trace_model::PID_FAULTS;
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "ost0");
+        tc.name_thread(PID_ROUNDS, 0, "chain0");
+        tc.name_thread(PID_FAULTS, 3, "ost0.retries");
+        tc.span("r0.io", "io", PID_ROUNDS, 0, 0, 1000);
+        tc.span("io.rank0", "ost0", PID_RESOURCES, 0, 0, 800);
+        // Retry + backoff overlap OST service [100,400): the fault
+        // bucket wins there. The descriptive inject marker must not.
+        tc.span("attempt1", "retry", PID_FAULTS, 3, 100, 200);
+        tc.span("backoff", "backoff", PID_FAULTS, 3, 300, 100);
+        tc.span("ost0.slow", "inject", PID_FAULTS, 0, 0, 1000);
+        let cp = critical_path(&TraceModel::from_collector(&tc));
+        assert_eq!(cp.elapsed_ns, 1000);
+        assert_eq!(cp.retry_degraded_ns, 300);
+        assert_eq!(cp.ost_io_ns, 500);
+        assert_eq!(cp.idle_ns, 200);
+        assert_eq!(cp.attributed_ns(), cp.elapsed_ns);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub struct ClassStat {
 pub struct Analysis {
     /// Elapsed simulated time (trace makespan), nanoseconds.
     pub elapsed_ns: u64,
-    /// The four-bucket critical-path attribution (sums to
+    /// The five-bucket critical-path attribution (sums to
     /// `elapsed_ns` exactly).
     pub critical_path: CriticalPath,
     /// Raw per-phase sums across all chains.
@@ -108,7 +108,7 @@ pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
 }
 
 impl Analysis {
-    /// Render as a self-describing JSON object. The four
+    /// Render as a self-describing JSON object. The five
     /// `critical_path` buckets sum to `elapsed_ns` exactly.
     pub fn to_json(&self) -> String {
         let cp = &self.critical_path;
@@ -122,6 +122,7 @@ impl Analysis {
         );
         let _ = writeln!(out, "    \"ost_io_ns\": {},", cp.ost_io_ns);
         let _ = writeln!(out, "    \"memory_wait_ns\": {},", cp.memory_wait_ns);
+        let _ = writeln!(out, "    \"retry_degraded_ns\": {},", cp.retry_degraded_ns);
         let _ = writeln!(out, "    \"idle_ns\": {},", cp.idle_ns);
         let _ = writeln!(out, "    \"attributed_ns\": {},", cp.attributed_ns());
         let _ = writeln!(out, "    \"bottleneck\": \"{}\"", cp.bottleneck());
@@ -191,6 +192,7 @@ impl Analysis {
             ("network-shuffle", cp.network_shuffle_ns),
             ("ost-io", cp.ost_io_ns),
             ("memory-wait", cp.memory_wait_ns),
+            ("retry-degraded", cp.retry_degraded_ns),
             ("idle", cp.idle_ns),
         ] {
             let _ = writeln!(
@@ -370,6 +372,7 @@ mod tests {
             "network_shuffle_ns",
             "ost_io_ns",
             "memory_wait_ns",
+            "retry_degraded_ns",
             "idle_ns",
         ]
         .iter()

@@ -19,6 +19,11 @@ pub const PID_RESOURCES: u64 = 1;
 /// round chain; spans are `r<N>.exchange` / `r<N>.io`).
 pub const PID_ROUNDS: u64 = 2;
 
+/// Chrome-trace `pid` of the fault lanes emitted by faulted runs:
+/// injected events (`inject`), failover gates (`failover`), degradation
+/// re-rounds (`degraded`) and per-OST retry chains (`retry`/`backoff`).
+pub const PID_FAULTS: u64 = 3;
+
 /// Coarse class of a machine resource, keyed off its lane name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ResourceClass {
@@ -197,7 +202,7 @@ impl TraceModel {
     /// Union of busy intervals `[start, end)` of every pid-1 resource
     /// lane whose name classifies as `class`, merged and sorted.
     pub fn class_busy_intervals(&self, class: ResourceClass) -> Vec<(u64, u64)> {
-        let mut intervals: Vec<(u64, u64)> = self
+        let intervals: Vec<(u64, u64)> = self
             .spans
             .iter()
             .filter(|s| {
@@ -210,16 +215,43 @@ impl TraceModel {
             })
             .map(|s| (s.start_ns, s.end_ns()))
             .collect();
-        intervals.sort_unstable();
-        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
-        for (a, b) in intervals {
-            match merged.last_mut() {
-                Some((_, end)) if a <= *end => *end = (*end).max(b),
-                _ => merged.push((a, b)),
-            }
-        }
-        merged
+        merge_intervals(intervals)
     }
+
+    /// Union of the *resilience* intervals of the pid-3 fault lanes —
+    /// spans categorized `retry`, `backoff`, `failover` or `degraded`
+    /// (the descriptive `inject` lane is excluded), merged and sorted.
+    /// Time inside these intervals is what the execution spent absorbing
+    /// injected faults; fault-free traces yield an empty union.
+    pub fn fault_busy_intervals(&self) -> Vec<(u64, u64)> {
+        let intervals: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| {
+                s.pid == PID_FAULTS
+                    && s.dur_ns > 0
+                    && matches!(
+                        s.cat.as_str(),
+                        "retry" | "backoff" | "failover" | "degraded"
+                    )
+            })
+            .map(|s| (s.start_ns, s.end_ns()))
+            .collect();
+        merge_intervals(intervals)
+    }
+}
+
+/// Sort and merge half-open intervals into a disjoint union.
+fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (a, b) in intervals {
+        match merged.last_mut() {
+            Some((_, end)) if a <= *end => *end = (*end).max(b),
+            _ => merged.push((a, b)),
+        }
+    }
+    merged
 }
 
 #[cfg(test)]

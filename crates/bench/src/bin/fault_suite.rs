@@ -1,0 +1,236 @@
+//! Robustness gate: a fixed fault matrix × both strategies.
+//!
+//! Runs a small deterministic write collective (16 ranks, 4 nodes)
+//! through the resilient executor under a fixed set of fault plans —
+//! fault-free, OST slowdown, OST stall, transient request failures,
+//! mid-collective aggregator crash, and a memory shock — and asserts
+//! the robustness contract:
+//!
+//! * memory-conscious completes **every** case, and its executed plan
+//!   writes bytes identical to the fault-free plan;
+//! * two-phase is allowed (and expected) to fail under `agg_crash` —
+//!   it has no failover path — but must survive the pure-performance
+//!   faults;
+//! * retry counts stay within the configured bound;
+//! * every simulated run is deterministic (asserted by re-running one
+//!   faulted case and comparing traces byte-for-byte).
+//!
+//! Writes the memory-conscious `agg_crash` trace (the interesting one:
+//! pid-3 fault lanes populated) to `--out FILE` (default
+//! `BENCH_fault_suite_trace.json`) so CI can upload it as an artifact.
+//! Any violated assertion prints one line and exits 1; unknown flags
+//! exit 2.
+
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::ProcessMap;
+use mcio_core::exec_sim::{Exchange, Observe, Pipeline};
+use mcio_core::{
+    exec_fn, mcio, simulate_faulted, twophase, CollectiveConfig, CollectivePlan, CollectiveRequest,
+    Extent, FaultOutcome, ProcMemory, Rw, Strategy,
+};
+use mcio_faults::FaultSpec;
+use mcio_pfs::SparseFile;
+use std::process::exit;
+
+const MIB: u64 = 1 << 20;
+const RANKS: usize = 16;
+const PPN: usize = 4;
+const CHUNK: u64 = 2 * MIB;
+
+/// The fixed fault matrix. Every plan seeds its own RNG stream, so the
+/// whole suite is byte-deterministic. The crash/shock cases target
+/// `host` — the node of a real memory-conscious aggregator, derived
+/// from the (deterministic) plan — so the structural faults actually
+/// land instead of hitting an aggregator-free node.
+fn fault_matrix(host: usize) -> Vec<(&'static str, String)> {
+    vec![
+        ("none", "seed 1".to_string()),
+        (
+            "ost_slow",
+            "seed 2\nost_slow(0, 4.0, 0ns..20ms)".to_string(),
+        ),
+        ("ost_stall", "seed 3\nost_stall(1, 1ms..60ms)".to_string()),
+        (
+            "transient",
+            "seed 4\nretry(max_attempts=4, base=50us, cap=10ms, jitter=0.25)\n\
+             req_transient_fail(0.35, 77)"
+                .to_string(),
+        ),
+        ("agg_crash", format!("seed 5\nagg_crash({host}, 2ms)")),
+        ("mem_shock", format!("seed 6\nmem_shock({host}, 0.6, 1ms)")),
+    ]
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fault_suite: FAILED: {msg}");
+    exit(1);
+}
+
+fn written_bytes(plan: &CollectivePlan, len: u64) -> Vec<u8> {
+    let mut file = SparseFile::new();
+    if let Err(e) = exec_fn::execute_write(plan, &mut file) {
+        fail(&format!("executed plan does not deliver its bytes: {e}"));
+    }
+    file.read_vec(0, len as usize)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_fault_suite_trace.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out_path = v.clone(),
+                None => {
+                    eprintln!("fault_suite: flag --out needs a value");
+                    exit(2);
+                }
+            },
+            "--help" => {
+                println!("usage: fault_suite [--out TRACE.json]");
+                exit(0);
+            }
+            other => {
+                eprintln!("fault_suite: unknown argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    let req = CollectiveRequest::new(
+        Rw::Write,
+        (0..RANKS as u64)
+            .map(|r| vec![Extent::new(r * CHUNK, CHUNK)])
+            .collect(),
+    );
+    let total = RANKS as u64 * CHUNK;
+    let map = ProcessMap::block_ppn(RANKS, PPN);
+    let mem = ProcMemory::normal(RANKS, CHUNK, 0.3, 0xFA17);
+    let cfg = CollectiveConfig::with_buffer(CHUNK).mem_min(CHUNK / 4);
+    let spec = ClusterSpec::small(RANKS / PPN, 2);
+
+    let tp_plan = twophase::plan(&req, &map, &mem, &cfg);
+    let mc_plan = mcio::plan(&req, &map, &mem, &cfg);
+    let golden = written_bytes(&mc_plan, total);
+    let golden_tp = written_bytes(&tp_plan, total);
+    if golden != golden_tp {
+        fail("fault-free strategies disagree on the written bytes");
+    }
+
+    let crash_host = mc_plan
+        .groups
+        .iter()
+        .flat_map(|g| g.aggregators.iter())
+        .map(|a| map.node_of(a.rank).0)
+        .next()
+        .unwrap_or_else(|| fail("memory-conscious plan has no aggregators"));
+
+    let mut crash_trace: Option<String> = None;
+    for (name, text) in fault_matrix(crash_host) {
+        let fspec = match FaultSpec::parse(&text) {
+            Ok(f) => f,
+            Err(e) => fail(&format!("matrix entry {name} does not parse: {e}")),
+        };
+        for (strategy, plan) in [
+            (Strategy::TwoPhase, &tp_plan),
+            (Strategy::MemoryConscious, &mc_plan),
+        ] {
+            let want_trace = strategy == Strategy::MemoryConscious && name == "agg_crash";
+            let out: FaultOutcome = simulate_faulted(
+                plan,
+                &map,
+                &spec,
+                &mem,
+                Pipeline::Serial,
+                Exchange::Direct,
+                &fspec,
+                Observe {
+                    registry: None,
+                    trace: want_trace,
+                },
+            );
+            let label = strategy.label();
+            println!(
+                "{name:<10} {label:<17} {}  elapsed {:>10.3} ms  failovers {}  degraded {}  retries {}",
+                if out.completed { "completed " } else { "INCOMPLETE" },
+                out.report.elapsed.as_nanos() as f64 / 1e6,
+                out.failovers,
+                out.degraded_rounds,
+                out.retries,
+            );
+            match (strategy, name) {
+                // The baseline has no failover path: the crash case is
+                // its expected failure. Everything else it must survive.
+                (Strategy::TwoPhase, "agg_crash") => {
+                    if out.completed {
+                        fail("two-phase claims completion under agg_crash");
+                    }
+                }
+                (Strategy::TwoPhase, _) => {
+                    if !out.completed {
+                        fail(&format!("two-phase failed the {name} case"));
+                    }
+                }
+                // MC-CIO must complete the whole matrix, bytes intact,
+                // and the structural faults must visibly trigger the
+                // recovery paths they were aimed at.
+                (Strategy::MemoryConscious, _) => {
+                    if !out.completed {
+                        fail(&format!("memory-conscious failed the {name} case"));
+                    }
+                    if written_bytes(&out.executed_plan, total) != golden {
+                        fail(&format!(
+                            "memory-conscious {name}: executed plan changes the written bytes"
+                        ));
+                    }
+                    if name == "agg_crash" && out.failovers == 0 {
+                        fail("agg_crash on an aggregator node triggered no failover");
+                    }
+                    if name == "mem_shock" && out.degraded_rounds == 0 {
+                        fail("mem_shock on an aggregator node degraded no round");
+                    }
+                }
+            }
+            let bound = u64::from(fspec.retry.max_attempts.saturating_sub(1))
+                * out.report.activities as u64;
+            if out.retries > bound {
+                fail(&format!(
+                    "{name}/{label}: {} retries exceed bound {bound}",
+                    out.retries
+                ));
+            }
+            if want_trace {
+                crash_trace = out.trace.clone();
+            }
+        }
+    }
+
+    // Determinism: the traced crash case re-run must reproduce its trace
+    // byte-for-byte.
+    let fspec = FaultSpec::parse(&format!("seed 5\nagg_crash({crash_host}, 2ms)"))
+        .expect("matrix entry parses");
+    let rerun = simulate_faulted(
+        &mc_plan,
+        &map,
+        &spec,
+        &mem,
+        Pipeline::Serial,
+        Exchange::Direct,
+        &fspec,
+        Observe {
+            registry: None,
+            trace: true,
+        },
+    );
+    let first = crash_trace.unwrap_or_else(|| fail("agg_crash case produced no trace"));
+    if rerun.trace.as_deref() != Some(first.as_str()) {
+        fail("faulted run is not deterministic: traces differ between identical runs");
+    }
+
+    if let Err(e) = std::fs::write(&out_path, &first) {
+        eprintln!("fault_suite: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    println!("fault matrix ok; wrote {out_path}");
+}

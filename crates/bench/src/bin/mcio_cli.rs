@@ -22,7 +22,10 @@
 //! Perfetto), `--metrics FILE` (export the run's metric registry —
 //! machine config, workload shape, planner decisions, per-resource
 //! utilization, wait-time histograms, per-phase timings),
-//! `--metrics-format json|csv|prom` (json).
+//! `--metrics-format json|csv|prom` (json), `--faults FILE` (inject a
+//! deterministic fault plan — see `docs/robustness.md` for the DSL —
+//! and run both strategies through the resilient executor; the trace
+//! gains the pid-3 fault lanes and the report a completion verdict).
 //!
 //! The `analyze` subcommand consumes a `--trace` file and reports the
 //! critical path (network-shuffle / OST-I/O / memory-wait / idle),
@@ -41,7 +44,11 @@ use mcio_core::exec_sim::{
     simulate_observed, simulate_opts, simulate_two_level, Exchange, Observe, Pipeline,
 };
 use mcio_core::hints::parse_bytes;
-use mcio_core::{mcio as mc, twophase, CollectiveConfig, CollectiveRequest, ProcMemory, Rw};
+use mcio_core::{
+    mcio as mc, simulate_faulted, twophase, CollectiveConfig, CollectiveRequest, FaultOutcome,
+    ProcMemory, Rw,
+};
+use mcio_faults::FaultSpec;
 use mcio_obs::{MetricsFormat, Registry};
 use mcio_workloads::{science, CollPerf, Ior};
 use std::collections::HashMap;
@@ -66,6 +73,7 @@ const RUN_OPTS: &[&str] = &[
     "trace",
     "metrics",
     "metrics-format",
+    "faults",
 ];
 /// Boolean flags in run mode.
 const RUN_FLAGS: &[&str] = &["two-level", "help"];
@@ -272,7 +280,25 @@ fn run_sim(args: &[String]) {
         spec.name,
     );
 
+    // Fault plan, validated before any simulation runs: unreadable or
+    // malformed specs exit 1 with a one-line reason.
+    let fault_spec: Option<FaultSpec> = opts.get("faults").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("mcio_cli: cannot read faults {path}: {e}");
+            exit(1);
+        });
+        FaultSpec::parse(&text).unwrap_or_else(|e| {
+            eprintln!("mcio_cli: faults {path}: {e}");
+            exit(1);
+        })
+    });
+
     let two_level = flags.iter().any(|f| f == "two-level");
+    let exchange = if two_level {
+        Exchange::TwoLevel
+    } else {
+        Exchange::Direct
+    };
     let run = |plan: &mcio_core::CollectivePlan| {
         if two_level {
             simulate_two_level(plan, &map, &spec)
@@ -284,8 +310,29 @@ fn run_sim(args: &[String]) {
     let mc_plan = mc::plan(&req, &map, &env, &cfg);
     tp_plan.check(&req).expect("two-phase plan sound");
     mc_plan.check(&req).expect("memory-conscious plan sound");
-    let tp = run(&tp_plan);
-    let mcr = run(&mc_plan);
+    let mut fault_outcomes: Option<(FaultOutcome, FaultOutcome)> = None;
+    let (tp, mcr) = match &fault_spec {
+        Some(fspec) => {
+            let faulted = |plan: &mcio_core::CollectivePlan| {
+                simulate_faulted(
+                    plan,
+                    &map,
+                    &spec,
+                    &env,
+                    pipeline,
+                    exchange,
+                    fspec,
+                    Observe::default(),
+                )
+            };
+            let tpo = faulted(&tp_plan);
+            let mco = faulted(&mc_plan);
+            let reports = (tpo.report.clone(), mco.report.clone());
+            fault_outcomes = Some((tpo, mco));
+            reports
+        }
+        None => (run(&tp_plan), run(&mc_plan)),
+    };
     println!(
         "two-phase       : {:>9.1} MiB/s  ({} aggs, {} rounds, elapsed {})",
         tp.bandwidth_mibs,
@@ -301,6 +348,27 @@ fn run_sim(args: &[String]) {
         mcr.elapsed,
         improvement_pct(tp.bandwidth_mibs, mcr.bandwidth_mibs),
     );
+    if let (Some(fspec), Some((tpo, mco))) = (&fault_spec, &fault_outcomes) {
+        println!(
+            "faults          : {} event(s), seed {}",
+            fspec.events.len(),
+            fspec.seed
+        );
+        for (label, o) in [("two-phase", tpo), ("memory-conscious", mco)] {
+            println!(
+                "{label:<16}: {}  (failovers {}, degraded rounds {}, retries {}, exhausted {})",
+                if o.completed {
+                    "completed"
+                } else {
+                    "INCOMPLETE"
+                },
+                o.failovers,
+                o.degraded_rounds,
+                o.retries,
+                o.retry_exhausted,
+            );
+        }
+    }
 
     // Observability exports: one extra observed run of the selected
     // strategy (--strategy, default memory-conscious) produces both the
@@ -323,22 +391,19 @@ fn run_sim(args: &[String]) {
         let registry = Arc::new(Registry::new());
         spec.record_into(&registry);
         mcio_workloads::record_request(&req, &registry);
-        let exchange = if two_level {
-            Exchange::TwoLevel
-        } else {
-            Exchange::Direct
+        let observe = Observe {
+            registry: want_metrics.map(|_| &registry),
+            trace: want_trace.is_some(),
         };
-        let (_, trace_json) = simulate_observed(
-            obs_plan,
-            &map,
-            &spec,
-            pipeline,
-            exchange,
-            Observe {
-                registry: want_metrics.map(|_| &registry),
-                trace: want_trace.is_some(),
-            },
-        );
+        let trace_json = match &fault_spec {
+            Some(fspec) => {
+                simulate_faulted(
+                    obs_plan, &map, &spec, &env, pipeline, exchange, fspec, observe,
+                )
+                .trace
+            }
+            None => simulate_observed(obs_plan, &map, &spec, pipeline, exchange, observe).1,
+        };
         if let Some(path) = want_metrics {
             if let Err(e) = std::fs::write(path, fmt.render(&registry.snapshot())) {
                 eprintln!("mcio_cli: cannot write metrics to {path}: {e}");

@@ -148,7 +148,7 @@ pub fn render_records(records: &[Record]) -> String {
             "\n    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"elapsed_ns\": {}, \
              \"exchange_fraction\": {:.6}, \"io_fraction\": {:.6}, \
              \"critical_path\": {{\"network_shuffle_ns\": {}, \"ost_io_ns\": {}, \
-             \"memory_wait_ns\": {}, \"idle_ns\": {}}}}}",
+             \"memory_wait_ns\": {}, \"retry_degraded_ns\": {}, \"idle_ns\": {}}}}}",
             r.scenario,
             r.strategy,
             r.elapsed_ns,
@@ -157,6 +157,7 @@ pub fn render_records(records: &[Record]) -> String {
             cp.network_shuffle_ns,
             cp.ost_io_ns,
             cp.memory_wait_ns,
+            cp.retry_degraded_ns,
             cp.idle_ns,
         ));
     }
@@ -169,7 +170,16 @@ pub fn parse_records(input: &str) -> Result<Vec<Record>, String> {
     let doc = json::parse(input).map_err(|e| e.to_string())?;
     match doc.get("schema").and_then(JsonValue::as_str) {
         Some("mcio.perf_suite.v1") => {}
-        other => return Err(format!("unsupported perf_suite schema {other:?}")),
+        Some(other) => {
+            return Err(format!(
+                "baseline schema is \"{other}\", expected \"mcio.perf_suite.v1\""
+            ))
+        }
+        None => {
+            return Err(
+                "baseline has no \"schema\" field, expected \"mcio.perf_suite.v1\"".to_string(),
+            )
+        }
     }
     let arr = doc
         .get("records")
@@ -204,6 +214,12 @@ pub fn parse_records(input: &str) -> Result<Vec<Record>, String> {
                 network_shuffle_ns: num(cp, "network_shuffle_ns")? as u64,
                 ost_io_ns: num(cp, "ost_io_ns")? as u64,
                 memory_wait_ns: num(cp, "memory_wait_ns")? as u64,
+                // Absent in pre-fault baselines; those attributed no
+                // time to the retry/degraded bucket.
+                retry_degraded_ns: cp
+                    .get("retry_degraded_ns")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64,
                 idle_ns: num(cp, "idle_ns")? as u64,
             },
         });
@@ -259,6 +275,7 @@ mod tests {
                 network_shuffle_ns: elapsed_ns / 4,
                 ost_io_ns: elapsed_ns / 2,
                 memory_wait_ns: elapsed_ns / 8,
+                retry_degraded_ns: 0,
                 idle_ns: elapsed_ns - elapsed_ns / 4 - elapsed_ns / 2 - elapsed_ns / 8,
             },
         }
@@ -282,6 +299,33 @@ mod tests {
         assert!(parse_records("{\"schema\": \"other\", \"records\": []}").is_err());
         assert!(parse_records("[]").is_err());
         assert!(parse_records("not json").is_err());
+    }
+
+    #[test]
+    fn schema_error_is_one_line_and_names_the_expected_schema() {
+        for doc in [
+            "{\"schema\": \"mcio.perf_suite.v2\", \"records\": []}",
+            "{\"records\": []}",
+        ] {
+            let err = parse_records(doc).unwrap_err();
+            assert!(!err.contains('\n'), "multi-line schema error: {err:?}");
+            assert!(err.contains("mcio.perf_suite.v1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn pre_fault_baselines_parse_with_zero_retry_bucket() {
+        // Baselines rendered before the fifth bucket existed carry no
+        // retry_degraded_ns key; they must still parse (as zero).
+        let old = "{\n  \"schema\": \"mcio.perf_suite.v1\",\n  \"records\": [\n    \
+                   {\"scenario\": \"fig6\", \"strategy\": \"two-phase\", \"elapsed_ns\": 1000, \
+                   \"exchange_fraction\": 0.25, \"io_fraction\": 0.75, \
+                   \"critical_path\": {\"network_shuffle_ns\": 250, \"ost_io_ns\": 500, \
+                   \"memory_wait_ns\": 125, \"idle_ns\": 125}}\n  ]\n}\n";
+        let parsed = parse_records(old).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].critical_path.retry_degraded_ns, 0);
+        assert_eq!(parsed[0].critical_path.attributed_ns(), 1000);
     }
 
     #[test]

@@ -177,3 +177,49 @@ fn analyze_text_report_names_a_bottleneck() {
     assert!(text.contains("== critical path =="), "{text}");
     assert!(text.contains("bottleneck"), "{text}");
 }
+
+#[test]
+fn faults_missing_file_exits_1_with_one_line_error() {
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--faults", "/no/such/faults.txt"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot read faults"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn faults_garbage_spec_exits_1_with_one_line_error() {
+    let path = tmp("faults_garbage.txt");
+    std::fs::write(&path, "seed 1\nfrobnicate(3)\n").unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("faults"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+/// A valid fault plan runs to exit 0 and the summary names the faulted
+/// execution: both strategy outcome lines plus the fault event count.
+#[test]
+fn faults_valid_spec_reports_outcomes_and_exits_0() {
+    let path = tmp("faults_valid.txt");
+    std::fs::write(&path, "seed 11\nost_slow(0, 2.0, 0ns..5ms)\n").unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("faults"), "{text}");
+    assert!(text.contains("1 event(s)"), "{text}");
+    assert!(text.contains("seed 11"), "{text}");
+}

@@ -1,0 +1,54 @@
+//! Exit-code hygiene for `perf_suite --check`: a baseline whose schema
+//! does not match `mcio.perf_suite.v1` must fail fast with a one-line
+//! error and exit 1 — before any benchmark runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run_check(baseline: &str) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_suite"))
+        .args(["--check", baseline])
+        .output()
+        .expect("spawn perf_suite")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("perf_suite_test_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn wrong_schema_baseline_exits_1_with_one_line_error() {
+    let path = tmp("wrong_schema.json");
+    std::fs::write(&path, r#"{"schema": "mcio.perf_suite.v0", "records": []}"#).unwrap();
+    let out = run_check(path.to_str().unwrap());
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("mcio.perf_suite.v1"), "{err}");
+    assert!(err.contains("mcio.perf_suite.v0"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn schemaless_baseline_exits_1_with_one_line_error() {
+    let path = tmp("no_schema.json");
+    std::fs::write(&path, r#"{"records": []}"#).unwrap();
+    let out = run_check(path.to_str().unwrap());
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("mcio.perf_suite.v1"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+}
+
+#[test]
+fn missing_baseline_exits_1() {
+    let out = run_check("/no/such/baseline.json");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!stderr(&out).contains("panicked"));
+}

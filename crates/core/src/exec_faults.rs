@@ -1,0 +1,714 @@
+//! Resilient collective execution under an injected fault plan.
+//!
+//! [`simulate_faulted`] runs a [`CollectivePlan`] against a
+//! [`mcio_faults::FaultSpec`] and makes the execution *survive* it:
+//!
+//! * **Retry/backoff** — transient per-request OST failures are absorbed
+//!   inside the PFS client as bounded, seeded retry chains (see
+//!   [`mcio_pfs::Pfs::apply_faults`]); nothing to do here beyond
+//!   surfacing the counts.
+//! * **Aggregator failover** — an `agg_crash(host, t)` that lands while
+//!   rounds using an aggregator on that host are still in flight
+//!   triggers a memory-aware re-selection (same scoring as
+//!   [`crate::placement`]: largest budget, lowest rank breaks ties) and
+//!   re-targets the affected rounds' messages and I/O to the
+//!   replacement. The first re-targeted round of each group is gated
+//!   behind a fixed re-coordination latency ([`FAILOVER_LATENCY`]).
+//! * **Graceful degradation** — when the replacement's buffer (or a
+//!   `mem_shock`-shrunk buffer) cannot hold an affected window, the
+//!   window is re-rounded: split at exact sub-window boundaries into
+//!   extra rounds appended to the group, instead of aborting. Message
+//!   extents are split at the same boundaries, so byte conservation and
+//!   leaf coverage are preserved exactly ([`CollectivePlan::check`]
+//!   still passes on the transformed plan).
+//!
+//! The two-phase baseline gets **no** failover: a crash that hits one of
+//! its aggregators mid-collective marks the run `completed = false`
+//! (the paper's MC-CIO pipeline is the one with a re-selection path).
+//!
+//! Fault attribution rides the unified trace as process 3 (`faults`)
+//! and the `faults.*` metrics; `mcio-analyze` folds the resilience
+//! lanes into a fifth critical-path bucket (`retry/degraded`).
+//!
+//! # Semantics of a crash
+//!
+//! `agg_crash` models the death of the *aggregator role* on a host (an
+//! OOM-killed aggregation thread, a wedged buffer pool) — the compute
+//! ranks on that host keep their data and continue as producers or
+//! consumers. Recovery is therefore re-selection plus re-routing, not
+//! data reconstruction.
+//!
+//! # Determinism
+//!
+//! Both passes are ordinary deterministic DES runs; every stochastic
+//! choice (transient failures, backoff jitter) hashes the
+//! [`mcio_faults::FaultSpec::seed`]. Two runs with identical inputs
+//! produce byte-identical traces and reports.
+
+use crate::config::Strategy;
+use crate::exec_sim::{
+    simulate_inner, Exchange, FaultGate, FaultInjection, Observe, Pipeline, RoundWindow, SimRun,
+    TimingReport,
+};
+use crate::memory::ProcMemory;
+use crate::plan::{AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Round, SyncMode};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::{NodeId, ProcessMap, Rank};
+use mcio_des::{SimDuration, SimTime};
+use mcio_faults::{FaultEvent, FaultSpec};
+use mcio_pfs::{Extent, Rw};
+
+/// Fixed failure-detection + re-coordination latency charged before the
+/// first re-targeted round of a group may start after a crash. Models
+/// heartbeat timeout plus re-selection consensus; deliberately a
+/// constant so faulted runs stay byte-deterministic.
+pub const FAILOVER_LATENCY: SimDuration = SimDuration::from_micros(500);
+
+/// What a faulted run produced, beyond the plain timing report.
+#[derive(Debug)]
+pub struct FaultOutcome {
+    /// Timing of the (possibly transformed) plan under injection.
+    pub report: TimingReport,
+    /// Unified Chrome trace (pid 3 = fault lanes) when requested.
+    pub trace: Option<String>,
+    /// Whether the collective delivered every byte. `false` only when a
+    /// structural fault hit a plan with no recovery path (two-phase
+    /// under `agg_crash`, or no replacement candidate).
+    pub completed: bool,
+    /// Aggregator failovers performed.
+    pub failovers: usize,
+    /// Extra rounds created by graceful degradation.
+    pub degraded_rounds: usize,
+    /// Total transient-failure retries absorbed by the PFS client.
+    pub retries: u64,
+    /// Requests whose retry budget was exhausted (completed out-of-band;
+    /// see `docs/robustness.md`).
+    pub retry_exhausted: u64,
+    /// The plan that actually executed: the input plan with failover
+    /// re-targeting and degradation re-rounding applied. Feeding it to
+    /// [`crate::exec_fn::execute_write`] yields bytes identical to the
+    /// fault-free plan whenever `completed` is true.
+    pub executed_plan: CollectivePlan,
+}
+
+/// Simulate `plan` under the fault plan `fspec`, surviving what can be
+/// survived. `mem` drives replacement-aggregator selection (same budget
+/// data the planner used).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_faulted(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    mem: &ProcMemory,
+    pipeline: Pipeline,
+    exchange: Exchange,
+    fspec: &FaultSpec,
+    obs: Observe<'_>,
+) -> FaultOutcome {
+    let structural = fspec
+        .events
+        .iter()
+        .any(|e| matches!(e, FaultEvent::AggCrash { .. } | FaultEvent::MemShock { .. }));
+
+    let mut xplan = plan.clone();
+    let mut gates: Vec<FaultGate> = Vec::new();
+    let mut degraded: Vec<(Option<usize>, usize)> = Vec::new();
+    let mut completed = true;
+    let mut failovers = 0usize;
+
+    if structural {
+        // Pass 1: OST + transient faults only, no recovery — yields the
+        // absolute windows of every round slot, i.e. which rounds were
+        // still in flight when each structural event struck.
+        let probe = FaultInjection {
+            spec: Some(fspec),
+            gates: Vec::new(),
+            degraded: Vec::new(),
+        };
+        let pass1 = simulate_inner(
+            plan,
+            map,
+            spec,
+            pipeline,
+            exchange,
+            Observe::default(),
+            Some(&probe),
+        );
+
+        for &(host, at) in &fspec.agg_crashes() {
+            let at_ns = at.saturating_since(SimTime::ZERO).as_nanos();
+            for (gi, g) in xplan.groups.iter_mut().enumerate() {
+                let crashed: Vec<Rank> = g
+                    .aggregators
+                    .iter()
+                    .map(|a| a.rank)
+                    .filter(|&r| map.node_of(r) == NodeId(host))
+                    .collect();
+                for cr in crashed {
+                    let affected =
+                        affected_rounds(g, plan.rw, cr, &pass1.windows, plan.sync, gi, at_ns);
+                    if affected.is_empty() {
+                        continue;
+                    }
+                    if plan.strategy == Strategy::TwoPhase {
+                        // No failover path in the baseline.
+                        completed = false;
+                        continue;
+                    }
+                    let Some((repl, repl_buffer)) = select_replacement(g, map, mem, NodeId(host))
+                    else {
+                        completed = false;
+                        continue;
+                    };
+                    if !g.aggregators.iter().any(|a| a.rank == repl) {
+                        let (fd, data_bytes) = g
+                            .aggregators
+                            .iter()
+                            .find(|a| a.rank == cr)
+                            .map(|a| (a.fd, a.data_bytes))
+                            .unwrap_or((Extent::EMPTY, 0));
+                        g.aggregators.push(AggregatorAssignment {
+                            rank: repl,
+                            fd,
+                            buffer: repl_buffer,
+                            data_bytes,
+                        });
+                    }
+                    failovers += 1;
+                    let gkey = group_key(plan.sync, gi);
+                    let first = *affected.first().expect("non-empty");
+                    if !gates.iter().any(|gt| gt.group == gkey && gt.round == first) {
+                        gates.push(FaultGate {
+                            group: gkey,
+                            round: first,
+                            from: at,
+                            release: at + FAILOVER_LATENCY,
+                            label: format!("failover.g{gi}.r{first}"),
+                        });
+                    }
+                    for r in affected {
+                        retarget_round(&mut g.rounds[r], plan.rw, cr, repl);
+                        for appended in split_oversized(g, r, repl, repl_buffer, plan.rw) {
+                            degraded.push((gkey, appended));
+                        }
+                    }
+                }
+            }
+        }
+
+        for &(node, drop_frac, at) in &fspec.mem_shocks() {
+            if plan.strategy == Strategy::TwoPhase {
+                // The baseline has no runtime re-rounding path; shocks
+                // only matter to it through the OST/transient channel.
+                continue;
+            }
+            let at_ns = at.saturating_since(SimTime::ZERO).as_nanos();
+            for (gi, g) in xplan.groups.iter_mut().enumerate() {
+                let shocked: Vec<(Rank, u64)> = g
+                    .aggregators
+                    .iter()
+                    .filter(|a| map.node_of(a.rank) == NodeId(node))
+                    .map(|a| {
+                        let eff = ((a.buffer as f64) * (1.0 - drop_frac)) as u64;
+                        (a.rank, eff.max(1))
+                    })
+                    .collect();
+                for (agg, effective) in shocked {
+                    let affected =
+                        affected_rounds(g, plan.rw, agg, &pass1.windows, plan.sync, gi, at_ns);
+                    let gkey = group_key(plan.sync, gi);
+                    for r in affected {
+                        for appended in split_oversized(g, r, agg, effective, plan.rw) {
+                            degraded.push((gkey, appended));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2 (or the only pass): the transformed plan under the full
+    // injection, observed as the caller asked.
+    let injection = FaultInjection {
+        spec: Some(fspec),
+        gates,
+        degraded,
+    };
+    let run: SimRun = simulate_inner(&xplan, map, spec, pipeline, exchange, obs, Some(&injection));
+    let retries: u64 = run
+        .retry_marks
+        .iter()
+        .map(|m| u64::from(m.attempts.saturating_sub(1)))
+        .sum();
+    let retry_exhausted = run.retry_marks.iter().filter(|m| m.exhausted).count() as u64;
+    let degraded_rounds = injection.degraded.len();
+
+    if let Some(reg) = obs.registry {
+        let strat = [("strategy", plan.strategy.label())];
+        reg.describe(
+            "faults.events",
+            "count",
+            "Fault events in the injected plan",
+        );
+        reg.describe(
+            "faults.failovers",
+            "count",
+            "Aggregator failovers performed",
+        );
+        reg.describe(
+            "faults.degraded_rounds",
+            "count",
+            "Extra rounds created by graceful degradation",
+        );
+        reg.describe(
+            "faults.completed",
+            "bool",
+            "1 when the collective delivered every byte under injection",
+        );
+        reg.inc("faults.events", &strat, fspec.events.len() as u64);
+        reg.inc("faults.failovers", &strat, failovers as u64);
+        reg.inc("faults.degraded_rounds", &strat, degraded_rounds as u64);
+        reg.set_gauge(
+            "faults.completed",
+            &strat,
+            if completed { 1.0 } else { 0.0 },
+        );
+    }
+
+    FaultOutcome {
+        report: run.report,
+        trace: run.trace,
+        completed,
+        failovers,
+        degraded_rounds,
+        retries,
+        retry_exhausted,
+        executed_plan: xplan,
+    }
+}
+
+/// The trace/gate group key for group `gi` under `sync`: the global
+/// chain zips all groups, so its slots are keyed `None`.
+fn group_key(sync: SyncMode, gi: usize) -> Option<usize> {
+    match sync {
+        SyncMode::Global => None,
+        SyncMode::PerGroup => Some(gi),
+    }
+}
+
+/// Rounds of `g` that involve aggregator `agg` and were still in flight
+/// (or not yet started) at `at_ns`, per the pass-1 windows. Rounds with
+/// no recorded window (e.g. created by an earlier transform) count as
+/// affected.
+fn affected_rounds(
+    g: &GroupPlan,
+    rw: Rw,
+    agg: Rank,
+    windows: &[RoundWindow],
+    sync: SyncMode,
+    gi: usize,
+    at_ns: u64,
+) -> Vec<usize> {
+    let gkey = group_key(sync, gi);
+    (0..g.rounds.len())
+        .filter(|&r| {
+            let round = &g.rounds[r];
+            let involves = round.ios.iter().any(|io| io.agg == agg)
+                || round.messages.iter().any(|m| match rw {
+                    Rw::Write => m.dst == agg,
+                    Rw::Read => m.src == agg,
+                });
+            if !involves {
+                return false;
+            }
+            let end = windows
+                .iter()
+                .filter(|w| w.round == r && (w.group == gkey || w.group.is_none()))
+                .map(|w| w.end_ns)
+                .max()
+                .unwrap_or(u64::MAX);
+            end > at_ns
+        })
+        .collect()
+}
+
+/// Memory-aware replacement selection, mirroring the planner's placement
+/// scoring: prefer a non-aggregator member rank off the crashed node
+/// with the largest memory budget (lowest rank breaks ties); fall back
+/// to an existing aggregator of the group off the node (reusing its
+/// buffer); as a last resort *borrow* any off-node rank of the job —
+/// node-aligned groups can be confined to the crashed node, and a
+/// borrowed aggregator on a healthy node is what keeps the collective
+/// alive. `None` only when every rank of the job lives on the crashed
+/// node.
+fn select_replacement(
+    g: &GroupPlan,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    down: NodeId,
+) -> Option<(Rank, u64)> {
+    let fresh = g
+        .ranks
+        .iter()
+        .copied()
+        .filter(|&r| map.node_of(r) != down)
+        .filter(|&r| !g.aggregators.iter().any(|a| a.rank == r))
+        .max_by_key(|&r| (mem.budget(r), std::cmp::Reverse(r.0)));
+    if let Some(r) = fresh {
+        return Some((r, mem.budget(r).max(1)));
+    }
+    if let Some(a) = g
+        .aggregators
+        .iter()
+        .filter(|a| map.node_of(a.rank) != down)
+        .max_by_key(|a| (a.buffer, std::cmp::Reverse(a.rank.0)))
+    {
+        return Some((a.rank, a.buffer));
+    }
+    (0..map.nranks())
+        .map(Rank)
+        .filter(|&r| map.node_of(r) != down)
+        .max_by_key(|&r| (mem.budget(r), std::cmp::Reverse(r.0)))
+        .map(|r| (r, mem.budget(r).max(1)))
+}
+
+/// Re-point every aggregator-side endpoint of `round` from `from` to
+/// `to`: I/O ops, and the aggregator end of each message (dst on writes,
+/// src on reads).
+fn retarget_round(round: &mut Round, rw: Rw, from: Rank, to: Rank) {
+    for io in &mut round.ios {
+        if io.agg == from {
+            io.agg = to;
+        }
+    }
+    for m in &mut round.messages {
+        match rw {
+            Rw::Write if m.dst == from => m.dst = to,
+            Rw::Read if m.src == from => m.src = to,
+            _ => {}
+        }
+    }
+}
+
+/// Graceful degradation: split every I/O op of round `r` owned by `agg`
+/// whose window exceeds `limit` into `limit`-sized chunks. The first
+/// chunk replaces the op in place; the rest become new rounds appended
+/// to the group, and the matching message extents move with them (split
+/// at the same exact boundaries, preserving conservation). Returns the
+/// indices of the appended rounds.
+fn split_oversized(g: &mut GroupPlan, r: usize, agg: Rank, limit: u64, rw: Rw) -> Vec<usize> {
+    let mut appended = Vec::new();
+    let nios = g.rounds[r].ios.len();
+    for i in 0..nios {
+        if g.rounds[r].ios[i].agg != agg || g.rounds[r].ios[i].window.len <= limit {
+            continue;
+        }
+        let io = g.rounds[r].ios[i].clone();
+        let mut chunks = Vec::new();
+        let mut off = io.window.offset;
+        while off < io.window.end() {
+            let len = limit.min(io.window.end() - off);
+            chunks.push(Extent::new(off, len));
+            off += len;
+        }
+        // Chunk 0 shrinks the op in place.
+        g.rounds[r].ios[i] = IoOp {
+            agg,
+            window: chunks[0],
+            extents: clip_extents(&io.extents, &chunks[0]),
+        };
+        // Later chunks each get their own appended round; the matching
+        // message pieces move with them.
+        for chunk in &chunks[1..] {
+            let mut moved = Vec::new();
+            for m in &mut g.rounds[r].messages {
+                let agg_end = match rw {
+                    Rw::Write => m.dst,
+                    Rw::Read => m.src,
+                };
+                if agg_end != agg {
+                    continue;
+                }
+                let (stay, go): (Vec<Extent>, Vec<Extent>) = {
+                    let mut stay = Vec::new();
+                    let mut go = Vec::new();
+                    for e in &m.extents {
+                        match e.intersect(chunk) {
+                            Some(inside) => {
+                                go.push(inside);
+                                if e.offset < inside.offset {
+                                    stay.push(Extent::from_bounds(e.offset, inside.offset));
+                                }
+                                if e.end() > inside.end() {
+                                    stay.push(Extent::from_bounds(inside.end(), e.end()));
+                                }
+                            }
+                            None => stay.push(*e),
+                        }
+                    }
+                    (stay, go)
+                };
+                if !go.is_empty() {
+                    m.extents = stay;
+                    let mut piece = m.clone();
+                    piece.extents = go;
+                    moved.push(piece);
+                }
+            }
+            g.rounds[r].messages.retain(|m| !m.extents.is_empty());
+            g.rounds.push(Round {
+                messages: moved,
+                ios: vec![IoOp {
+                    agg,
+                    window: *chunk,
+                    extents: clip_extents(&io.extents, chunk),
+                }],
+            });
+            appended.push(g.rounds.len() - 1);
+        }
+    }
+    appended
+}
+
+/// The pieces of `extents` inside `window`, clipped at its boundaries.
+fn clip_extents(extents: &[Extent], window: &Extent) -> Vec<Extent> {
+    extents.iter().filter_map(|e| e.intersect(window)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollectiveConfig;
+    use crate::exec_fn;
+    use crate::request::CollectiveRequest;
+    use crate::{mcio, twophase};
+    use mcio_cluster::Placement;
+    use mcio_pfs::SparseFile;
+
+    const MIB: u64 = 1 << 20;
+
+    fn serial_req(rw: Rw, nranks: usize, chunk: u64) -> CollectiveRequest {
+        CollectiveRequest::new(
+            rw,
+            (0..nranks as u64)
+                .map(|r| vec![Extent::new(r * chunk, chunk)])
+                .collect(),
+        )
+    }
+
+    fn setup(
+        nranks: usize,
+        ppn: usize,
+        chunk: u64,
+    ) -> (
+        CollectiveRequest,
+        ProcessMap,
+        ProcMemory,
+        CollectiveConfig,
+        ClusterSpec,
+    ) {
+        let req = serial_req(Rw::Write, nranks, chunk);
+        let map = ProcessMap::new(nranks, ppn, Placement::Block);
+        let mem = ProcMemory::uniform(nranks, chunk);
+        let cfg = CollectiveConfig::with_buffer(chunk);
+        let spec = ClusterSpec::small(nranks / ppn, 2);
+        (req, map, mem, cfg, spec)
+    }
+
+    fn written(plan: &CollectivePlan, len: u64) -> Vec<u8> {
+        let mut file = SparseFile::new();
+        exec_fn::execute_write(plan, &mut file).expect("plan executes");
+        file.read_vec(0, len as usize)
+    }
+
+    #[test]
+    fn fault_free_spec_matches_plain_simulation() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let base = crate::exec_sim::simulate(&plan, &map, &spec);
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &FaultSpec::none(),
+            Observe::default(),
+        );
+        assert!(out.completed);
+        assert_eq!(out.report.elapsed, base.elapsed);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(out.degraded_rounds, 0);
+    }
+
+    #[test]
+    fn agg_crash_fails_over_and_preserves_bytes() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let fault = FaultSpec::parse("seed 7\nagg_crash(0, 1ms)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(out.completed, "MC-CIO must survive an aggregator crash");
+        assert!(out.failovers > 0, "crash at t=1ms must trigger a failover");
+        let total = 8 * 2 * MIB;
+        assert_eq!(
+            written(&out.executed_plan, total),
+            written(&plan, total),
+            "failover must not change the bytes written"
+        );
+        assert!(
+            out.report.elapsed >= crate::exec_sim::simulate(&plan, &map, &spec).elapsed,
+            "failover cannot make the run faster"
+        );
+    }
+
+    #[test]
+    fn two_phase_does_not_survive_agg_crash() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = twophase::plan(&req, &map, &mem, &cfg);
+        let fault = FaultSpec::parse("seed 7\nagg_crash(0, 1ms)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(!out.completed, "baseline has no failover path");
+        assert_eq!(out.failovers, 0);
+    }
+
+    #[test]
+    fn crash_after_completion_is_harmless() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let fault = FaultSpec::parse("seed 7\nagg_crash(0, 1000s)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(out.completed);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(
+            out.report.elapsed,
+            crate::exec_sim::simulate(&plan, &map, &spec).elapsed
+        );
+    }
+
+    #[test]
+    fn mem_shock_degrades_rounds_and_preserves_bytes() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let fault = FaultSpec::parse("seed 7\nmem_shock(0, 0.75, 0ns)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(out.completed);
+        let total = 8 * 2 * MIB;
+        assert_eq!(
+            written(&out.executed_plan, total),
+            written(&plan, total),
+            "degradation must not change the bytes written"
+        );
+        if out.degraded_rounds > 0 {
+            assert!(
+                out.executed_plan.max_rounds() > plan.max_rounds(),
+                "degradation re-rounds by appending rounds"
+            );
+        }
+    }
+
+    #[test]
+    fn transformed_plan_still_checks() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        plan.check(&req).expect("input plan is sound");
+        let fault = FaultSpec::parse("seed 3\nagg_crash(0, 1ms)\nmem_shock(1, 0.5, 2ms)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(out.completed);
+        out.executed_plan
+            .check(&req)
+            .expect("failover + degradation preserve plan invariants");
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let text =
+            "seed 11\nost_slow(0, 4.0, 0ns..5ms)\nreq_transient_fail(0.3, 99)\nagg_crash(0, 1ms)";
+        let run = || {
+            let fault = FaultSpec::parse(text).unwrap();
+            simulate_faulted(
+                &plan,
+                &map,
+                &spec,
+                &mem,
+                Pipeline::Serial,
+                Exchange::Direct,
+                &fault,
+                Observe {
+                    registry: None,
+                    trace: true,
+                },
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.report.elapsed, b.report.elapsed);
+        assert_eq!(a.trace, b.trace, "traces must be byte-identical");
+        assert_eq!(a.retries, b.retries);
+    }
+
+    #[test]
+    fn retries_surface_in_outcome() {
+        let (req, map, mem, cfg, spec) = setup(8, 2, 2 * MIB);
+        let plan = mcio::plan(&req, &map, &mem, &cfg);
+        let fault = FaultSpec::parse("seed 5\nreq_transient_fail(0.9, 1)").unwrap();
+        let out = simulate_faulted(
+            &plan,
+            &map,
+            &spec,
+            &mem,
+            Pipeline::Serial,
+            Exchange::Direct,
+            &fault,
+            Observe::default(),
+        );
+        assert!(out.completed);
+        assert!(out.retries > 0, "p=0.9 must produce retries");
+    }
+}

@@ -21,8 +21,9 @@ use crate::plan::{CollectivePlan, Round, SyncMode};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{Fabric, ProcessMap, Rank};
 use mcio_des::{Activity, ActivityId, SimDuration, SimTime, Simulation};
+use mcio_faults::{FaultEvent, FaultSpec};
 use mcio_obs::{Registry, TraceCollector};
-use mcio_pfs::{Pfs, Rw};
+use mcio_pfs::{Pfs, RetryMark, Rw};
 use std::sync::Arc;
 
 /// Phase durations of one round slot (one synchronized step of one
@@ -123,6 +124,61 @@ pub enum Exchange {
     TwoLevel,
 }
 
+/// Absolute window of one executed round slot, for fault analysis:
+/// which rounds were still in flight when an event struck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RoundWindow {
+    /// Plan group the slot served (`None` = all groups, global sync).
+    pub group: Option<usize>,
+    /// Round index within the chain.
+    pub round: usize,
+    /// Slot start (after its gates), nanoseconds.
+    pub start_ns: u64,
+    /// Last phase completion of the slot, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// A failover re-coordination gate: the given round slot may not start
+/// before `release` (detection + re-selection after a crash at `from`).
+#[derive(Debug, Clone)]
+pub(crate) struct FaultGate {
+    /// Plan group the gate applies to (`None` = the global chain).
+    pub group: Option<usize>,
+    /// Round index the gate holds back.
+    pub round: usize,
+    /// The crash instant (trace span start).
+    pub from: SimTime,
+    /// Earliest start of the gated round.
+    pub release: SimTime,
+    /// Trace label, e.g. `failover.g0.r2`.
+    pub label: String,
+}
+
+/// Everything `simulate_inner` needs to inject a fault plan: the spec
+/// (OST perturbations + transient process), the failover gates, and the
+/// rounds created or re-shaped by graceful degradation (trace-marked).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultInjection<'f> {
+    /// The fault plan (OST windows, transient failures, event markers).
+    pub spec: Option<&'f FaultSpec>,
+    /// Failover gates keyed by (group, round).
+    pub gates: Vec<FaultGate>,
+    /// (group, round) slots produced by degradation re-rounding.
+    pub degraded: Vec<(Option<usize>, usize)>,
+}
+
+/// Internal result of one lowered-and-run simulation.
+pub(crate) struct SimRun {
+    /// The public timing report.
+    pub report: TimingReport,
+    /// Chrome-trace JSON when requested.
+    pub trace: Option<String>,
+    /// Absolute round-slot windows (fault analysis input).
+    pub windows: Vec<RoundWindow>,
+    /// Retry chains the PFS expanded (empty without armed faults).
+    pub retry_marks: Vec<RetryMark>,
+}
+
 /// Simulate a plan on `spec`'s machine with `map`'s process placement
 /// (serial rounds, direct exchange; see [`simulate_opts`]).
 pub fn simulate(plan: &CollectivePlan, map: &ProcessMap, spec: &ClusterSpec) -> TimingReport {
@@ -142,8 +198,9 @@ pub fn simulate_two_level(
         Pipeline::Serial,
         Exchange::TwoLevel,
         Observe::default(),
+        None,
     )
-    .0
+    .report
 }
 
 /// Simulate and return a Chrome-trace JSON timeline (open in Perfetto /
@@ -156,7 +213,7 @@ pub fn trace_plan(
     map: &ProcessMap,
     spec: &ClusterSpec,
 ) -> (TimingReport, String) {
-    let (rep, json) = simulate_inner(
+    let run = simulate_inner(
         plan,
         map,
         spec,
@@ -166,8 +223,9 @@ pub fn trace_plan(
             registry: None,
             trace: true,
         },
+        None,
     );
-    (rep, json.expect("trace was requested"))
+    (run.report, run.trace.expect("trace was requested"))
 }
 
 /// Simulate with an explicit round-pipelining mode.
@@ -184,8 +242,9 @@ pub fn simulate_opts(
         pipeline,
         Exchange::Direct,
         Observe::default(),
+        None,
     )
-    .0
+    .report
 }
 
 /// What to capture while simulating, beyond the [`TimingReport`].
@@ -208,17 +267,20 @@ pub fn simulate_observed(
     exchange: Exchange,
     obs: Observe<'_>,
 ) -> (TimingReport, Option<String>) {
-    simulate_inner(plan, map, spec, pipeline, exchange, obs)
+    let run = simulate_inner(plan, map, spec, pipeline, exchange, obs, None);
+    (run.report, run.trace)
 }
 
-fn simulate_inner(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_inner(
     plan: &CollectivePlan,
     map: &ProcessMap,
     spec: &ClusterSpec,
     pipeline: Pipeline,
     exchange: Exchange,
     obs: Observe<'_>,
-) -> (TimingReport, Option<String>) {
+    faults: Option<&FaultInjection<'_>>,
+) -> SimRun {
     let mut sim = Simulation::new();
     if obs.trace {
         sim.enable_trace();
@@ -227,6 +289,9 @@ fn simulate_inner(
     let mut pfs = Pfs::build(&mut sim, spec);
     if let Some(reg) = obs.registry {
         pfs.set_registry(Arc::clone(reg));
+    }
+    if let Some(fspec) = faults.and_then(|f| f.spec) {
+        pfs.apply_faults(&mut sim, fspec);
     }
     assert!(
         map.nnodes() <= fabric.nnodes(),
@@ -274,6 +339,18 @@ fn simulate_inner(
         ios: Vec<ActivityId>,
         agg_ios: Vec<(Rank, Vec<ActivityId>)>,
     }
+    // Failover gates: a round slot hit by a crash may not start before
+    // the re-coordination window closes. One release-gated activity per
+    // (group, round) the fault transform flagged.
+    let mut gate_acts: std::collections::HashMap<(Option<usize>, usize), ActivityId> =
+        std::collections::HashMap::new();
+    if let Some(f) = faults {
+        for gate in &f.gates {
+            let act = sim.add_activity(Activity::new(gate.label.clone()).release_at(gate.release));
+            gate_acts.insert((gate.group, gate.round), act);
+        }
+    }
+
     let mut round_meta: Vec<SlotMeta> = Vec::new();
     for (ci, chain) in chains.iter().enumerate() {
         let mut ex_joins: Vec<ActivityId> = Vec::new();
@@ -281,7 +358,7 @@ fn simulate_inner(
         for (r, slot) in chain.iter().enumerate() {
             // Dependencies per pipelining mode. The "first" phase is the
             // exchange for writes and the I/O for reads.
-            let (first_deps, second_extra): (Vec<ActivityId>, Vec<ActivityId>) = if r == 0 {
+            let (mut first_deps, second_extra): (Vec<ActivityId>, Vec<ActivityId>) = if r == 0 {
                 (Vec::new(), Vec::new())
             } else {
                 match pipeline {
@@ -302,6 +379,9 @@ fn simulate_inner(
                     }
                 }
             };
+            if let Some(&gate) = gate_acts.get(&(chain_groups[ci], r)) {
+                first_deps.push(gate);
+            }
             let mut msgs_all = Vec::new();
             let mut ios_all = Vec::new();
             let mut agg_ios_all: Vec<(Rank, Vec<ActivityId>)> = Vec::new();
@@ -354,6 +434,7 @@ fn simulate_inner(
 
     let activities = sim.activity_count();
     let report = sim.run().expect("collective plan DAG is acyclic");
+    let retry_marks = pfs.take_retry_marks();
 
     let nnodes = fabric.nnodes();
     let mut membus_busy_max = SimDuration::ZERO;
@@ -381,6 +462,7 @@ fn simulate_inner(
     let mut exchange_time = SimDuration::ZERO;
     let mut io_time = SimDuration::ZERO;
     let mut round_phases: Vec<RoundPhase> = Vec::with_capacity(round_meta.len());
+    let mut windows: Vec<RoundWindow> = Vec::with_capacity(round_meta.len());
     let mut agg_io_acc: std::collections::BTreeMap<usize, SimDuration> =
         std::collections::BTreeMap::new();
     for meta in &round_meta {
@@ -402,6 +484,15 @@ fn simulate_inner(
             .map(|&a| report.finish_time(a))
             .max()
             .unwrap_or(t0);
+        windows.push(RoundWindow {
+            group: chain_groups.get(meta.chain).copied().flatten(),
+            round: meta.round,
+            start_ns: t0.saturating_since(SimTime::ZERO).as_nanos(),
+            end_ns: msgs_end
+                .max(ios_end)
+                .saturating_since(SimTime::ZERO)
+                .as_nanos(),
+        });
         let (exchange, io) = match plan.rw {
             Rw::Write => (
                 msgs_end.saturating_since(t0),
@@ -575,13 +666,21 @@ fn simulate_inner(
                 );
             }
         }
+        // Fault lanes (pid 3): injected events, failover gates,
+        // degradation re-rounds, and per-OST retry/backoff chains. The
+        // "inject" category is descriptive only; the resilience
+        // categories (retry/backoff/failover/degraded) feed the fifth
+        // critical-path bucket in `mcio-analyze`.
+        if let Some(f) = faults.filter(|f| f.spec.is_some() || !retry_marks.is_empty()) {
+            trace_faults(&tc, f, &report, &windows, &retry_marks, elapsed.as_nanos());
+        }
         Some(tc.chrome_trace_json())
     } else {
         None
     };
 
-    (
-        TimingReport {
+    SimRun {
+        report: TimingReport {
             elapsed,
             exchange_time,
             io_time,
@@ -594,8 +693,150 @@ fn simulate_inner(
             activities,
             metrics,
         },
-        trace_json,
-    )
+        trace: trace_json,
+        windows,
+        retry_marks,
+    }
+}
+
+/// Emit the pid-3 "faults" trace process: what was injected and how the
+/// execution absorbed it.
+///
+/// * tid 0 `injected` — OST slow/stall windows and instantaneous
+///   crash/shock markers, category `inject` (not attributed).
+/// * tid 1 `failover` — one span per re-coordination gate, from the
+///   crash instant to the gate release, category `failover`.
+/// * tid 2 `degraded` — one span per re-round created by graceful
+///   degradation, covering the slot's executed window, category
+///   `degraded`.
+/// * tid `3 + ost` — retry/backoff chains per OST: the failed service
+///   attempts (`retry`) and the waits between them (`backoff`).
+fn trace_faults(
+    tc: &TraceCollector,
+    f: &FaultInjection<'_>,
+    report: &mcio_des::RunReport,
+    windows: &[RoundWindow],
+    retry_marks: &[RetryMark],
+    elapsed_ns: u64,
+) {
+    tc.name_process(3, "faults");
+    tc.name_thread(3, 0, "injected");
+    tc.name_thread(3, 1, "failover");
+    tc.name_thread(3, 2, "degraded");
+    if let Some(spec) = f.spec {
+        for ev in &spec.events {
+            match *ev {
+                FaultEvent::OstSlow {
+                    ost, from, until, ..
+                } => {
+                    let start = from.saturating_since(SimTime::ZERO).as_nanos();
+                    let end = until
+                        .saturating_since(SimTime::ZERO)
+                        .as_nanos()
+                        .min(elapsed_ns);
+                    if end > start {
+                        tc.span(
+                            &format!("ost{ost}.slow"),
+                            "inject",
+                            3,
+                            0,
+                            start,
+                            end - start,
+                        );
+                    }
+                }
+                FaultEvent::OstStall { ost, from, until } => {
+                    let start = from.saturating_since(SimTime::ZERO).as_nanos();
+                    let end = until
+                        .saturating_since(SimTime::ZERO)
+                        .as_nanos()
+                        .min(elapsed_ns);
+                    if end > start {
+                        tc.span(
+                            &format!("ost{ost}.stall"),
+                            "inject",
+                            3,
+                            0,
+                            start,
+                            end - start,
+                        );
+                    }
+                }
+                FaultEvent::ReqTransientFail { .. } => {}
+                FaultEvent::MemShock { node, at, .. } => {
+                    let at = at.saturating_since(SimTime::ZERO).as_nanos();
+                    if at < elapsed_ns {
+                        tc.span(&format!("node{node}.mem_shock"), "inject", 3, 0, at, 1);
+                    }
+                }
+                FaultEvent::AggCrash { host, at } => {
+                    let at = at.saturating_since(SimTime::ZERO).as_nanos();
+                    if at < elapsed_ns {
+                        tc.span(&format!("host{host}.agg_crash"), "inject", 3, 0, at, 1);
+                    }
+                }
+            }
+        }
+    }
+    for gate in &f.gates {
+        let start = gate.from.saturating_since(SimTime::ZERO).as_nanos();
+        let end = gate
+            .release
+            .saturating_since(SimTime::ZERO)
+            .as_nanos()
+            .min(elapsed_ns);
+        if end > start {
+            tc.span(&gate.label, "failover", 3, 1, start, end - start);
+        }
+    }
+    for &(group, round) in &f.degraded {
+        if let Some(w) = windows
+            .iter()
+            .find(|w| w.group == group && w.round == round)
+        {
+            if w.end_ns > w.start_ns {
+                tc.span(
+                    &format!("r{round}.degraded"),
+                    "degraded",
+                    3,
+                    2,
+                    w.start_ns,
+                    w.end_ns - w.start_ns,
+                );
+            }
+        }
+    }
+    let mut named_osts = std::collections::BTreeSet::new();
+    for mark in retry_marks {
+        let tid = 3 + mark.ost as u64;
+        if named_osts.insert(mark.ost) {
+            tc.name_thread(3, tid, &format!("ost{}.retries", mark.ost));
+        }
+        // Service records of the retry chain, in submission order: the
+        // first `attempts - 1` stages are the failed tries; the gaps
+        // between consecutive stages are the backoff waits.
+        let recs: Vec<_> = report
+            .trace()
+            .unwrap_or(&[])
+            .iter()
+            .filter(|rec| rec.activity == mark.activity)
+            .cloned()
+            .collect();
+        for (i, rec) in recs.iter().enumerate() {
+            let start = rec.start.saturating_since(SimTime::ZERO).as_nanos();
+            let dur = rec.end.saturating_since(rec.start).as_nanos();
+            if (i as u32) < mark.attempts.saturating_sub(1) && dur > 0 {
+                tc.span(&format!("attempt{}", i + 1), "retry", 3, tid, start, dur);
+            }
+            if let Some(next) = recs.get(i + 1) {
+                let gap_start = rec.end.saturating_since(SimTime::ZERO).as_nanos();
+                let gap = next.start.saturating_since(rec.end).as_nanos();
+                if gap > 0 {
+                    tc.span("backoff", "backoff", 3, tid, gap_start, gap);
+                }
+            }
+        }
+    }
 }
 
 /// One step of an exchange chain.

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod exec_faults;
 pub mod exec_fn;
 pub mod exec_mpi;
 pub mod exec_sim;
@@ -52,6 +53,7 @@ pub mod tuner;
 pub mod twophase;
 
 pub use config::{CollectiveConfig, PlacementPolicy, Strategy};
+pub use exec_faults::{simulate_faulted, FaultOutcome, FAILOVER_LATENCY};
 pub use exec_fn::FunctionalReport;
 pub use exec_sim::{
     simulate, simulate_observed, simulate_opts, simulate_two_level, trace_plan, Exchange, Observe,

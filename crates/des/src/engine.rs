@@ -117,6 +117,14 @@ impl Simulation {
         id
     }
 
+    /// Install fault-injection service windows on a resource: while a
+    /// window is active the resource progresses at `window.rate` of its
+    /// nominal speed (0 = stall). Replaces any previous set for that
+    /// resource. Must be called before `run`.
+    pub fn set_service_windows(&mut self, rid: ResourceId, windows: Vec<crate::ServiceWindow>) {
+        self.resources[rid.0].set_service_windows(windows);
+    }
+
     /// Register an activity. Panics if any stage names an unknown resource.
     pub fn add_activity(&mut self, activity: Activity) -> ActivityId {
         for s in &activity.stages {

@@ -53,6 +53,6 @@ pub mod time;
 
 pub use activity::{Activity, ActivityId, Stage};
 pub use engine::{EngineStats, RunReport, ServiceRecord, SimError, Simulation};
-pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage};
+pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage, ServiceWindow};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

@@ -68,6 +68,20 @@ impl Bandwidth {
     }
 }
 
+/// A time window during which a resource serves at a fraction of its
+/// nominal rate — the fault-injection hook. `rate` is the progress
+/// multiplier: `0.5` means half speed, `0.0` a full stall. Outside all
+/// windows the resource serves at rate 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Progress multiplier in `[0, 1]` while the window is active.
+    pub rate: f64,
+}
+
 /// One queued unit of work at a resource: a specific stage of an activity.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Job {
@@ -95,6 +109,8 @@ pub struct Resource {
     max_queue_len: usize,
     /// Per-job queueing delay (ns); immediate starts record 0.
     wait_hist: Histogram,
+    /// Injected service perturbations, sorted by start, non-overlapping.
+    windows: Vec<ServiceWindow>,
 }
 
 impl Resource {
@@ -120,7 +136,18 @@ impl Resource {
             jobs_served: 0,
             max_queue_len: 0,
             wait_hist: Histogram::new(),
+            windows: Vec::new(),
         }
+    }
+
+    /// Install service perturbation windows (fault injection). Windows
+    /// are kept sorted by start; overlapping windows apply in that order
+    /// (each segment of time is governed by the first window covering
+    /// it). Replaces any previously installed set.
+    pub(crate) fn set_service_windows(&mut self, mut windows: Vec<ServiceWindow>) {
+        windows.retain(|w| w.end > w.start);
+        windows.sort_by_key(|w| (w.start, w.end));
+        self.windows = windows;
     }
 
     /// Number of parallel service slots.
@@ -170,13 +197,51 @@ impl Resource {
     }
 
     fn start(&mut self, now: SimTime, job: Job) -> SimTime {
-        let service = self.service_time(job.bytes, job.overhead);
-        let done = now + service;
+        let nominal = self.service_time(job.bytes, job.overhead);
+        let done = if self.windows.is_empty() {
+            now + nominal
+        } else {
+            self.perturbed_done(now, nominal)
+        };
         self.in_service += 1;
-        self.busy_time += service;
+        // Busy time is the span the slot is actually occupied, so
+        // utilization reflects the injected slowdown.
+        self.busy_time += done.saturating_since(now);
         self.bytes_served += job.bytes;
         self.jobs_served += 1;
         done
+    }
+
+    /// Completion time of a job starting at `now` whose nominal service
+    /// requirement is `nominal`, integrating progress piecewise across
+    /// the perturbation windows (rate 1 between and after them).
+    fn perturbed_done(&self, now: SimTime, nominal: SimDuration) -> SimTime {
+        let mut t = now.as_nanos();
+        let mut remaining = nominal.as_nanos() as f64;
+        for w in &self.windows {
+            let (ws, we) = (w.start.as_nanos(), w.end.as_nanos());
+            if we <= t {
+                continue;
+            }
+            // Full-rate segment before the window opens.
+            if ws > t {
+                let gap = (ws - t) as f64;
+                if remaining <= gap {
+                    return SimTime::from_nanos(t.saturating_add(remaining.ceil() as u64));
+                }
+                remaining -= gap;
+                t = ws;
+            }
+            // Inside the window: progress at `rate`.
+            let rate = w.rate.clamp(0.0, 1.0);
+            let span = (we - t) as f64;
+            if rate > 0.0 && remaining <= span * rate {
+                return SimTime::from_nanos(t.saturating_add((remaining / rate).ceil() as u64));
+            }
+            remaining -= span * rate;
+            t = we;
+        }
+        SimTime::from_nanos(t.saturating_add(remaining.ceil() as u64))
     }
 
     pub(crate) fn usage(&self) -> ResourceUsage {
@@ -316,6 +381,62 @@ mod tests {
             r.service_time(100, SimDuration::from_millis(500)),
             SimDuration::from_millis(1500)
         );
+    }
+
+    #[test]
+    fn slow_window_stretches_service() {
+        // 100 B/s server, 100-byte job ⇒ nominally 1 s. A half-rate
+        // window covering the whole job doubles it.
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        r.set_service_windows(vec![ServiceWindow {
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(u64::MAX),
+            rate: 0.5,
+        }]);
+        let done = r.enqueue(SimTime::ZERO, job(100)).unwrap();
+        assert_eq!(done, SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(r.usage().busy_time, SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn stall_window_freezes_progress() {
+        // Job starts at t=0, stall covers [0.5 s, 2.5 s): the first half
+        // second does half the work, then nothing until 2.5 s, then the
+        // remaining half second ⇒ done at 3 s.
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        r.set_service_windows(vec![ServiceWindow {
+            start: SimTime::from_nanos(500_000_000),
+            end: SimTime::from_nanos(2_500_000_000),
+            rate: 0.0,
+        }]);
+        let done = r.enqueue(SimTime::ZERO, job(100)).unwrap();
+        assert_eq!(done, SimTime::from_nanos(3_000_000_000));
+    }
+
+    #[test]
+    fn job_outside_windows_is_unperturbed() {
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        r.set_service_windows(vec![ServiceWindow {
+            start: SimTime::from_nanos(10),
+            end: SimTime::from_nanos(20),
+            rate: 0.0,
+        }]);
+        // Starting after the window ends: exact nominal completion.
+        let t = SimTime::from_nanos(1_000_000_000);
+        let done = r.enqueue(t, job(100)).unwrap();
+        assert_eq!(done, t + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn empty_and_reversed_windows_are_dropped() {
+        let mut r = Resource::new("r", Bandwidth::bytes_per_sec(100.0));
+        r.set_service_windows(vec![ServiceWindow {
+            start: SimTime::from_nanos(20),
+            end: SimTime::from_nanos(20),
+            rate: 0.0,
+        }]);
+        let done = r.enqueue(SimTime::ZERO, job(100)).unwrap();
+        assert_eq!(done, SimTime::ZERO + SimDuration::from_secs(1));
     }
 
     #[test]

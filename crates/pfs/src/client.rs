@@ -21,7 +21,9 @@ use crate::layout::{OstId, StripeLayout};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{Fabric, NodeId};
 use mcio_des::{Activity, ActivityId, Bandwidth, OnlineStats, ResourceId, SimDuration, Simulation};
+use mcio_faults::{FaultSampler, FaultSpec, RetryPolicy};
 use mcio_obs::Registry;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 /// Direction of an I/O request.
@@ -43,6 +45,41 @@ impl Rw {
     }
 }
 
+/// Retry history of one striped request piece that hit at least one
+/// injected transient failure. Emitted by [`Pfs::take_retry_marks`] so
+/// the execution layer can turn the DES service records of `activity`
+/// into retry/backoff trace spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryMark {
+    /// The piece activity whose stages encode the retry chain: one
+    /// overhead-only OST stage per failed attempt (each followed by its
+    /// backoff wait), then the successful full-service attempt.
+    pub activity: ActivityId,
+    /// OST the piece targets.
+    pub ost: usize,
+    /// Total attempts issued (≥ 2; the last one carries the payload).
+    pub attempts: u32,
+    /// True when even the last allowed attempt was drawn as a failure;
+    /// the request still completes (the simulation must make progress)
+    /// but the exhaustion is counted and reported.
+    pub exhausted: bool,
+    /// Total simulated backoff waited across the chain, nanoseconds.
+    pub backoff_ns: u64,
+}
+
+/// Deterministic transient-failure state: the per-attempt coin, the
+/// retry policy, a request counter (requests are numbered in submission
+/// order, which the callers construct deterministically), and the marks
+/// accumulated for post-run trace emission.
+#[derive(Debug, Clone)]
+struct FaultCtx {
+    p: f64,
+    sampler: FaultSampler,
+    retry: RetryPolicy,
+    counter: Cell<u64>,
+    marks: RefCell<Vec<RetryMark>>,
+}
+
 /// DES handles and cost parameters for the parallel file system.
 #[derive(Debug, Clone)]
 pub struct Pfs {
@@ -52,6 +89,7 @@ pub struct Pfs {
     write_bw: f64,
     request_overhead: SimDuration,
     registry: Option<Arc<Registry>>,
+    faults: Option<FaultCtx>,
 }
 
 impl Pfs {
@@ -95,6 +133,43 @@ impl Pfs {
             write_bw: spec.ost_write_bandwidth,
             request_overhead: spec.ost_request_overhead,
             registry: None,
+            faults: None,
+        }
+    }
+
+    /// Inject a fault plan: translates `ost_slow`/`ost_stall` windows
+    /// into DES service perturbations on the OST resources (events
+    /// naming OSTs this file system does not have are ignored) and arms
+    /// the deterministic transient-failure process, after which every
+    /// [`Pfs::submit`] piece that draws a failure becomes a bounded
+    /// retry chain with seeded exponential backoff.
+    pub fn apply_faults(&mut self, sim: &mut Simulation, spec: &FaultSpec) {
+        for (i, &rid) in self.osts.iter().enumerate() {
+            let windows = spec.ost_windows(i);
+            if !windows.is_empty() {
+                sim.set_service_windows(rid, windows);
+            }
+        }
+        if let Some((p, _)) = spec.transient() {
+            if let Some(reg) = &self.registry {
+                describe_fault_metrics(reg);
+            }
+            self.faults = Some(FaultCtx {
+                p,
+                sampler: spec.sampler(),
+                retry: spec.retry,
+                counter: Cell::new(0),
+                marks: RefCell::new(Vec::new()),
+            });
+        }
+    }
+
+    /// Drain the retry marks accumulated since fault injection was
+    /// armed (submission order).
+    pub fn take_retry_marks(&self) -> Vec<RetryMark> {
+        match &self.faults {
+            Some(ctx) => std::mem::take(&mut ctx.marks.borrow_mut()),
+            None => Vec::new(),
         }
     }
 
@@ -219,12 +294,8 @@ impl Pfs {
                 }
                 let join = sim.add_activity(Activity::new(format!("{label}.done")));
                 for (ost, bytes) in pieces {
-                    let service = self.ost_service_time(Rw::Write, bytes);
-                    let piece = sim.add_activity(Activity::new(format!("{label}.{ost}")).stage(
-                        self.osts[ost.0],
-                        0,
-                        service,
-                    ));
+                    let piece =
+                        self.add_piece(sim, format!("{label}.{ost}"), ost, Rw::Write, bytes);
                     sim.add_dep(egress, piece);
                     sim.add_dep(piece, join);
                 }
@@ -246,12 +317,7 @@ impl Pfs {
                 }
                 let ingress = sim.add_activity(ingress);
                 for (ost, bytes) in pieces {
-                    let service = self.ost_service_time(Rw::Read, bytes);
-                    let piece = sim.add_activity(Activity::new(format!("{label}.{ost}")).stage(
-                        self.osts[ost.0],
-                        0,
-                        service,
-                    ));
+                    let piece = self.add_piece(sim, format!("{label}.{ost}"), ost, Rw::Read, bytes);
                     sim.add_dep(rpc, piece);
                     sim.add_dep(piece, ingress);
                 }
@@ -259,6 +325,93 @@ impl Pfs {
             }
         }
     }
+
+    /// Register one OST piece, expanding it into a bounded retry chain
+    /// when the transient-failure process draws failures for it: each
+    /// failed attempt occupies the OST for the request overhead only (a
+    /// fail-fast error response), then the client waits out a seeded,
+    /// jittered exponential backoff; the final attempt carries the full
+    /// service time. With no faults armed this is the plain
+    /// single-stage piece.
+    fn add_piece(
+        &self,
+        sim: &mut Simulation,
+        label: String,
+        ost: OstId,
+        rw: Rw,
+        bytes: u64,
+    ) -> ActivityId {
+        let service = self.ost_service_time(rw, bytes);
+        let rid = self.osts[ost.0];
+        let Some(ctx) = &self.faults else {
+            return sim.add_activity(Activity::new(label).stage(rid, 0, service));
+        };
+        let req = ctx.counter.get();
+        ctx.counter.set(req + 1);
+        let mut act = Activity::new(label);
+        let mut attempts = 1u32;
+        let mut backoff_ns = 0u64;
+        while attempts < ctx.retry.max_attempts && ctx.sampler.attempt_fails(req, attempts, ctx.p) {
+            let backoff = ctx.retry.backoff(&ctx.sampler, req, attempts + 1);
+            act = act.stage_with_latency(rid, 0, self.request_overhead, backoff);
+            backoff_ns += backoff.as_nanos();
+            attempts += 1;
+        }
+        // The last allowed attempt may also be drawn as a failure: the
+        // retry budget is exhausted. The piece still completes (the DES
+        // must make progress; think recovery through a slow out-of-band
+        // path) but the exhaustion is counted and marked.
+        let exhausted = attempts == ctx.retry.max_attempts
+            && ctx.retry.max_attempts > 1
+            && ctx.sampler.attempt_fails(req, attempts, ctx.p);
+        let id = sim.add_activity(act.stage(rid, 0, service));
+        if attempts > 1 || exhausted {
+            ctx.marks.borrow_mut().push(RetryMark {
+                activity: id,
+                ost: ost.0,
+                attempts,
+                exhausted,
+                backoff_ns,
+            });
+        }
+        if let Some(reg) = &self.registry {
+            let ost_s = ost.0.to_string();
+            let lbl = [("ost", ost_s.as_str())];
+            reg.observe("faults.retry.attempts", &[], attempts as u64);
+            if attempts > 1 {
+                reg.inc("faults.retries", &lbl, (attempts - 1) as u64);
+                reg.observe("faults.retry.backoff_ns", &[], backoff_ns);
+            }
+            if exhausted {
+                reg.inc("faults.retry.exhausted", &lbl, 1);
+            }
+        }
+        id
+    }
+}
+
+/// Describe the `faults.*` metrics the retry machinery emits.
+fn describe_fault_metrics(reg: &Registry) {
+    reg.describe(
+        "faults.retries",
+        "attempts",
+        "Failed OST request attempts that were retried, per OST",
+    );
+    reg.describe(
+        "faults.retry.attempts",
+        "attempts",
+        "Attempts needed per OST request (1 = first try succeeded)",
+    );
+    reg.describe(
+        "faults.retry.backoff_ns",
+        "ns",
+        "Total backoff waited per retried request",
+    );
+    reg.describe(
+        "faults.retry.exhausted",
+        "requests",
+        "Requests whose retry budget was exhausted, per OST",
+    );
 }
 
 #[cfg(test)]
@@ -469,6 +622,113 @@ mod tests {
             .value;
         // Bytes are (100, 100, 100, 0): mean 75, stddev 43.3 → cv ≈ 0.577.
         assert!((cv - (1.0f64 / 3.0).sqrt()).abs() < 1e-9, "cv = {cv}");
+    }
+
+    #[test]
+    fn ost_stall_window_delays_write() {
+        let (mut sim, fabric, mut pfs) = harness();
+        // Stall ost0 for the first 10 s: the 1 s of OST service cannot
+        // finish before 11 s (egress 0.2 s happens during the stall).
+        let spec = FaultSpec::parse("ost_stall(0, 0..10s)").unwrap();
+        pfs.apply_faults(&mut sim, &spec);
+        let done = pfs.submit(
+            &mut sim,
+            &fabric,
+            "w",
+            NodeId(0),
+            Rw::Write,
+            Extent::new(0, 100),
+            &[],
+        );
+        let rep = sim.run().unwrap();
+        assert!((rep.finish_time(done).as_secs_f64() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_failures_build_bounded_retry_chains() {
+        let (mut sim, fabric, mut pfs) = harness();
+        let reg = Registry::shared();
+        pfs.set_registry(Arc::clone(&reg));
+        // p close to 1 so retries certainly happen; bounded at 3 attempts.
+        let spec = FaultSpec::parse(
+            "seed 11\nreq_transient_fail(0.97, 5)\nretry(max_attempts=3, base=1ms, cap=4ms, jitter=0.0)",
+        )
+        .unwrap();
+        pfs.apply_faults(&mut sim, &spec);
+        for i in 0..8u64 {
+            pfs.submit(
+                &mut sim,
+                &fabric,
+                &format!("w{i}"),
+                NodeId(0),
+                Rw::Write,
+                Extent::new(i * 400, 400),
+                &[],
+            );
+        }
+        sim.run().unwrap();
+        let marks = pfs.take_retry_marks();
+        assert!(!marks.is_empty(), "p=0.97 must draw failures");
+        for m in &marks {
+            assert!(
+                m.attempts >= 2 && m.attempts <= 3,
+                "attempts {}",
+                m.attempts
+            );
+            assert!(m.backoff_ns >= 1_000_000);
+        }
+        let snap = reg.snapshot();
+        assert!(snap.counter_total("faults.retries") > 0);
+        // Marks drain once.
+        assert!(pfs.take_retry_marks().is_empty());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let (mut sim, fabric, mut pfs) = harness();
+            let spec =
+                FaultSpec::parse("seed 3\nreq_transient_fail(0.4, 9)\nost_slow(1, 3.0, 0..2s)")
+                    .unwrap();
+            pfs.apply_faults(&mut sim, &spec);
+            for i in 0..6u64 {
+                pfs.submit(
+                    &mut sim,
+                    &fabric,
+                    &format!("w{i}"),
+                    NodeId((i % 2) as usize),
+                    Rw::Write,
+                    Extent::new(i * 300, 300),
+                    &[],
+                );
+            }
+            let marks = pfs.take_retry_marks();
+            (sim.run().unwrap().makespan(), marks)
+        };
+        let (m1, r1) = run();
+        let (m2, r2) = run();
+        assert_eq!(m1, m2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn healthy_requests_unchanged_by_armed_faults() {
+        // p = 0 never fails: timings identical to the no-fault harness.
+        let (mut sim, fabric, mut pfs) = harness();
+        let spec = FaultSpec::parse("req_transient_fail(0.0, 1)").unwrap();
+        pfs.apply_faults(&mut sim, &spec);
+        let done = pfs.submit(
+            &mut sim,
+            &fabric,
+            "w",
+            NodeId(0),
+            Rw::Write,
+            Extent::new(0, 100),
+            &[],
+        );
+        let rep = sim.run().unwrap();
+        assert!((rep.finish_time(done).as_secs_f64() - 1.2).abs() < 1e-9);
+        assert!(pfs.take_retry_marks().is_empty());
     }
 
     #[test]
