@@ -15,18 +15,22 @@
 //! * every simulated run is deterministic (asserted by re-running one
 //!   faulted case and comparing traces byte-for-byte).
 //!
+//! The matrix cells fan across `--jobs N` worker threads via the sweep
+//! engine; results are validated and printed in canonical matrix order,
+//! so stdout and the exit code are identical at any thread count.
+//!
 //! Writes the memory-conscious `agg_crash` trace (the interesting one:
 //! pid-3 fault lanes populated) to `--out FILE` (default
 //! `BENCH_fault_suite_trace.json`) so CI can upload it as an artifact.
 //! Any violated assertion prints one line and exits 1; unknown flags
-//! exit 2.
+//! exit 2; `--jobs 0` exits 1.
 
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
 use mcio_core::exec_sim::{Exchange, Observe, Pipeline};
 use mcio_core::{
     exec_fn, mcio, simulate_faulted, twophase, CollectiveConfig, CollectivePlan, CollectiveRequest,
-    Extent, FaultOutcome, ProcMemory, Rw, Strategy,
+    Extent, ProcMemory, Rw, Strategy,
 };
 use mcio_faults::FaultSpec;
 use mcio_pfs::SparseFile;
@@ -66,29 +70,142 @@ fn fail(msg: &str) -> ! {
     exit(1);
 }
 
-fn written_bytes(plan: &CollectivePlan, len: u64) -> Vec<u8> {
+fn written_bytes(plan: &CollectivePlan, len: u64) -> Result<Vec<u8>, String> {
     let mut file = SparseFile::new();
-    if let Err(e) = exec_fn::execute_write(plan, &mut file) {
-        fail(&format!("executed plan does not deliver its bytes: {e}"));
+    exec_fn::execute_write(plan, &mut file)
+        .map_err(|e| format!("executed plan does not deliver its bytes: {e}"))?;
+    Ok(file.read_vec(0, len as usize))
+}
+
+/// Everything one matrix cell reports back to the canonical-order
+/// validation loop: the status line, contract violations (if any), and
+/// the trace when this is the traced cell.
+struct CellOutcome {
+    line: String,
+    errors: Vec<String>,
+    trace: Option<String>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    name: &'static str,
+    fspec: &FaultSpec,
+    strategy: Strategy,
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    mem: &ProcMemory,
+    golden: &[u8],
+    total: u64,
+) -> CellOutcome {
+    let want_trace = strategy == Strategy::MemoryConscious && name == "agg_crash";
+    let out = simulate_faulted(
+        plan,
+        map,
+        spec,
+        mem,
+        Pipeline::Serial,
+        Exchange::Direct,
+        fspec,
+        Observe {
+            registry: None,
+            trace: want_trace,
+        },
+    );
+    let label = strategy.label();
+    let line = format!(
+        "{name:<10} {label:<17} {}  elapsed {:>10.3} ms  failovers {}  degraded {}  retries {}",
+        if out.completed {
+            "completed "
+        } else {
+            "INCOMPLETE"
+        },
+        out.report.elapsed.as_nanos() as f64 / 1e6,
+        out.failovers,
+        out.degraded_rounds,
+        out.retries,
+    );
+    let mut errors = Vec::new();
+    match (strategy, name) {
+        // The baseline has no failover path: the crash case is its
+        // expected failure. Everything else it must survive.
+        (Strategy::TwoPhase, "agg_crash") => {
+            if out.completed {
+                errors.push("two-phase claims completion under agg_crash".to_string());
+            }
+        }
+        (Strategy::TwoPhase, _) => {
+            if !out.completed {
+                errors.push(format!("two-phase failed the {name} case"));
+            }
+        }
+        // MC-CIO must complete the whole matrix, bytes intact, and the
+        // structural faults must visibly trigger the recovery paths
+        // they were aimed at.
+        (Strategy::MemoryConscious, _) => {
+            if !out.completed {
+                errors.push(format!("memory-conscious failed the {name} case"));
+            }
+            match written_bytes(&out.executed_plan, total) {
+                Ok(bytes) => {
+                    if bytes != golden {
+                        errors.push(format!(
+                            "memory-conscious {name}: executed plan changes the written bytes"
+                        ));
+                    }
+                }
+                Err(e) => errors.push(e),
+            }
+            if name == "agg_crash" && out.failovers == 0 {
+                errors.push("agg_crash on an aggregator node triggered no failover".to_string());
+            }
+            if name == "mem_shock" && out.degraded_rounds == 0 {
+                errors.push("mem_shock on an aggregator node degraded no round".to_string());
+            }
+        }
     }
-    file.read_vec(0, len as usize)
+    let bound =
+        u64::from(fspec.retry.max_attempts.saturating_sub(1)) * out.report.activities as u64;
+    if out.retries > bound {
+        errors.push(format!(
+            "{name}/{label}: {} retries exceed bound {bound}",
+            out.retries
+        ));
+    }
+    CellOutcome {
+        line,
+        errors,
+        trace: out.trace,
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_fault_suite_trace.json".to_string();
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("fault_suite: flag {flag} needs a value");
+                exit(2);
+            }
+        };
         match a.as_str() {
-            "--out" => match it.next() {
-                Some(v) => out_path = v.clone(),
-                None => {
-                    eprintln!("fault_suite: flag --out needs a value");
-                    exit(2);
+            "--out" => out_path = value("--out"),
+            "--jobs" => {
+                let raw = value("--jobs");
+                jobs = match raw.parse() {
+                    Ok(j) if j >= 1 => j,
+                    _ => {
+                        eprintln!("fault_suite: --jobs must be a positive integer, got `{raw}`");
+                        exit(1);
+                    }
                 }
-            },
+            }
             "--help" => {
-                println!("usage: fault_suite [--out TRACE.json]");
+                println!("usage: fault_suite [--out TRACE.json] [--jobs N]");
                 exit(0);
             }
             other => {
@@ -112,10 +229,14 @@ fn main() {
 
     let tp_plan = twophase::plan(&req, &map, &mem, &cfg);
     let mc_plan = mcio::plan(&req, &map, &mem, &cfg);
-    let golden = written_bytes(&mc_plan, total);
-    let golden_tp = written_bytes(&tp_plan, total);
-    if golden != golden_tp {
-        fail("fault-free strategies disagree on the written bytes");
+    let golden = match written_bytes(&mc_plan, total) {
+        Ok(b) => b,
+        Err(e) => fail(&e),
+    };
+    match written_bytes(&tp_plan, total) {
+        Ok(b) if b == golden => {}
+        Ok(_) => fail("fault-free strategies disagree on the written bytes"),
+        Err(e) => fail(&e),
     }
 
     let crash_host = mc_plan
@@ -126,83 +247,38 @@ fn main() {
         .next()
         .unwrap_or_else(|| fail("memory-conscious plan has no aggregators"));
 
-    let mut crash_trace: Option<String> = None;
-    for (name, text) in fault_matrix(crash_host) {
-        let fspec = match FaultSpec::parse(&text) {
+    // Canonical cell order: matrix-major, two-phase before
+    // memory-conscious — validation and output follow this order no
+    // matter which worker finished first.
+    let matrix = fault_matrix(crash_host);
+    let mut cells: Vec<(&'static str, FaultSpec, Strategy)> = Vec::new();
+    for (name, text) in &matrix {
+        let fspec = match FaultSpec::parse(text) {
             Ok(f) => f,
             Err(e) => fail(&format!("matrix entry {name} does not parse: {e}")),
         };
-        for (strategy, plan) in [
-            (Strategy::TwoPhase, &tp_plan),
-            (Strategy::MemoryConscious, &mc_plan),
-        ] {
-            let want_trace = strategy == Strategy::MemoryConscious && name == "agg_crash";
-            let out: FaultOutcome = simulate_faulted(
-                plan,
-                &map,
-                &spec,
-                &mem,
-                Pipeline::Serial,
-                Exchange::Direct,
-                &fspec,
-                Observe {
-                    registry: None,
-                    trace: want_trace,
-                },
-            );
-            let label = strategy.label();
-            println!(
-                "{name:<10} {label:<17} {}  elapsed {:>10.3} ms  failovers {}  degraded {}  retries {}",
-                if out.completed { "completed " } else { "INCOMPLETE" },
-                out.report.elapsed.as_nanos() as f64 / 1e6,
-                out.failovers,
-                out.degraded_rounds,
-                out.retries,
-            );
-            match (strategy, name) {
-                // The baseline has no failover path: the crash case is
-                // its expected failure. Everything else it must survive.
-                (Strategy::TwoPhase, "agg_crash") => {
-                    if out.completed {
-                        fail("two-phase claims completion under agg_crash");
-                    }
-                }
-                (Strategy::TwoPhase, _) => {
-                    if !out.completed {
-                        fail(&format!("two-phase failed the {name} case"));
-                    }
-                }
-                // MC-CIO must complete the whole matrix, bytes intact,
-                // and the structural faults must visibly trigger the
-                // recovery paths they were aimed at.
-                (Strategy::MemoryConscious, _) => {
-                    if !out.completed {
-                        fail(&format!("memory-conscious failed the {name} case"));
-                    }
-                    if written_bytes(&out.executed_plan, total) != golden {
-                        fail(&format!(
-                            "memory-conscious {name}: executed plan changes the written bytes"
-                        ));
-                    }
-                    if name == "agg_crash" && out.failovers == 0 {
-                        fail("agg_crash on an aggregator node triggered no failover");
-                    }
-                    if name == "mem_shock" && out.degraded_rounds == 0 {
-                        fail("mem_shock on an aggregator node degraded no round");
-                    }
-                }
-            }
-            let bound = u64::from(fspec.retry.max_attempts.saturating_sub(1))
-                * out.report.activities as u64;
-            if out.retries > bound {
-                fail(&format!(
-                    "{name}/{label}: {} retries exceed bound {bound}",
-                    out.retries
-                ));
-            }
-            if want_trace {
-                crash_trace = out.trace.clone();
-            }
+        for strategy in [Strategy::TwoPhase, Strategy::MemoryConscious] {
+            cells.push((name, fspec.clone(), strategy));
+        }
+    }
+    let outcomes = mcio_sweep::sweep(jobs, &cells, |(name, fspec, strategy)| {
+        let plan = match strategy {
+            Strategy::TwoPhase => &tp_plan,
+            Strategy::MemoryConscious => &mc_plan,
+        };
+        run_cell(
+            name, fspec, *strategy, plan, &map, &spec, &mem, &golden, total,
+        )
+    });
+
+    let mut crash_trace: Option<String> = None;
+    for outcome in outcomes {
+        println!("{}", outcome.line);
+        if let Some(e) = outcome.errors.first() {
+            fail(e);
+        }
+        if outcome.trace.is_some() {
+            crash_trace = outcome.trace;
         }
     }
 

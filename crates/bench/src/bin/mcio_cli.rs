@@ -33,8 +33,14 @@
 //! resource-class service percentiles:
 //! `mcio_cli analyze --trace FILE [--report text|json] [--top N]`.
 //!
+//! The `sweep` subcommand fans a buffer × pipeline × strategy grid
+//! across worker threads with a shared plan cache and writes a
+//! byte-deterministic `mcio.sweep.v1` JSON document:
+//! `mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N]
+//! [--seed N]` — same output bytes at any `--jobs` value.
+//!
 //! Unknown flags or subcommands exit 2; unreadable/unwritable files
-//! exit 1. Nothing panics on bad input.
+//! and `--jobs 0` exit 1. Nothing panics on bad input.
 
 use mcio_analyze::TraceModel;
 use mcio_bench::{format_bytes, improvement_pct};
@@ -46,7 +52,7 @@ use mcio_core::exec_sim::{
 use mcio_core::hints::parse_bytes;
 use mcio_core::{
     mcio as mc, simulate_faulted, twophase, CollectiveConfig, CollectiveRequest, FaultOutcome,
-    ProcMemory, Rw,
+    PlanCache, ProcMemory, Rw, Strategy,
 };
 use mcio_faults::FaultSpec;
 use mcio_obs::{MetricsFormat, Registry};
@@ -81,6 +87,10 @@ const RUN_FLAGS: &[&str] = &["two-level", "help"];
 const ANALYZE_OPTS: &[&str] = &["trace", "report", "top"];
 /// Boolean flags in analyze mode.
 const ANALYZE_FLAGS: &[&str] = &["help"];
+/// Flags that take a value in sweep mode.
+const SWEEP_OPTS: &[&str] = &["jobs", "out", "ranks", "ppn", "seed"];
+/// Boolean flags in sweep mode.
+const SWEEP_FLAGS: &[&str] = &["help"];
 
 /// Parse `--key value` / `--flag` argument lists against an explicit
 /// whitelist. Anything else is a usage error: exit 2.
@@ -125,8 +135,14 @@ fn main() {
             args.remove(0);
             run_analyze(&args);
         }
+        Some("sweep") => {
+            args.remove(0);
+            run_sweep(&args);
+        }
         Some(first) if !first.starts_with("--") => {
-            eprintln!("mcio_cli: unknown subcommand `{first}` (expected `analyze` or run flags)");
+            eprintln!(
+                "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, or run flags)"
+            );
             exit(2);
         }
         _ => run_sim(&args),
@@ -175,6 +191,130 @@ fn run_analyze(args: &[String]) {
         "json" => print!("{}", analysis.to_json()),
         _ => print!("{}", analysis.to_text()),
     }
+}
+
+/// `mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N] [--seed N]`
+///
+/// Fans a fixed buffer × pipeline × strategy grid over an IOR-shaped
+/// workload across N worker threads, memoizing plans in a shared
+/// [`PlanCache`] (the pipeline axis reuses the plan of its sibling
+/// point, so half the grid is served from the cache). Writes a
+/// byte-deterministic `mcio.sweep.v1` JSON document: the same bytes at
+/// any `--jobs` value. Cache statistics go to stdout only — under
+/// parallel execution concurrent first sights can both count as misses,
+/// so the totals are not byte-stable and must stay out of the document.
+fn run_sweep(args: &[String]) {
+    let (opts, flags) = parse_args(args, SWEEP_OPTS, SWEEP_FLAGS, "sweep");
+    if flags.iter().any(|f| f == "help") {
+        println!("usage: mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N] [--seed N]");
+        exit(0);
+    }
+    let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let jobs: usize = {
+        let raw = get("jobs", "1");
+        match raw.parse() {
+            Ok(j) if j >= 1 => j,
+            _ => {
+                eprintln!("mcio_cli sweep: --jobs must be a positive integer, got `{raw}`");
+                exit(1);
+            }
+        }
+    };
+    let num = |k: &str, d: &str| -> u64 {
+        get(k, d).parse().unwrap_or_else(|e| {
+            eprintln!("mcio_cli sweep: --{k}: {e}");
+            exit(2);
+        })
+    };
+    let ranks = num("ranks", "64") as usize;
+    let ppn = num("ppn", "8") as usize;
+    let seed = num("seed", "42");
+    let out_path = get("out", "MCIO_sweep.json");
+    if ranks == 0 || ppn == 0 {
+        eprintln!("mcio_cli sweep: --ranks and --ppn must be positive");
+        exit(1);
+    }
+
+    let grid = mcio_sweep::SweepSpec::new()
+        .axis("buffer", ["2M", "4M", "8M"])
+        .axis("pipeline", ["serial", "double"])
+        .axis("strategy", ["two-phase", "mc"]);
+    let points = grid.points();
+
+    let req = Ior::paper(ranks, 8 << 20, 4).request(Rw::Write);
+    let map = ProcessMap::block_ppn(ranks, ppn);
+    let mut spec = ClusterSpec::ttu_testbed();
+    if spec.nodes < map.nnodes() {
+        spec.nodes = map.nnodes();
+    }
+    let cache = PlanCache::shared();
+
+    struct SweepRecord {
+        key: String,
+        elapsed_ns: u64,
+        bandwidth_mibs: f64,
+        naggs: usize,
+        rounds: usize,
+    }
+
+    let records = mcio_sweep::sweep(jobs, &points, |point| {
+        let buffer = parse_bytes(point.get("buffer")).expect("grid buffer parses");
+        let strategy = match point.get("strategy") {
+            "two-phase" => Strategy::TwoPhase,
+            _ => Strategy::MemoryConscious,
+        };
+        let pipeline = match point.get("pipeline") {
+            "double" => Pipeline::DoubleBuffered,
+            _ => Pipeline::Serial,
+        };
+        let mem = ProcMemory::normal(ranks, buffer, 0.35, seed);
+        let cfg = CollectiveConfig::with_buffer(buffer).mem_min(buffer / 2);
+        let plan = cache.get_or_plan(strategy, &req, &map, &mem, &cfg);
+        let report = simulate_opts(&plan, &map, &spec, pipeline);
+        SweepRecord {
+            key: point.key.clone(),
+            elapsed_ns: report.elapsed.as_nanos(),
+            bandwidth_mibs: report.bandwidth_mibs,
+            naggs: plan.naggs(),
+            rounds: plan.max_rounds(),
+        }
+    });
+
+    let mut doc = String::from("{\n  \"schema\": \"mcio.sweep.v1\",\n  \"points\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"key\": \"{}\", \"elapsed_ns\": {}, \"bandwidth_mibs\": {:.6}, \
+             \"aggregators\": {}, \"rounds\": {}}}{}\n",
+            r.key,
+            r.elapsed_ns,
+            r.bandwidth_mibs,
+            r.naggs,
+            r.rounds,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("mcio_cli sweep: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    for r in &records {
+        println!(
+            "{:<40} elapsed {:>10.3} ms  {:>9.1} MiB/s  ({} aggs, {} rounds)",
+            r.key,
+            r.elapsed_ns as f64 / 1e6,
+            r.bandwidth_mibs,
+            r.naggs,
+            r.rounds,
+        );
+    }
+    println!(
+        "plan cache: {} hits, {} misses, {} distinct plans",
+        cache.hits(),
+        cache.misses(),
+        cache.len(),
+    );
+    println!("wrote {out_path}");
 }
 
 fn run_sim(args: &[String]) {

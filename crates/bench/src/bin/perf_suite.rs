@@ -8,16 +8,20 @@
 //! ```sh
 //! perf_suite                                  # writes BENCH_perf_suite.json
 //! perf_suite --out somewhere.json
+//! perf_suite --jobs 4                         # same bytes, less wall-clock
 //! perf_suite --check BENCH_perf_suite.json --tolerance 0.05
 //! ```
 //!
-//! `--check BASELINE.json` additionally gates the fresh run against a
-//! previous document: any (scenario, strategy) whose elapsed simulated
-//! time grew by more than `--tolerance` (relative, default 0.05) fails
-//! the run with exit 1. Unknown flags exit 2; unreadable baselines or
-//! unwritable outputs exit 1.
+//! `--jobs N` fans the (scenario, strategy) cells across N worker
+//! threads via the sweep engine; the output document is byte-identical
+//! at any thread count. `--check BASELINE.json` additionally gates the
+//! fresh run against a previous document: any (scenario, strategy)
+//! whose elapsed simulated time grew by more than `--tolerance`
+//! (relative, default 0.05) fails the run with exit 1. Unknown flags
+//! exit 2; unreadable baselines, unwritable outputs, or `--jobs 0`
+//! exit 1.
 
-use mcio_bench::perf::{parse_records, regressions, render_records, run_suite};
+use mcio_bench::perf::{parse_records, regressions, render_records, run_suite_jobs};
 use std::process::exit;
 
 fn main() {
@@ -25,6 +29,7 @@ fn main() {
     let mut out_path = "BENCH_perf_suite.json".to_string();
     let mut check_path: Option<String> = None;
     let mut tolerance = 0.05f64;
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| match it.next() {
@@ -49,9 +54,20 @@ fn main() {
                     }
                 }
             }
+            "--jobs" => {
+                let raw = value("--jobs");
+                jobs = match raw.parse() {
+                    Ok(j) if j >= 1 => j,
+                    _ => {
+                        eprintln!("perf_suite: --jobs must be a positive integer, got `{raw}`");
+                        exit(1);
+                    }
+                }
+            }
             "--help" => {
                 println!(
-                    "usage: perf_suite [--out FILE] [--check BASELINE.json] [--tolerance FRAC]"
+                    "usage: perf_suite [--out FILE] [--jobs N] [--check BASELINE.json] \
+                     [--tolerance FRAC]"
                 );
                 exit(0);
             }
@@ -73,7 +89,7 @@ fn main() {
         })
     });
 
-    let records = run_suite();
+    let records = run_suite_jobs(jobs);
     for r in &records {
         println!(
             "{:<6} {:<17} elapsed {:>10.3} ms  exchange {:>5.1}%  io {:>5.1}%  bottleneck {}",

@@ -90,49 +90,69 @@ pub struct Record {
     pub critical_path: CriticalPath,
 }
 
-/// Run one scenario under both strategies, traced, and reduce each run
-/// to a [`Record`].
-pub fn run_scenario(s: &Scenario) -> Vec<Record> {
+/// Run one (scenario, strategy) cell, traced, and reduce it to a
+/// [`Record`]. Every cell is a self-contained simulation — its own DES
+/// instance, workload, and trace — so cells can run on any thread in
+/// any order without changing their results.
+pub fn run_cell(s: &Scenario, strategy: Strategy) -> Record {
     let (spec, req) = (s.make)();
     let harness = Harness::new(spec, s.ranks, TESTBED_PPN, s.seed);
     let cfg = harness.config_for(&req, s.buffer);
     let (_, env) = harness.memories(s.buffer);
+    let plan = match strategy {
+        Strategy::TwoPhase => twophase::plan(&req, &harness.map, &env, &cfg),
+        Strategy::MemoryConscious => mcio::plan(&req, &harness.map, &env, &cfg),
+    };
+    let (timing, trace_json) = simulate_observed(
+        &plan,
+        &harness.map,
+        &harness.spec,
+        Pipeline::Serial,
+        Exchange::Direct,
+        Observe {
+            registry: None,
+            trace: true,
+        },
+    );
+    let model = TraceModel::from_chrome_json(&trace_json.expect("trace requested"))
+        .expect("simulator emits a valid chrome trace");
+    Record {
+        scenario: s.name.to_string(),
+        strategy: strategy.label().to_string(),
+        elapsed_ns: timing.elapsed.as_nanos(),
+        exchange_fraction: timing.metrics.exchange_fraction,
+        io_fraction: timing.metrics.io_fraction,
+        critical_path: critical_path(&model),
+    }
+}
+
+/// Run one scenario under both strategies, traced, and reduce each run
+/// to a [`Record`].
+pub fn run_scenario(s: &Scenario) -> Vec<Record> {
     [Strategy::TwoPhase, Strategy::MemoryConscious]
-        .iter()
-        .map(|&strategy| {
-            let plan = match strategy {
-                Strategy::TwoPhase => twophase::plan(&req, &harness.map, &env, &cfg),
-                Strategy::MemoryConscious => mcio::plan(&req, &harness.map, &env, &cfg),
-            };
-            let (timing, trace_json) = simulate_observed(
-                &plan,
-                &harness.map,
-                &harness.spec,
-                Pipeline::Serial,
-                Exchange::Direct,
-                Observe {
-                    registry: None,
-                    trace: true,
-                },
-            );
-            let model = TraceModel::from_chrome_json(&trace_json.expect("trace requested"))
-                .expect("simulator emits a valid chrome trace");
-            Record {
-                scenario: s.name.to_string(),
-                strategy: strategy.label().to_string(),
-                elapsed_ns: timing.elapsed.as_nanos(),
-                exchange_fraction: timing.metrics.exchange_fraction,
-                io_fraction: timing.metrics.io_fraction,
-                critical_path: critical_path(&model),
-            }
-        })
+        .into_iter()
+        .map(|strategy| run_cell(s, strategy))
         .collect()
+}
+
+/// Run the whole matrix on `jobs` worker threads via the sweep engine.
+///
+/// The fan-out unit is one (scenario, strategy) cell; results are merged
+/// in the canonical record order (scenario-major, two-phase before
+/// memory-conscious), so the returned records — and any JSON rendered
+/// from them — are byte-identical at any thread count.
+pub fn run_suite_jobs(jobs: usize) -> Vec<Record> {
+    let scens = scenarios();
+    let cells: Vec<(usize, Strategy)> = (0..scens.len())
+        .flat_map(|i| [(i, Strategy::TwoPhase), (i, Strategy::MemoryConscious)])
+        .collect();
+    mcio_sweep::sweep(jobs, &cells, |&(i, strategy)| run_cell(&scens[i], strategy))
 }
 
 /// Run the whole matrix (scenario-major, two-phase before
 /// memory-conscious — a stable record order).
 pub fn run_suite() -> Vec<Record> {
-    scenarios().iter().flat_map(run_scenario).collect()
+    run_suite_jobs(1)
 }
 
 /// Render records as the `mcio.perf_suite.v1` JSON document.

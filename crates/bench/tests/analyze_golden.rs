@@ -1,0 +1,91 @@
+//! Golden-snapshot test for `mcio_cli analyze --report text`.
+//!
+//! The committed fixture (`tests/fixtures/analyze_trace.json`) is the
+//! memory-conscious trace of a tiny deterministic run:
+//!
+//! ```sh
+//! mcio_cli --ranks 4 --ppn 2 --per-proc 64K --buffer 32K \
+//!          --machine small --segments 2 --trace analyze_trace.json
+//! ```
+//!
+//! and the golden (`tests/fixtures/analyze_report.txt`) is the exact
+//! text `analyze` rendered for it. Any change to the analyzer's math
+//! or layout shows up here as a readable diff; regenerate the golden
+//! with the command above plus
+//! `mcio_cli analyze --trace ... --report text` when the change is
+//! intentional.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn analyze_text_report_matches_committed_golden() {
+    let trace = fixture("analyze_trace.json");
+    let golden = std::fs::read_to_string(fixture("analyze_report.txt")).expect("golden exists");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcio_cli"))
+        .args([
+            "analyze",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report",
+            "text",
+        ])
+        .output()
+        .expect("spawn mcio_cli");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text, golden,
+        "analyze text output drifted from the committed golden \
+         (regenerate tests/fixtures/analyze_report.txt if intentional)"
+    );
+}
+
+/// The same fixture through `--report json` still parses and agrees
+/// with the golden's headline number, so the two report formats cannot
+/// drift apart silently.
+#[test]
+fn analyze_json_report_agrees_with_golden_elapsed() {
+    let trace = fixture("analyze_trace.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_mcio_cli"))
+        .args([
+            "analyze",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report",
+            "json",
+        ])
+        .output()
+        .expect("spawn mcio_cli");
+    assert_eq!(out.status.code(), Some(0));
+    let doc = mcio_obs::json::parse(&String::from_utf8_lossy(&out.stdout))
+        .expect("analyze emits valid JSON");
+    let elapsed_ns = doc
+        .get("elapsed_ns")
+        .and_then(mcio_obs::json::JsonValue::as_f64)
+        .expect("elapsed_ns");
+    let golden = std::fs::read_to_string(fixture("analyze_report.txt")).expect("golden exists");
+    let golden_ms: f64 = golden
+        .lines()
+        .find_map(|l| l.strip_prefix("elapsed"))
+        .and_then(|l| l.split_whitespace().next())
+        .expect("golden has an elapsed line")
+        .parse()
+        .expect("golden elapsed parses");
+    let got_ms = elapsed_ns / 1e6;
+    assert!(
+        (got_ms - golden_ms).abs() < 0.001,
+        "json elapsed {got_ms} ms vs golden {golden_ms} ms"
+    );
+}

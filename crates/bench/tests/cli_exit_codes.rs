@@ -179,6 +179,63 @@ fn analyze_text_report_names_a_bottleneck() {
 }
 
 #[test]
+fn sweep_unknown_flag_exits_2() {
+    let out = run(&["sweep", "--threads", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --threads"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn sweep_jobs_zero_exits_1() {
+    let out = run(&["sweep", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("--jobs must be a positive integer"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn sweep_jobs_garbage_exits_1() {
+    let out = run(&["sweep", "--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--jobs must be a positive integer"));
+}
+
+#[test]
+fn sweep_missing_jobs_value_exits_2() {
+    let out = run(&["sweep", "--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--jobs needs a value"));
+}
+
+#[test]
+fn sweep_unwritable_out_exits_1_without_panic() {
+    let out = run(&[
+        "sweep",
+        "--ranks",
+        "8",
+        "--ppn",
+        "4",
+        "--out",
+        "/nonexistent-dir/sweep.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn sweep_zero_ranks_exits_1() {
+    let out = run(&["sweep", "--ranks", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("must be positive"));
+}
+
+#[test]
 fn faults_missing_file_exits_1_with_one_line_error() {
     let mut args = TINY.to_vec();
     args.extend_from_slice(&["--faults", "/no/such/faults.txt"]);

@@ -671,7 +671,15 @@ pub(crate) fn simulate_inner(
         // "inject" category is descriptive only; the resilience
         // categories (retry/backoff/failover/degraded) feed the fifth
         // critical-path bucket in `mcio-analyze`.
-        if let Some(f) = faults.filter(|f| f.spec.is_some() || !retry_marks.is_empty()) {
+        // An all-empty injection (no events, no gates, no degradation,
+        // no retries) is skipped entirely so a faulted run with an empty
+        // plan produces a trace byte-identical to a fault-free run.
+        if let Some(f) = faults.filter(|f| {
+            f.spec.is_some_and(|s| !s.is_empty())
+                || !f.gates.is_empty()
+                || !f.degraded.is_empty()
+                || !retry_marks.is_empty()
+        }) {
             trace_faults(&tc, f, &report, &windows, &retry_marks, elapsed.as_nanos());
         }
         Some(tc.chrome_trace_json())

@@ -46,6 +46,7 @@ pub mod mpiio;
 pub mod pattern;
 pub mod placement;
 pub mod plan;
+pub mod plan_cache;
 pub mod ptree;
 pub mod request;
 pub mod sieving;
@@ -64,6 +65,7 @@ pub use placement::PlacementDiag;
 pub use plan::{
     AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, PlanDiag, Round, SyncMode,
 };
+pub use plan_cache::{plan_key, PlanCache};
 pub use request::{CollectiveRequest, RankRequest};
 
 // Re-export the vocabulary types callers need constantly.

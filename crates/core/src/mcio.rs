@@ -23,6 +23,7 @@ use crate::ptree::PartitionTree;
 use crate::request::{CollectiveRequest, RankRequest};
 use crate::twophase::build_window;
 use mcio_cluster::{ProcessMap, Rank};
+use mcio_pfs::extent::{coalesce, subtract};
 use mcio_pfs::Extent;
 
 /// Build a memory-conscious plan.
@@ -64,28 +65,41 @@ pub fn plan(
     let groups = group::divide(req, map, cfg.msg_group);
     let mut group_plans = Vec::with_capacity(groups.len());
     let mut diag = PlanDiag::default();
+    // Bytes already owned by earlier groups. Ranks of different groups
+    // may request overlapping extents; each shared byte is aggregated
+    // and written exactly once, by the first group covering it (the
+    // overlap is a duplicate by construction — every writer holds the
+    // same data for a given file position).
+    let mut claimed: Vec<Extent> = Vec::new();
     for g in &groups {
+        let region = subtract(&g.region, &claimed);
         // Requested bytes within an extent, restricted to this group's
         // region (already coalesced, so binary search would work; linear
         // scan is fine at these sizes).
-        let region = g.region.clone();
+        let bytes_region = region.clone();
         let bytes_in = move |e: &Extent| -> u64 {
-            region
+            bytes_region
                 .iter()
                 .filter_map(|x| x.intersect(e))
                 .map(|x| x.len)
                 .sum()
         };
-        let mut tree = PartitionTree::build(g.hull(), cfg.msg_ind, &bytes_in);
+        let hull = match (region.first(), region.last()) {
+            (Some(f), Some(l)) => Extent::from_bounds(f.offset, l.end()),
+            _ => Extent::EMPTY,
+        };
+        let mut tree = PartitionTree::build(hull, cfg.msg_ind, &bytes_in);
         diag.ptree_leaves += tree.leaf_count();
         let (aggregators, pdiag) = placement::place_with_diag(g, &mut tree, req, map, mem, cfg);
         diag.remerges += pdiag.remerges;
         diag.relaxations += pdiag.relaxations;
 
-        // Mask the request down to this group's members so windows only
+        // Mask the request down to this group's members — so windows only
         // shuffle the group's own data (regions of different groups may
-        // interleave in offset space).
-        let masked = mask_request(req, &g.ranks);
+        // interleave in offset space) — and to this group's unclaimed
+        // region, so overlapped bytes flow through exactly one group.
+        let masked = mask_request(req, &g.ranks, &claimed);
+        claimed = coalesce(claimed.into_iter().chain(region).collect());
 
         let ntimes = aggregators.iter().map(|a| a.rounds()).max().unwrap_or(0);
         let mut rounds = Vec::with_capacity(ntimes);
@@ -139,8 +153,13 @@ pub fn plan(
 }
 
 /// A copy of `req` in which every rank outside `members` requests
-/// nothing. `members` must be sorted.
-fn mask_request(req: &CollectiveRequest, members: &[Rank]) -> CollectiveRequest {
+/// nothing and member extents lose the bytes in `claimed` (owned by an
+/// earlier group). `members` must be sorted.
+fn mask_request(
+    req: &CollectiveRequest,
+    members: &[Rank],
+    claimed: &[Extent],
+) -> CollectiveRequest {
     CollectiveRequest {
         rw: req.rw,
         ranks: req
@@ -148,7 +167,14 @@ fn mask_request(req: &CollectiveRequest, members: &[Rank]) -> CollectiveRequest 
             .iter()
             .map(|rr| {
                 if members.binary_search(&rr.rank).is_ok() {
-                    rr.clone()
+                    if claimed.is_empty() {
+                        rr.clone()
+                    } else {
+                        RankRequest {
+                            rank: rr.rank,
+                            extents: subtract(&rr.extents, claimed),
+                        }
+                    }
                 } else {
                     RankRequest {
                         rank: rr.rank,
@@ -266,6 +292,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overlapping_requests_write_each_byte_once() {
+        // Rank r writes [r·50, 100): adjacent ranks overlap by half, and
+        // the overlap crosses node (hence group) boundaries. Each byte
+        // must be aggregated and written by exactly one group.
+        let per_rank: Vec<Vec<Extent>> =
+            (0..8u64).map(|r| vec![Extent::new(r * 50, 100)]).collect();
+        let req = CollectiveRequest::new(Rw::Write, per_rank);
+        let map = ProcessMap::new(8, 4, Placement::Block);
+        let mem = ProcMemory::uniform(8, 100);
+        let cfg = CollectiveConfig::with_buffer(100)
+            .msg_ind(100)
+            .msg_group(150) // one group per node
+            .mem_min(0);
+        let p = plan(&req, &map, &mem, &cfg);
+        assert!(p.groups.len() > 1, "overlap must span groups");
+        assert_eq!(p.check(&req), Ok(()));
     }
 
     #[test]

@@ -71,17 +71,20 @@ pub fn place_with_diag(
     let mut host_count: HashMap<NodeId, usize> = HashMap::new();
     let mut assigned: HashMap<NodeIdx, AggregatorAssignment> = HashMap::new();
 
-    let mut i = 0usize;
+    // Always (re)scan for the first unassigned data-bearing leaf rather
+    // than walking a monotone index: a remerge chain can deposit data
+    // into an earlier zero-data leaf (a hole between two dense regions),
+    // which must then be placed after all — an index walk would have
+    // skipped it for good and lost its bytes.
     loop {
         let leaves = tree.leaves();
-        if i >= leaves.len() {
+        let Some(leaf) = leaves
+            .iter()
+            .copied()
+            .find(|l| !assigned.contains_key(l) && tree.data_bytes(*l) > 0)
+        else {
             break;
-        }
-        let leaf = leaves[i];
-        if assigned.contains_key(&leaf) || tree.data_bytes(leaf) == 0 {
-            i += 1;
-            continue;
-        }
+        };
         let fd = tree.region(leaf);
         let ok = |budget: u64| match cfg.placement {
             PlacementPolicy::MemoryAware => budget >= cfg.mem_min,
@@ -101,7 +104,6 @@ pub fn place_with_diag(
                         data_bytes: tree.data_bytes(leaf),
                     },
                 );
-                i += 1;
             }
             _ => {
                 // Not enough memory anywhere (or every candidate host is
@@ -115,8 +117,6 @@ pub fn place_with_diag(
                             a.fd = tree.region(absorbed);
                             a.data_bytes = tree.data_bytes(absorbed);
                         }
-                        // Do not advance `i`: the leaf list shrank, so
-                        // index `i` now names the next unprocessed leaf.
                     }
                     None => {
                         // Last domain standing: relax Mem_min (and, if
@@ -149,7 +149,6 @@ pub fn place_with_diag(
                                 data_bytes: tree.data_bytes(leaf),
                             },
                         );
-                        i += 1;
                     }
                 }
             }
@@ -444,6 +443,40 @@ mod tests {
         assert!(aggs.len() <= 2, "got {}", aggs.len());
         let covered: u64 = aggs.iter().map(|a| a.data_bytes).sum();
         assert_eq!(covered, 200);
+    }
+
+    #[test]
+    fn hole_leaf_filled_by_remerge_still_gets_placed() {
+        // Two dense regions separated by a large hole, all on one node
+        // with nah so small that most domains starve. The starved
+        // right-side domains remerge leftward *through the hole leaf*:
+        // the hole gains their data and must then be placed (or merged
+        // onward) rather than staying silently skipped.
+        let per_rank: Vec<Vec<Extent>> = (0..4u64)
+            .map(|r| {
+                vec![
+                    Extent::new(r * 100, 100),
+                    Extent::new(10_000 + r * 100, 100),
+                ]
+            })
+            .collect();
+        let req = CollectiveRequest::new(Rw::Write, per_rank);
+        let map = ProcessMap::new(4, 1, Placement::Block);
+        let mem = ProcMemory::from_budgets(vec![100; 4]);
+        let groups = group::divide(&req, &map, u64::MAX);
+        assert_eq!(groups.len(), 1);
+        let mut tree = build_tree(&groups[0], 100);
+        let cfg = CollectiveConfig::with_buffer(100)
+            .mem_min(0)
+            .msg_ind(100)
+            .nah(2);
+        let aggs = place(&groups[0], &mut tree, &req, &map, &mem, &cfg);
+        let covered: u64 = aggs.iter().map(|a| a.data_bytes).sum();
+        assert_eq!(covered, 800, "every requested byte has an aggregator");
+        // Domains still tile without overlap in offset order.
+        for w in aggs.windows(2) {
+            assert!(w[0].fd.end() <= w[1].fd.offset);
+        }
     }
 
     #[test]

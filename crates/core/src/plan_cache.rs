@@ -1,0 +1,365 @@
+//! Memoized planning: a thread-safe cache of [`CollectivePlan`]s keyed
+//! by a canonical hash of everything the planners consume.
+//!
+//! Parameter sweeps revisit the same planning inputs constantly — a grid
+//! over pipeline modes or exchange shapes re-plans an identical
+//! (request, topology, memory, config) tuple once per point, and the
+//! partition tree + placement walk is the planning hot path. The cache
+//! keys each plan by a 128-bit hash of the canonical byte encoding of
+//! its inputs, so sweep points that share a plan skip re-partitioning
+//! entirely and share one immutable `Arc<CollectivePlan>`.
+//!
+//! The key covers **all** planner inputs: the strategy, the request
+//! direction and every rank's extent list, the process placement, every
+//! rank's memory budget, and every configuration field. Two calls whose
+//! inputs differ anywhere therefore never alias, and a cached plan is
+//! structurally identical to the plan a fresh call would build (the
+//! planners are pure functions of those inputs).
+//!
+//! Hit/miss totals are exposed as [`PlanCache::hits`]/[`PlanCache::misses`]
+//! and can be exported as the `plan.cache_hit` / `plan.cache_miss`
+//! counters via [`PlanCache::record_into`].
+
+use crate::config::{CollectiveConfig, PlacementPolicy, Strategy};
+use crate::memory::ProcMemory;
+use crate::plan::CollectivePlan;
+use crate::request::CollectiveRequest;
+use crate::{mcio, twophase};
+use mcio_cluster::ProcessMap;
+use mcio_pfs::Rw;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Two independent FNV-1a 64-bit lanes over the same byte stream,
+/// yielding a 128-bit canonical hash. Deterministic across runs,
+/// machines, and thread interleavings (unlike `std`'s randomized
+/// `DefaultHasher`), which keeps cache behaviour reproducible.
+#[derive(Debug, Clone, Copy)]
+struct CanonicalHasher {
+    lo: u64,
+    hi: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl CanonicalHasher {
+    fn new() -> Self {
+        CanonicalHasher {
+            lo: FNV_OFFSET,
+            // A distinct offset basis decorrelates the second lane.
+            hi: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.lo = (self.lo ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        self.hi = (self.hi ^ u64::from(!b)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn finish(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+/// Compute the canonical 128-bit key of one planning call. Exposed so
+/// tests (and diagnostics) can assert when two calls share a plan.
+pub fn plan_key(
+    strategy: Strategy,
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> u128 {
+    let mut h = CanonicalHasher::new();
+    h.byte(match strategy {
+        Strategy::TwoPhase => 0,
+        Strategy::MemoryConscious => 1,
+    });
+    h.byte(match req.rw {
+        Rw::Write => 0,
+        Rw::Read => 1,
+    });
+    h.usize(req.nranks());
+    for rr in &req.ranks {
+        h.usize(rr.extents.len());
+        for e in &rr.extents {
+            h.u64(e.offset);
+            h.u64(e.len);
+        }
+    }
+    h.usize(map.nnodes());
+    for (_, node) in map.iter() {
+        h.usize(node.0);
+    }
+    for &b in mem.budgets() {
+        h.u64(b);
+    }
+    h.u64(cfg.cb_buffer);
+    h.usize(cfg.nah);
+    h.u64(cfg.msg_ind);
+    h.u64(cfg.msg_group);
+    h.u64(cfg.mem_min);
+    match cfg.align_fd_to_stripes {
+        None => h.byte(0),
+        Some(unit) => {
+            h.byte(1);
+            h.u64(unit);
+        }
+    }
+    h.byte(match cfg.placement {
+        PlacementPolicy::MemoryAware => 0,
+        PlacementPolicy::FirstCandidate => 1,
+    });
+    h.finish()
+}
+
+/// A thread-safe memoization table for [`twophase::plan`] and
+/// [`mcio::plan`].
+///
+/// ```
+/// use mcio_core::{plan_cache::PlanCache, CollectiveConfig, CollectiveRequest,
+///                 ProcMemory, Strategy};
+/// use mcio_cluster::ProcessMap;
+/// use mcio_pfs::{Extent, Rw};
+///
+/// let req = CollectiveRequest::new(
+///     Rw::Write,
+///     (0..4u64).map(|r| vec![Extent::new(r * 1024, 1024)]).collect(),
+/// );
+/// let map = ProcessMap::block_ppn(4, 2);
+/// let mem = ProcMemory::uniform(4, 512);
+/// let cfg = CollectiveConfig::with_buffer(512);
+///
+/// let cache = PlanCache::new();
+/// let a = cache.get_or_plan(Strategy::MemoryConscious, &req, &map, &mem, &cfg);
+/// let b = cache.get_or_plan(Strategy::MemoryConscious, &req, &map, &mem, &cfg);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// ```
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: Mutex<HashMap<u128, Arc<CollectivePlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share across sweep
+    /// workers.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Return the memoized plan for these inputs, planning (and caching)
+    /// it on first sight. Concurrent first sights of the same key may
+    /// each plan once — both count as misses and the first insertion
+    /// wins, so every caller still observes one canonical `Arc`.
+    pub fn get_or_plan(
+        &self,
+        strategy: Strategy,
+        req: &CollectiveRequest,
+        map: &ProcessMap,
+        mem: &ProcMemory,
+        cfg: &CollectiveConfig,
+    ) -> Arc<CollectivePlan> {
+        let key = plan_key(strategy, req, map, mem, cfg);
+        if let Some(hit) = self.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Plan outside the lock: planning is the expensive part and
+        // other keys should not serialize behind it.
+        let plan = Arc::new(match strategy {
+            Strategy::TwoPhase => twophase::plan(req, map, mem, cfg),
+            Strategy::MemoryConscious => mcio::plan(req, map, mem, cfg),
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(self.lock().entry(key).or_insert(plan))
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to plan.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct plans currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Export the hit/miss totals as the `plan.cache_hit` /
+    /// `plan.cache_miss` counters.
+    pub fn record_into(&self, reg: &mcio_obs::Registry) {
+        reg.describe("plan.cache_hit", "lookups", "Plan-cache lookups served");
+        reg.describe(
+            "plan.cache_miss",
+            "lookups",
+            "Plan-cache lookups that planned",
+        );
+        reg.inc("plan.cache_hit", &[], self.hits());
+        reg.inc("plan.cache_miss", &[], self.misses());
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u128, Arc<CollectivePlan>>> {
+        self.plans.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcio_pfs::Extent;
+
+    fn setup(chunk: u64) -> (CollectiveRequest, ProcessMap, ProcMemory, CollectiveConfig) {
+        let req = CollectiveRequest::new(
+            Rw::Write,
+            (0..8u64)
+                .map(|r| vec![Extent::new(r * chunk, chunk)])
+                .collect(),
+        );
+        let map = ProcessMap::block_ppn(8, 2);
+        let mem = ProcMemory::normal(8, chunk, 0.35, 42);
+        let cfg = CollectiveConfig::with_buffer(chunk)
+            .msg_ind(2 * chunk)
+            .msg_group(4 * chunk)
+            .mem_min(0);
+        (req, map, mem, cfg)
+    }
+
+    #[test]
+    fn cached_plan_is_structurally_identical_to_fresh() {
+        let (req, map, mem, cfg) = setup(1024);
+        let cache = PlanCache::new();
+        for strategy in [Strategy::TwoPhase, Strategy::MemoryConscious] {
+            let first = cache.get_or_plan(strategy, &req, &map, &mem, &cfg);
+            let cached = cache.get_or_plan(strategy, &req, &map, &mem, &cfg);
+            let fresh = match strategy {
+                Strategy::TwoPhase => twophase::plan(&req, &map, &mem, &cfg),
+                Strategy::MemoryConscious => mcio::plan(&req, &map, &mem, &cfg),
+            };
+            assert!(Arc::ptr_eq(&first, &cached));
+            assert_eq!(*cached, fresh, "{strategy:?}");
+        }
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn any_input_change_changes_the_key() {
+        let (req, map, mem, cfg) = setup(1024);
+        let base = plan_key(Strategy::MemoryConscious, &req, &map, &mem, &cfg);
+
+        let other_strategy = plan_key(Strategy::TwoPhase, &req, &map, &mem, &cfg);
+        assert_ne!(base, other_strategy);
+
+        let mut req2 = req.clone();
+        req2.ranks[3].extents[0].len += 1;
+        assert_ne!(
+            base,
+            plan_key(Strategy::MemoryConscious, &req2, &map, &mem, &cfg)
+        );
+
+        let map2 = ProcessMap::block_ppn(8, 4);
+        assert_ne!(
+            base,
+            plan_key(Strategy::MemoryConscious, &req, &map2, &mem, &cfg)
+        );
+
+        let mem2 = ProcMemory::normal(8, 1024, 0.35, 43);
+        assert_ne!(
+            base,
+            plan_key(Strategy::MemoryConscious, &req, &map, &mem2, &cfg)
+        );
+
+        for cfg2 in [
+            cfg.clone().nah(3),
+            cfg.clone().msg_ind(4096),
+            cfg.clone().msg_group(16384),
+            cfg.clone().mem_min(7),
+            cfg.clone().align_to_stripes(64),
+            cfg.clone().placement(PlacementPolicy::FirstCandidate),
+        ] {
+            assert_ne!(
+                base,
+                plan_key(Strategy::MemoryConscious, &req, &map, &mem, &cfg2),
+                "{cfg2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        let (req, map, mem, cfg) = setup(2048);
+        let a = plan_key(Strategy::MemoryConscious, &req, &map, &mem, &cfg);
+        let b = plan_key(Strategy::MemoryConscious, &req, &map, &mem, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_export_to_registry() {
+        let (req, map, mem, cfg) = setup(1024);
+        let cache = PlanCache::new();
+        cache.get_or_plan(Strategy::TwoPhase, &req, &map, &mem, &cfg);
+        cache.get_or_plan(Strategy::TwoPhase, &req, &map, &mem, &cfg);
+        cache.get_or_plan(Strategy::TwoPhase, &req, &map, &mem, &cfg);
+        let reg = mcio_obs::Registry::new();
+        cache.record_into(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("plan.cache_hit", &[]), Some(2));
+        assert_eq!(snap.counter("plan.cache_miss", &[]), Some(1));
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_plan() {
+        let (req, map, mem, cfg) = setup(1024);
+        let cache = PlanCache::shared();
+        let plans: Vec<Arc<CollectivePlan>> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    let (req, map, mem, cfg) = (&req, &map, &mem, &cfg);
+                    s.spawn(move || {
+                        cache.get_or_plan(Strategy::MemoryConscious, req, map, mem, cfg)
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(cache.len(), 1, "one canonical entry");
+        for p in &plans[1..] {
+            assert_eq!(**p, *plans[0]);
+        }
+        assert_eq!(cache.hits() + cache.misses(), 8);
+        assert!(cache.misses() >= 1);
+    }
+}

@@ -152,6 +152,33 @@ pub fn clip_all(extents: &[Extent], window: &Extent) -> Vec<Extent> {
     extents.iter().filter_map(|e| e.intersect(window)).collect()
 }
 
+/// The parts of `extents` not covered by `minus`. Both inputs must be
+/// sorted and disjoint (as produced by [`coalesce`]); the result is too.
+pub fn subtract(extents: &[Extent], minus: &[Extent]) -> Vec<Extent> {
+    let mut out = Vec::new();
+    let mut j = 0usize;
+    for &e in extents {
+        // Skip subtrahends entirely before this extent (inputs sorted).
+        while j < minus.len() && minus[j].end() <= e.offset {
+            j += 1;
+        }
+        let mut cur = e;
+        let mut k = j;
+        while !cur.is_empty() && k < minus.len() && minus[k].offset < cur.end() {
+            let m = minus[k];
+            if m.offset > cur.offset {
+                out.push(Extent::from_bounds(cur.offset, m.offset));
+            }
+            cur = Extent::from_bounds(m.end().min(cur.end()).max(cur.offset), cur.end());
+            k += 1;
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +287,34 @@ mod tests {
             clip_all(&v, &w),
             vec![Extent::new(5, 5), Extent::new(20, 5)]
         );
+    }
+
+    #[test]
+    fn subtract_carves_holes() {
+        let a = vec![Extent::new(0, 10), Extent::new(20, 10)];
+        // Punch out the middle of each and the gap between them.
+        let m = vec![Extent::new(4, 2), Extent::new(8, 16)];
+        assert_eq!(
+            subtract(&a, &m),
+            vec![Extent::new(0, 4), Extent::new(6, 2), Extent::new(24, 6)]
+        );
+    }
+
+    #[test]
+    fn subtract_disjoint_is_identity() {
+        let a = vec![Extent::new(0, 5), Extent::new(10, 5)];
+        let m = vec![Extent::new(5, 5), Extent::new(20, 100)];
+        assert_eq!(subtract(&a, &m), a);
+        assert_eq!(subtract(&a, &[]), a);
+    }
+
+    #[test]
+    fn subtract_everything_leaves_nothing() {
+        let a = vec![Extent::new(3, 4), Extent::new(9, 2)];
+        assert_eq!(subtract(&a, &[Extent::new(0, 100)]), vec![]);
+        // One subtrahend can straddle several minuends.
+        let m = vec![Extent::new(2, 10)];
+        assert_eq!(subtract(&a, &m), vec![]);
     }
 
     #[test]

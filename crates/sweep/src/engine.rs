@@ -1,0 +1,163 @@
+//! The worker pool: a shared task channel, `N` scoped threads, and an
+//! index-ordered merge.
+//!
+//! Tasks are pushed up front into one unbounded MPMC channel; each
+//! worker loops `recv → run → send (index, result)` until the channel
+//! drains. Because every worker pulls from the same pool the load
+//! balances itself (the channel is the steal target), and because
+//! results carry their submission index the merge is a plain placement
+//! into a pre-sized vector — completion order never leaks out.
+
+use crossbeam::channel;
+
+/// Run `f(i)` for every `i in 0..n` on `jobs` worker threads and return
+/// the results in index order — byte-for-byte the same `Vec` a
+/// sequential `(0..n).map(f).collect()` produces, at any thread count.
+///
+/// `jobs` is clamped to `[1, n]`; `jobs <= 1` runs inline on the calling
+/// thread (no pool, no channels). A panic inside `f` propagates to the
+/// caller once the pool unwinds.
+///
+/// ```
+/// let squares = mcio_sweep::run_indexed(4, 10, |i| i * i);
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// ```
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let (task_tx, task_rx) = channel::unbounded::<usize>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, T)>();
+    for i in 0..n {
+        task_tx.send(i).expect("task queue open");
+    }
+    // Close the task queue: workers exit when it drains.
+    drop(task_tx);
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tasks = task_rx.clone();
+            let results = result_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok(i) = tasks.recv() {
+                    // A send failure means the collector is gone (a
+                    // sibling worker panicked and unwound the scope);
+                    // stop quietly and let the scope propagate it.
+                    if results.send((i, f(i))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        drop(task_rx);
+
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut filled = 0usize;
+        while let Ok((i, value)) = result_rx.recv() {
+            debug_assert!(slots[i].is_none(), "scenario {i} completed twice");
+            slots[i] = Some(value);
+            filled += 1;
+        }
+        if filled != n {
+            // A worker died before draining its tasks; surface the
+            // failure here (the panicking thread also re-raises when the
+            // scope joins, whichever unwinds first).
+            panic!("sweep incomplete: {filled}/{n} scenarios finished (worker panicked?)");
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("all slots filled"))
+            .collect()
+    })
+}
+
+/// Map `f` over `items` on `jobs` worker threads, preserving item order
+/// in the returned `Vec`.
+///
+/// ```
+/// let words = ["a", "bb", "ccc"];
+/// let lens = mcio_sweep::sweep(2, &words, |w| w.len());
+/// assert_eq!(lens, vec![1, 2, 3]);
+/// ```
+pub fn sweep<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_index_order_at_any_thread_count() {
+        let expect: Vec<usize> = (0..97).map(|i| i * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(run_indexed(jobs, 97, |i| i * 3 + 1), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(4, 50, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn slow_tasks_do_not_reorder_results() {
+        // Make early indices the slowest so completion order inverts
+        // submission order; the merge must still be index-ordered.
+        let out = run_indexed(4, 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20 - 4 * i as u64));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_sweeps() {
+        assert_eq!(run_indexed(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(8, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn sweep_maps_slices() {
+        let items = vec![10u64, 20, 30];
+        assert_eq!(sweep(2, &items, |&x| x / 10), vec![1, 2, 3]);
+        assert_eq!(
+            sweep(0, &items, |&x| x / 10),
+            vec![1, 2, 3],
+            "jobs clamps up"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        run_indexed(3, 8, |i| {
+            if i == 5 {
+                panic!("scenario 5 exploded");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Data-driven sweep grids with canonical scenario keys.
+//!
+//! A [`SweepSpec`] is an ordered list of named axes; [`SweepSpec::points`]
+//! enumerates the cartesian product in row-major order (first axis
+//! slowest) and gives every point a canonical `axis=value/axis=value`
+//! key. Both the enumeration order and the keys are pure functions of
+//! the spec, so a sweep driven by the grid is deterministic end to end:
+//! same spec → same points, same keys, same merged output bytes.
+
+use std::collections::BTreeMap;
+
+/// One point of a parameter grid: its canonical key plus the axis
+/// assignment that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// Canonical `axis=value/axis=value` key (axes in spec order).
+    pub key: String,
+    /// Axis name → chosen value.
+    pub values: BTreeMap<String, String>,
+}
+
+impl SweepPoint {
+    /// The chosen value of `axis` (panics when the spec has no such
+    /// axis — a programming error, not a data error).
+    pub fn get(&self, axis: &str) -> &str {
+        self.values
+            .get(axis)
+            .unwrap_or_else(|| panic!("sweep point has no axis `{axis}`"))
+    }
+}
+
+/// An ordered set of named axes describing a cartesian scenario grid.
+///
+/// ```
+/// use mcio_sweep::SweepSpec;
+/// let spec = SweepSpec::new()
+///     .axis("buffer", ["4M", "16M"])
+///     .axis("strategy", ["two-phase", "mc"]);
+/// let points = spec.points();
+/// assert_eq!(points.len(), 4);
+/// assert_eq!(points[0].key, "buffer=4M/strategy=two-phase");
+/// assert_eq!(points[3].key, "buffer=16M/strategy=mc");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepSpec {
+    axes: Vec<(String, Vec<String>)>,
+}
+
+impl SweepSpec {
+    /// An empty spec (one point, empty key).
+    pub fn new() -> Self {
+        SweepSpec::default()
+    }
+
+    /// Append an axis with its values, in sweep order. Empty axes are
+    /// rejected (they would make the whole grid empty silently).
+    pub fn axis<I, S>(mut self, name: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "axis `{name}` has no values");
+        assert!(
+            !self.axes.iter().any(|(n, _)| n == name),
+            "duplicate axis `{name}`"
+        );
+        self.axes.push((name.to_string(), values));
+        self
+    }
+
+    /// Number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// True when the grid has no axes (a single empty point).
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Enumerate every point in canonical (row-major, first axis
+    /// slowest) order with its canonical key.
+    pub fn points(&self) -> Vec<SweepPoint> {
+        let total = self.len();
+        let mut out = Vec::with_capacity(total);
+        for mut idx in 0..total {
+            let mut picks: Vec<(&str, &str)> = Vec::with_capacity(self.axes.len());
+            // Row-major: the last axis varies fastest.
+            let mut stride = total;
+            for (name, values) in &self.axes {
+                stride /= values.len();
+                let v = &values[idx / stride];
+                idx %= stride;
+                picks.push((name, v));
+            }
+            let key = picks
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SweepPoint {
+                key,
+                values: picks
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v.to_string()))
+                    .collect(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_order_is_row_major() {
+        let spec = SweepSpec::new()
+            .axis("a", ["1", "2"])
+            .axis("b", ["x", "y", "z"]);
+        let keys: Vec<String> = spec.points().into_iter().map(|p| p.key).collect();
+        assert_eq!(
+            keys,
+            vec!["a=1/b=x", "a=1/b=y", "a=1/b=z", "a=2/b=x", "a=2/b=y", "a=2/b=z",]
+        );
+    }
+
+    #[test]
+    fn point_lookup() {
+        let spec = SweepSpec::new().axis("buffer", ["4M"]).axis("s", ["mc"]);
+        let p = &spec.points()[0];
+        assert_eq!(p.get("buffer"), "4M");
+        assert_eq!(p.get("s"), "mc");
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis")]
+    fn missing_axis_panics() {
+        let spec = SweepSpec::new().axis("a", ["1"]);
+        spec.points()[0].get("nope");
+    }
+
+    #[test]
+    fn empty_spec_is_one_empty_point() {
+        let spec = SweepSpec::new();
+        assert_eq!(spec.len(), 1);
+        let pts = spec.points();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].key, "");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis")]
+    fn duplicate_axes_rejected() {
+        let _ = SweepSpec::new().axis("a", ["1"]).axis("a", ["2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no values")]
+    fn empty_axis_rejected() {
+        let _ = SweepSpec::new().axis("a", Vec::<String>::new());
+    }
+
+    #[test]
+    fn points_are_stable_across_calls() {
+        let spec = SweepSpec::new()
+            .axis("x", ["p", "q"])
+            .axis("y", ["1", "2", "3"]);
+        assert_eq!(spec.points(), spec.points());
+    }
+}
