@@ -18,6 +18,9 @@
 //!   class percentiles (via [`mcio_obs::Histogram::percentile`]), a
 //!   top-K longest-chain table, JSON and terminal renderings, and
 //!   two-run bottleneck comparison (baseline two-phase vs MC-CIO).
+//! * [`tenants`] — per-job interference attribution for multi-tenant
+//!   traces (pid-4 job lanes): splits each job's window into self /
+//!   cross-tenant / idle time so contention is attributable per job.
 //!
 //! The `mcio_cli analyze` subcommand and the `perf_suite` benchmark
 //! harness are thin shells over this crate.
@@ -26,6 +29,7 @@
 
 pub mod critical_path;
 pub mod report;
+pub mod tenants;
 pub mod trace_model;
 
 pub use critical_path::{
@@ -33,4 +37,5 @@ pub use critical_path::{
     PhaseKind,
 };
 pub use report::{analyze, compare, Analysis, ClassStat, Comparison, PhaseTotals};
-pub use trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS};
+pub use tenants::{tenant_paths, TenantPath};
+pub use trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS, PID_TENANTS};

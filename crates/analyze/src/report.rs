@@ -9,6 +9,7 @@
 use crate::critical_path::{
     aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
 };
+use crate::tenants::{tenant_paths, TenantPath};
 use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES};
 use mcio_obs::trace::escape_json;
 use mcio_obs::Histogram;
@@ -57,6 +58,9 @@ pub struct Analysis {
     pub aggregators: Vec<AggIo>,
     /// Per-resource-class service statistics.
     pub class_stats: Vec<ClassStat>,
+    /// Per-job interference attribution (multi-tenant traces only;
+    /// empty for solo runs, and then omitted from both renderings).
+    pub tenants: Vec<TenantPath>,
     /// How many chains/aggregators the text report prints.
     pub top_k: usize,
 }
@@ -103,6 +107,7 @@ pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
         chains: chain_summaries(model),
         aggregators: aggregator_io(model),
         class_stats,
+        tenants: tenant_paths(model),
         top_k,
     }
 }
@@ -177,7 +182,43 @@ impl Analysis {
                 s.class, s.busy_ns, s.spans, s.p50_ns, s.p95_ns, s.p99_ns
             );
         }
-        out.push_str("\n  ]\n}\n");
+        if self.tenants.is_empty() {
+            out.push_str("\n  ]\n}\n");
+        } else {
+            out.push_str("\n  ],\n  \"tenants\": [");
+            for (i, t) in self.tenants.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let opt = |v: Option<f64>| match v {
+                    Some(x) => format!("{x:.6}"),
+                    None => "null".to_string(),
+                };
+                let lane = match &t.critical_lane {
+                    Some(l) => format!("\"{}\"", escape_json(l)),
+                    None => "null".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "\n    {{\"tid\": {}, \"job\": \"{}\", \"strategy\": \"{}\", \
+                     \"start_ns\": {}, \"end_ns\": {}, \"self_ns\": {}, \"cross_ns\": {}, \
+                     \"idle_ns\": {}, \"slowdown\": {}, \"ost_overlap\": {}, \
+                     \"critical_lane\": {}}}",
+                    t.tid,
+                    escape_json(&t.job),
+                    escape_json(&t.strategy),
+                    t.start_ns,
+                    t.end_ns,
+                    t.self_ns,
+                    t.cross_ns,
+                    t.idle_ns,
+                    opt(t.slowdown),
+                    opt(t.ost_overlap),
+                    lane
+                );
+            }
+            out.push_str("\n  ]\n}\n");
+        }
         out
     }
 
@@ -275,6 +316,37 @@ impl Analysis {
                     s.p50_ns / 1e3,
                     s.p95_ns / 1e3,
                     s.p99_ns / 1e3
+                );
+            }
+        }
+
+        if !self.tenants.is_empty() {
+            let _ = writeln!(out, "\n== tenants ==");
+            let _ = writeln!(
+                out,
+                "{:>4} {:<16} {:>12} {:>10} {:>10} {:>10} {:>9} {:>8}",
+                "job", "label", "window ms", "self %", "cross %", "idle %", "slowdown", "overlap"
+            );
+            for t in &self.tenants {
+                let window = t.end_ns - t.start_ns;
+                let idle_frac = if window == 0 {
+                    0.0
+                } else {
+                    t.idle_ns as f64 / window as f64
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>4} {:<16} {:>12.3} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>8}",
+                    t.tid,
+                    t.job,
+                    ms(window),
+                    t.self_fraction() * 100.0,
+                    t.cross_fraction() * 100.0,
+                    idle_frac * 100.0,
+                    t.slowdown
+                        .map_or_else(|| "-".to_string(), |s| format!("{s:.3}x")),
+                    t.ost_overlap
+                        .map_or_else(|| "-".to_string(), |o| format!("{o:.3}")),
                 );
             }
         }
@@ -418,6 +490,75 @@ mod tests {
             text.contains("bottleneck moves ost_io -> network_shuffle"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn tenant_section_appears_only_for_multitenant_traces() {
+        // Solo trace: no tenants key in JSON, no tenants table in text,
+        // so pre-multitenant reports are byte-identical.
+        let solo = analyze(&model(), 5);
+        assert!(solo.tenants.is_empty());
+        assert!(!solo.to_json().contains("\"tenants\""));
+        assert!(!solo.to_text().contains("== tenants =="));
+
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "ost0");
+        tc.span("j0.io.0", "ost0", PID_RESOURCES, 0, 0, 600);
+        tc.span("j1.io.0", "ost0", PID_RESOURCES, 0, 600, 300);
+        tc.name_process(crate::trace_model::PID_TENANTS, "tenants");
+        tc.name_thread(crate::trace_model::PID_TENANTS, 0, "j0 alpha");
+        tc.name_thread(crate::trace_model::PID_TENANTS, 1, "j1 beta");
+        tc.span_with_args(
+            "j0.window",
+            "tenant",
+            crate::trace_model::PID_TENANTS,
+            0,
+            0,
+            600,
+            &[
+                ("job", "alpha"),
+                ("strategy", "memory-conscious"),
+                ("slowdown", "1.000000"),
+            ],
+        );
+        tc.span_with_args(
+            "j1.window",
+            "tenant",
+            crate::trace_model::PID_TENANTS,
+            1,
+            400,
+            500,
+            &[
+                ("job", "beta"),
+                ("strategy", "two-phase"),
+                ("slowdown", "1.500000"),
+            ],
+        );
+        let mt = analyze(&TraceModel::from_collector(&tc), 5);
+        assert_eq!(mt.tenants.len(), 2);
+
+        let doc = json::parse(&mt.to_json()).expect("tenant report is valid JSON");
+        let tenants = doc.get("tenants").unwrap().as_array().unwrap();
+        assert_eq!(tenants.len(), 2);
+        let beta = &tenants[1];
+        assert_eq!(beta.get("job").and_then(JsonValue::as_str), Some("beta"));
+        let window = beta.get("end_ns").and_then(JsonValue::as_f64).unwrap()
+            - beta.get("start_ns").and_then(JsonValue::as_f64).unwrap();
+        let sum: f64 = ["self_ns", "cross_ns", "idle_ns"]
+            .iter()
+            .map(|k| beta.get(k).and_then(JsonValue::as_f64).unwrap())
+            .sum();
+        assert_eq!(sum, window, "tenant buckets partition the window");
+        assert_eq!(beta.get("slowdown").and_then(JsonValue::as_f64), Some(1.5));
+        assert!(
+            matches!(beta.get("ost_overlap"), Some(JsonValue::Null)),
+            "missing span arg renders as null"
+        );
+
+        let text = mt.to_text();
+        assert!(text.contains("== tenants =="), "{text}");
+        assert!(text.contains("beta"), "{text}");
+        assert!(text.contains("1.500x"), "{text}");
     }
 
     #[test]

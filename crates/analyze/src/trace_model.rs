@@ -24,6 +24,12 @@ pub const PID_ROUNDS: u64 = 2;
 /// re-rounds (`degraded`) and per-OST retry chains (`retry`/`backoff`).
 pub const PID_FAULTS: u64 = 3;
 
+/// Chrome-trace `pid` of the per-job tenant lanes emitted by
+/// multi-tenant runs: one `tid` per job, holding a single
+/// `j<N>.window` span whose args carry the job label, strategy,
+/// slowdown and OST-overlap fraction. Solo runs emit no pid-4 lanes.
+pub const PID_TENANTS: u64 = 4;
+
 /// Coarse class of a machine resource, keyed off its lane name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ResourceClass {
@@ -242,7 +248,7 @@ impl TraceModel {
 }
 
 /// Sort and merge half-open intervals into a disjoint union.
-fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+pub(crate) fn merge_intervals(mut intervals: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
     intervals.sort_unstable();
     let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
     for (a, b) in intervals {

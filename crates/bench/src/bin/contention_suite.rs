@@ -1,0 +1,280 @@
+//! Multi-tenant contention gate: job-count × strategy sweep.
+//!
+//! Runs 1, 2, 4 and 8 concurrent IOR-shaped tenants — each on its own
+//! exclusive 4-node partition of a shared 32-node machine, each
+//! writing its own file region, arrivals staggered 250 µs apart —
+//! under both strategies, and asserts the multi-tenant contract:
+//!
+//! * a lone tenant has slowdown exactly 1.0 and OST overlap 0.0
+//!   (the shared-machine path is a conservative extension of solo);
+//! * sharing the machine never speeds a job up (slowdown ≥ 1);
+//! * OST-overlap fractions stay in `[0, 1]`;
+//! * the whole suite is byte-deterministic (one cell is re-run and its
+//!   document fragment compared byte-for-byte).
+//!
+//! The cells fan across `--jobs N` worker threads via the sweep
+//! engine; validation and output follow canonical cell order
+//! (tenant-count major, two-phase before memory-conscious), so the
+//! `mcio.multitenant.v1` document written to `--out FILE` (default
+//! `BENCH_contention_suite.json`) is identical at any `--jobs` value.
+//!
+//! The printed summary compares mean slowdown per strategy at each
+//! tenant count — the graceful-degradation story: MC-CIO's per-group
+//! rounds keep its interference cost at or below the baseline's as
+//! the machine fills up.
+//!
+//! Violated assertions print one line and exit 1; unknown flags exit
+//! 2; `--jobs 0` exits 1.
+
+use mcio_bench::mtspec::{self, JobSpec};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_core::exec_sim::Observe;
+use mcio_core::{run_multitenant, MultiTenantReport, Strategy, TenantJob};
+use mcio_des::SimDuration;
+use std::fmt::Write as _;
+use std::process::exit;
+
+/// Tenant counts of the sweep (the 8-tenant cell fills the machine).
+const TENANTS: [usize; 4] = [1, 2, 4, 8];
+/// Nodes per tenant partition.
+const NODES_PER_JOB: usize = 4;
+const KIB: u64 = 1024;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("contention_suite: FAILED: {msg}");
+    exit(1);
+}
+
+/// The full 8-job roster for one strategy. A cell with T tenants runs
+/// the first T jobs, so smaller cells are strict prefixes — the same
+/// job always has the same plan, partition, file region and arrival.
+fn roster(strategy: Strategy) -> Vec<TenantJob> {
+    (0..8u64)
+        .map(|ji| {
+            mtspec::build_tenant(&JobSpec {
+                name: format!("job{ji}"),
+                ranks: 8,
+                ppn: 2,
+                node_offset: ji as usize * NODES_PER_JOB,
+                start: SimDuration::from_micros(ji * 250),
+                per_proc: 2048 * KIB,
+                segments: 2,
+                buffer: 32 * KIB,
+                stddev: 0.5,
+                seed: 0xC0DE + ji,
+                strategy,
+                base: ji * (1 << 30),
+                ..JobSpec::default()
+            })
+        })
+        .collect()
+}
+
+/// One cell's contribution to the canonical-order loop: its document
+/// fragment, summary line, contract violations and mean slowdown.
+struct CellOutcome {
+    fragment: String,
+    line: String,
+    errors: Vec<String>,
+    mean_slowdown: f64,
+}
+
+fn render_cell(tenants: usize, strategy: Strategy, mt: &MultiTenantReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "    {{\"tenants\": {}, \"strategy\": \"{}\", \"makespan_ns\": {}, \
+         \"mean_slowdown\": {:.6}, \"jobs\": [",
+        tenants,
+        strategy.label(),
+        mt.makespan.as_nanos(),
+        mean_slowdown(mt),
+    );
+    for (i, job) in mt.jobs.iter().enumerate() {
+        let _ = write!(out, "      {}", mtspec::render_job(job));
+        out.push_str(if i + 1 < mt.jobs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("    ]}");
+    out
+}
+
+fn mean_slowdown(mt: &MultiTenantReport) -> f64 {
+    mt.jobs.iter().map(|j| j.slowdown).sum::<f64>() / mt.jobs.len().max(1) as f64
+}
+
+fn run_cell(tenants: usize, strategy: Strategy, jobs: &[TenantJob]) -> CellOutcome {
+    let mt = run_multitenant(
+        &jobs[..tenants],
+        &ClusterSpec::small(32, 2),
+        None,
+        Observe {
+            registry: None,
+            trace: false,
+        },
+    );
+    let mut errors = Vec::new();
+    for j in &mt.jobs {
+        if j.slowdown < 1.0 - 1e-9 {
+            errors.push(format!(
+                "{} tenants/{}: job {} sped up under contention (slowdown {:.6})",
+                tenants,
+                strategy.label(),
+                j.label,
+                j.slowdown
+            ));
+        }
+        if !(0.0..=1.0).contains(&j.ost_overlap) {
+            errors.push(format!(
+                "{} tenants/{}: job {} OST overlap {} outside [0, 1]",
+                tenants,
+                strategy.label(),
+                j.label,
+                j.ost_overlap
+            ));
+        }
+    }
+    if tenants == 1 {
+        let j = &mt.jobs[0];
+        if (j.slowdown - 1.0).abs() > 1e-12 {
+            errors.push(format!(
+                "lone {} tenant has slowdown {:.9}, expected exactly 1.0",
+                strategy.label(),
+                j.slowdown
+            ));
+        }
+        if j.ost_overlap != 0.0 {
+            errors.push(format!(
+                "lone {} tenant has OST overlap {}, expected 0.0",
+                strategy.label(),
+                j.ost_overlap
+            ));
+        }
+    }
+    let max_overlap = mt.jobs.iter().map(|j| j.ost_overlap).fold(0.0, f64::max);
+    let line = format!(
+        "{tenants} tenant(s)  {:<17} makespan {:>10.3} ms  mean slowdown {:>6.3}x  max ost-overlap {:>5.3}",
+        strategy.label(),
+        mt.makespan.as_nanos() as f64 / 1e6,
+        mean_slowdown(&mt),
+        max_overlap,
+    );
+    CellOutcome {
+        fragment: render_cell(tenants, strategy, &mt),
+        line,
+        errors,
+        mean_slowdown: mean_slowdown(&mt),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_contention_suite.json".to_string();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("contention_suite: flag {flag} needs a value");
+                exit(2);
+            }
+        };
+        match a.as_str() {
+            "--out" => out_path = value("--out"),
+            "--jobs" => {
+                let raw = value("--jobs");
+                jobs = match raw.parse() {
+                    Ok(j) if j >= 1 => j,
+                    _ => {
+                        eprintln!(
+                            "contention_suite: --jobs must be a positive integer, got `{raw}`"
+                        );
+                        exit(1);
+                    }
+                }
+            }
+            "--help" => {
+                println!("usage: contention_suite [--out REPORT.json] [--jobs N]");
+                exit(0);
+            }
+            other => {
+                eprintln!("contention_suite: unknown argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    let tp_roster = roster(Strategy::TwoPhase);
+    let mc_roster = roster(Strategy::MemoryConscious);
+
+    // Canonical cell order: tenant-count major, two-phase first.
+    let cells: Vec<(usize, Strategy)> = TENANTS
+        .iter()
+        .flat_map(|&t| {
+            [Strategy::TwoPhase, Strategy::MemoryConscious]
+                .into_iter()
+                .map(move |s| (t, s))
+        })
+        .collect();
+    let outcomes = mcio_sweep::sweep(jobs, &cells, |&(tenants, strategy)| {
+        let roster = match strategy {
+            Strategy::TwoPhase => &tp_roster,
+            Strategy::MemoryConscious => &mc_roster,
+        };
+        run_cell(tenants, strategy, roster)
+    });
+
+    let mut doc = String::from("{\n  \"schema\": \"mcio.multitenant.v1\",\n");
+    doc.push_str("  \"machine\": \"small-32x2\",\n  \"cells\": [\n");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        println!("{}", outcome.line);
+        if let Some(e) = outcome.errors.first() {
+            fail(e);
+        }
+        doc.push_str(&outcome.fragment);
+        doc.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  ]\n}\n");
+
+    // The graceful-degradation story, per tenant count: how much mean
+    // slowdown each strategy accumulates as the machine fills up. At
+    // light sharing the baseline's fewer, larger requests can win; once
+    // the machine saturates, memory-conscious per-group rounds must
+    // interfere less — that crossover is the gate.
+    println!();
+    for (t_idx, &t) in TENANTS.iter().enumerate() {
+        let tp = outcomes[2 * t_idx].mean_slowdown;
+        let mc = outcomes[2 * t_idx + 1].mean_slowdown;
+        println!(
+            "{t} tenant(s): mean slowdown two-phase {tp:.3}x vs memory-conscious {mc:.3}x  ({})",
+            if mc <= tp + 1e-9 {
+                "mc degrades no worse"
+            } else {
+                "two-phase degrades less here"
+            },
+        );
+    }
+    let full = outcomes.len() - 2;
+    if outcomes[full + 1].mean_slowdown > outcomes[full].mean_slowdown + 1e-9 {
+        fail(&format!(
+            "on the full machine ({} tenants) memory-conscious degrades worse than two-phase \
+             ({:.3}x vs {:.3}x)",
+            TENANTS[TENANTS.len() - 1],
+            outcomes[full + 1].mean_slowdown,
+            outcomes[full].mean_slowdown,
+        ));
+    }
+
+    // Byte-determinism: re-running a cell must reproduce its document
+    // fragment exactly.
+    let rerun = run_cell(8, Strategy::MemoryConscious, &mc_roster);
+    if rerun.fragment != outcomes.last().expect("cells are non-empty").fragment {
+        fail("multi-tenant run is not deterministic: re-run fragment differs");
+    }
+
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("contention_suite: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    println!("\ncontention matrix ok; wrote {out_path}");
+}

@@ -39,6 +39,12 @@
 //! `mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N]
 //! [--seed N]` — same output bytes at any `--jobs` value.
 //!
+//! The `multitenant` subcommand runs N jobs from a spec file (see
+//! `docs/multitenancy.md`) concurrently on one shared machine and
+//! emits the byte-stable `mcio.multitenant.v1` document with per-job
+//! slowdown and OST-overlap interference metrics:
+//! `mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]`.
+//!
 //! Unknown flags or subcommands exit 2; unreadable/unwritable files
 //! and `--jobs 0` exit 1. Nothing panics on bad input.
 
@@ -91,6 +97,10 @@ const ANALYZE_FLAGS: &[&str] = &["help"];
 const SWEEP_OPTS: &[&str] = &["jobs", "out", "ranks", "ppn", "seed"];
 /// Boolean flags in sweep mode.
 const SWEEP_FLAGS: &[&str] = &["help"];
+/// Flags that take a value in multitenant mode.
+const MT_OPTS: &[&str] = &["spec", "out", "trace"];
+/// Boolean flags in multitenant mode.
+const MT_FLAGS: &[&str] = &["help"];
 
 /// Parse `--key value` / `--flag` argument lists against an explicit
 /// whitelist. Anything else is a usage error: exit 2.
@@ -139,9 +149,14 @@ fn main() {
             args.remove(0);
             run_sweep(&args);
         }
+        Some("multitenant") => {
+            args.remove(0);
+            run_multitenant_cmd(&args);
+        }
         Some(first) if !first.starts_with("--") => {
             eprintln!(
-                "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, or run flags)"
+                "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, \
+                 `multitenant`, or run flags)"
             );
             exit(2);
         }
@@ -315,6 +330,79 @@ fn run_sweep(args: &[String]) {
         cache.len(),
     );
     println!("wrote {out_path}");
+}
+
+/// `mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]`
+///
+/// Runs every job of a multi-tenant spec (see `docs/multitenancy.md`
+/// for the DSL) concurrently on the shared machine and emits the
+/// byte-stable `mcio.multitenant.v1` document — to `--out` when given,
+/// to stdout otherwise. `--trace FILE` additionally writes the unified
+/// Chrome trace (per-job round lanes plus the pid-4 tenant windows
+/// `mcio_cli analyze` attributes into self vs. cross-job contention).
+fn run_multitenant_cmd(args: &[String]) {
+    let (opts, flags) = parse_args(args, MT_OPTS, MT_FLAGS, "multitenant");
+    if flags.iter().any(|f| f == "help") {
+        println!("usage: mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]");
+        exit(0);
+    }
+    let Some(spec_path) = opts.get("spec") else {
+        eprintln!("mcio_cli multitenant: --spec FILE is required");
+        exit(2);
+    };
+    let text = match std::fs::read_to_string(spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli multitenant: cannot read {spec_path}: {e}");
+            exit(1);
+        }
+    };
+    let spec = match mcio_bench::mtspec::MtSpec::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mcio_cli multitenant: {spec_path}: {e}");
+            exit(1);
+        }
+    };
+    let jobs = spec.build_jobs();
+    let want_trace = opts.get("trace");
+    let mt = mcio_core::run_multitenant(
+        &jobs,
+        &spec.machine,
+        spec.faults.as_ref(),
+        Observe {
+            registry: None,
+            trace: want_trace.is_some(),
+        },
+    );
+    if let Some(path) = want_trace {
+        let json = mt.trace.as_deref().expect("trace was requested");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("mcio_cli multitenant: cannot write trace to {path}: {e}");
+            exit(1);
+        }
+    }
+    let doc = mcio_bench::mtspec::render_run(&spec.machine.name, &mt);
+    match opts.get("out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &doc) {
+                eprintln!("mcio_cli multitenant: cannot write {path}: {e}");
+                exit(1);
+            }
+            for j in &mt.jobs {
+                println!(
+                    "{:<12} {:<17} window {:>10.3} ms  slowdown {:>6.3}x  ost-overlap {:>5.3}",
+                    j.label,
+                    j.strategy.label(),
+                    (j.end_ns - j.start_ns) as f64 / 1e6,
+                    j.slowdown,
+                    j.ost_overlap,
+                );
+            }
+            println!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
 }
 
 fn run_sim(args: &[String]) {

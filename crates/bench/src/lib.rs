@@ -17,6 +17,7 @@
 //! the *shape* — who wins, by what factor, where the gap widens — is the
 //! reproduction target).
 
+pub mod mtspec;
 pub mod perf;
 
 use mcio_cluster::spec::ClusterSpec;

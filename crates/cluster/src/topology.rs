@@ -80,6 +80,27 @@ impl ProcessMap {
         Self::new(nranks, nnodes, Placement::Block)
     }
 
+    /// The same placement shifted onto nodes `offset..offset + nnodes`:
+    /// rank `r` moves from node `n` to node `offset + n`, and nodes
+    /// `0..offset` are part of the map but host no ranks. This is how a
+    /// multi-tenant run carves a machine into per-job partitions —
+    /// each job plans against its local `0..nnodes` map and is shifted
+    /// onto its slice of the shared fabric at lowering time. An offset
+    /// of `0` returns an identical map.
+    pub fn with_node_offset(&self, offset: usize) -> Self {
+        if offset == 0 {
+            return self.clone();
+        }
+        let node_of = self.node_of.iter().map(|n| NodeId(n.0 + offset)).collect();
+        let mut ranks_on = vec![Vec::new(); offset];
+        ranks_on.extend(self.ranks_on.iter().cloned());
+        Self {
+            node_of,
+            ranks_on,
+            placement: self.placement,
+        }
+    }
+
     /// Number of ranks in the job.
     pub fn nranks(&self) -> usize {
         self.node_of.len()

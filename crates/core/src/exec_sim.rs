@@ -298,47 +298,6 @@ pub(crate) fn simulate_inner(
         "process map uses more nodes than the cluster has"
     );
 
-    // Chains of round-slots: Global sync zips all groups into one chain;
-    // PerGroup gives each group its own. `chain_groups[ci]` remembers
-    // which plan group chain `ci` serves (`None` = all groups, under
-    // global sync) so the trace can expose per-group span metadata.
-    let mut chains: Vec<Vec<Vec<&Round>>> = Vec::new();
-    let mut chain_groups: Vec<Option<usize>> = Vec::new();
-    match plan.sync {
-        SyncMode::Global => {
-            let mut chain = Vec::new();
-            for r in 0..plan.max_rounds() {
-                chain.push(
-                    plan.groups
-                        .iter()
-                        .filter_map(|g| g.rounds.get(r))
-                        .collect::<Vec<_>>(),
-                );
-            }
-            chains.push(chain);
-            chain_groups.push(None);
-        }
-        SyncMode::PerGroup => {
-            for (gi, g) in plan.groups.iter().enumerate() {
-                if !g.rounds.is_empty() {
-                    chains.push(g.rounds.iter().map(|r| vec![r]).collect());
-                    chain_groups.push(Some(gi));
-                }
-            }
-        }
-    }
-
-    // Per-slot metadata for phase attribution: the activities the slot's
-    // first phase waited on, its messages and its I/O completions (also
-    // grouped per aggregator).
-    struct SlotMeta {
-        chain: usize,
-        round: usize,
-        first_deps: Vec<ActivityId>,
-        msgs: Vec<ActivityId>,
-        ios: Vec<ActivityId>,
-        agg_ios: Vec<(Rank, Vec<ActivityId>)>,
-    }
     // Failover gates: a round slot hit by a crash may not start before
     // the re-coordination window closes. One release-gated activity per
     // (group, round) the fault transform flagged.
@@ -351,175 +310,24 @@ pub(crate) fn simulate_inner(
         }
     }
 
-    let mut round_meta: Vec<SlotMeta> = Vec::new();
-    for (ci, chain) in chains.iter().enumerate() {
-        let mut ex_joins: Vec<ActivityId> = Vec::new();
-        let mut io_joins: Vec<ActivityId> = Vec::new();
-        for (r, slot) in chain.iter().enumerate() {
-            // Dependencies per pipelining mode. The "first" phase is the
-            // exchange for writes and the I/O for reads.
-            let (mut first_deps, second_extra): (Vec<ActivityId>, Vec<ActivityId>) = if r == 0 {
-                (Vec::new(), Vec::new())
-            } else {
-                match pipeline {
-                    Pipeline::Serial => (vec![ex_joins[r - 1], io_joins[r - 1]], Vec::new()),
-                    Pipeline::DoubleBuffered => {
-                        // The first phase of round r reuses the buffer the
-                        // second phase of round r-2 released; the second
-                        // phase serializes per buffer stream.
-                        let (prev_first, prev_second) = match plan.rw {
-                            Rw::Write => (&ex_joins, &io_joins),
-                            Rw::Read => (&io_joins, &ex_joins),
-                        };
-                        let mut first = vec![prev_first[r - 1]];
-                        if r >= 2 {
-                            first.push(prev_second[r - 2]);
-                        }
-                        (first, vec![prev_second[r - 1]])
-                    }
-                }
-            };
-            if let Some(&gate) = gate_acts.get(&(chain_groups[ci], r)) {
-                first_deps.push(gate);
-            }
-            let mut msgs_all = Vec::new();
-            let mut ios_all = Vec::new();
-            let mut agg_ios_all: Vec<(Rank, Vec<ActivityId>)> = Vec::new();
-            for round in slot {
-                let h = lower_round(
-                    &mut sim,
-                    &fabric,
-                    &pfs,
-                    map,
-                    plan.rw,
-                    round,
-                    &first_deps,
-                    &second_extra,
-                    exchange,
-                );
-                msgs_all.extend(h.msgs);
-                ios_all.extend(h.ios);
-                agg_ios_all.extend(h.agg_ios);
-            }
-            let ex_join = sim.add_activity(Activity::new(format!("c{ci}.r{r}.ex")));
-            for &m in &msgs_all {
-                sim.add_dep(m, ex_join);
-            }
-            let io_join = sim.add_activity(Activity::new(format!("c{ci}.r{r}.io")));
-            for &io in &ios_all {
-                sim.add_dep(io, io_join);
-            }
-            // Empty phases still chain (join on the other phase so the
-            // slot completes in order).
-            if msgs_all.is_empty() {
-                for &d in &first_deps {
-                    sim.add_dep(d, ex_join);
-                }
-            }
-            if ios_all.is_empty() {
-                sim.add_dep(ex_join, io_join);
-            }
-            round_meta.push(SlotMeta {
-                chain: ci,
-                round: r,
-                first_deps,
-                msgs: msgs_all,
-                ios: ios_all,
-                agg_ios: agg_ios_all,
-            });
-            ex_joins.push(ex_join);
-            io_joins.push(io_join);
-        }
-    }
+    let (round_meta, chain_groups) = lower_plan(
+        &mut sim, &fabric, &pfs, plan, map, pipeline, exchange, &gate_acts, None, "",
+    );
 
     let activities = sim.activity_count();
     let report = sim.run().expect("collective plan DAG is acyclic");
     let retry_marks = pfs.take_retry_marks();
 
-    let nnodes = fabric.nnodes();
-    let mut membus_busy_max = SimDuration::ZERO;
-    let mut nic_busy_max = SimDuration::ZERO;
-    for n in 0..nnodes {
-        let node = mcio_cluster::NodeId(n);
-        membus_busy_max = membus_busy_max.max(report.resource_usage(fabric.membus(node)).busy_time);
-        nic_busy_max = nic_busy_max
-            .max(report.resource_usage(fabric.nic_tx(node)).busy_time)
-            .max(report.resource_usage(fabric.nic_rx(node)).busy_time);
-    }
-    let mut ost_busy_max = SimDuration::ZERO;
-    let mut ost_busy_total = SimDuration::ZERO;
-    for o in 0..pfs.ost_count() {
-        let busy = report
-            .resource_usage(pfs.ost_resource(mcio_pfs::OstId(o)))
-            .busy_time;
-        ost_busy_max = ost_busy_max.max(busy);
-        ost_busy_total += busy;
-    }
+    let (membus_busy_max, nic_busy_max, ost_busy_max, ost_busy_total) =
+        busy_maxima(&report, &fabric, &pfs);
 
-    // Phase attribution per round: messages span [start, last message
-    // done]; I/O spans the rest of the round. Reads do I/O first, so the
-    // roles of the two interval ends swap.
-    let mut exchange_time = SimDuration::ZERO;
-    let mut io_time = SimDuration::ZERO;
-    let mut round_phases: Vec<RoundPhase> = Vec::with_capacity(round_meta.len());
-    let mut windows: Vec<RoundWindow> = Vec::with_capacity(round_meta.len());
-    let mut agg_io_acc: std::collections::BTreeMap<usize, SimDuration> =
-        std::collections::BTreeMap::new();
-    for meta in &round_meta {
-        let t0 = meta
-            .first_deps
-            .iter()
-            .map(|&d| report.finish_time(d))
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let msgs_end = meta
-            .msgs
-            .iter()
-            .map(|&a| report.finish_time(a))
-            .max()
-            .unwrap_or(t0);
-        let ios_end = meta
-            .ios
-            .iter()
-            .map(|&a| report.finish_time(a))
-            .max()
-            .unwrap_or(t0);
-        windows.push(RoundWindow {
-            group: chain_groups.get(meta.chain).copied().flatten(),
-            round: meta.round,
-            start_ns: t0.saturating_since(SimTime::ZERO).as_nanos(),
-            end_ns: msgs_end
-                .max(ios_end)
-                .saturating_since(SimTime::ZERO)
-                .as_nanos(),
-        });
-        let (exchange, io) = match plan.rw {
-            Rw::Write => (
-                msgs_end.saturating_since(t0),
-                ios_end.saturating_since(msgs_end),
-            ),
-            Rw::Read => (
-                msgs_end.saturating_since(ios_end),
-                ios_end.saturating_since(t0),
-            ),
-        };
-        exchange_time += exchange;
-        io_time += io;
-        round_phases.push(RoundPhase {
-            chain: meta.chain,
-            round: meta.round,
-            exchange,
-            io,
-        });
-        // Per-aggregator file access: first request start → last done.
-        for (agg, ios) in &meta.agg_ios {
-            let start = ios.iter().map(|&a| report.start_time(a)).min();
-            let end = ios.iter().map(|&a| report.finish_time(a)).max();
-            if let (Some(s), Some(e)) = (start, end) {
-                *agg_io_acc.entry(agg.0).or_insert(SimDuration::ZERO) += e.saturating_since(s);
-            }
-        }
-    }
+    let Attribution {
+        exchange_time,
+        io_time,
+        rounds: round_phases,
+        windows,
+        agg_io,
+    } = attribute_phases(plan.rw, &report, &round_meta, &chain_groups);
 
     let bytes: u64 = plan.groups.iter().map(|g| g.io_bytes()).sum();
     let elapsed = report.makespan().saturating_since(SimTime::ZERO);
@@ -528,77 +336,27 @@ pub(crate) fn simulate_inner(
     } else {
         bytes as f64 / (1024.0 * 1024.0) / elapsed.as_secs_f64()
     };
-    let attributed = exchange_time + io_time;
-    let (exchange_fraction, io_fraction) = if attributed.is_zero() {
-        (0.0, 0.0)
-    } else {
-        let total = attributed.as_secs_f64();
-        (
-            exchange_time.as_secs_f64() / total,
-            io_time.as_secs_f64() / total,
-        )
-    };
+    let (exchange_fraction, io_fraction) = phase_fractions(exchange_time, io_time);
     let metrics = RunMetrics {
         exchange_fraction,
         io_fraction,
         rounds: round_phases,
-        agg_io: agg_io_acc.into_iter().collect(),
+        agg_io,
     };
 
     if let Some(reg) = obs.registry {
         plan.record_into(reg);
         report.record_into(reg);
         pfs.record_imbalance();
-        reg.describe(
-            "run.elapsed_ns",
-            "ns",
-            "Simulated wall-clock of the collective",
+        record_run(
+            reg,
+            plan.strategy.label(),
+            None,
+            elapsed,
+            bytes,
+            bandwidth_mibs,
+            &metrics,
         );
-        reg.describe("run.bytes", "bytes", "Requested bytes moved");
-        reg.describe("run.bandwidth_mibs", "MiB/s", "Aggregate bandwidth");
-        reg.describe(
-            "run.exchange_frac",
-            "ratio",
-            "Normalized share of attributed time spent shuffling",
-        );
-        reg.describe(
-            "run.io_frac",
-            "ratio",
-            "Normalized share of attributed time spent in file access",
-        );
-        reg.describe(
-            "run.round.exchange_ns",
-            "ns",
-            "Per-round exchange phase duration",
-        );
-        reg.describe(
-            "run.round.io_ns",
-            "ns",
-            "Per-round file-access phase duration",
-        );
-        reg.describe(
-            "run.agg.io_ns",
-            "ns",
-            "Per-aggregator file-access time summed over rounds",
-        );
-        let strat = [("strategy", plan.strategy.label())];
-        reg.set_gauge("run.elapsed_ns", &strat, elapsed.as_nanos() as f64);
-        reg.inc("run.bytes", &strat, bytes);
-        reg.set_gauge("run.bandwidth_mibs", &strat, bandwidth_mibs);
-        reg.set_gauge("run.exchange_frac", &strat, exchange_fraction);
-        reg.set_gauge("run.io_frac", &strat, io_fraction);
-        for p in &metrics.rounds {
-            reg.observe("run.round.exchange_ns", &strat, p.exchange.as_nanos());
-            reg.observe("run.round.io_ns", &strat, p.io.as_nanos());
-        }
-        for (agg, dur) in &metrics.agg_io {
-            let agg = agg.to_string();
-            reg.set_gauge(
-                "run.agg.io_ns",
-                &[("agg", agg.as_str())],
-                dur.as_nanos() as f64,
-            );
-        }
     }
 
     // Unified trace: resource service lanes (pid 1) plus the logical
@@ -607,65 +365,16 @@ pub(crate) fn simulate_inner(
         let tc = TraceCollector::new();
         report.trace_into(&tc, 1);
         tc.name_process(2, "plan.rounds");
-        let mut named_chains = std::collections::BTreeSet::new();
-        for (meta, phase) in round_meta.iter().zip(&metrics.rounds) {
-            // Per-group span metadata: which plan group this chain
-            // serves ("all" when global sync zips every group into one
-            // chain) and how many aggregators work the slot. Critical-
-            // path reconstruction in `mcio-analyze` keys on these args.
-            let group = match chain_groups.get(meta.chain).copied().flatten() {
-                Some(gi) => gi.to_string(),
-                None => "all".to_string(),
-            };
-            let naggs = meta.agg_ios.len().to_string();
-            let round_s = meta.round.to_string();
-            let args: &[(&str, &str)] = &[
-                ("group", group.as_str()),
-                ("round", round_s.as_str()),
-                ("aggs", naggs.as_str()),
-            ];
-            if named_chains.insert(meta.chain) {
-                tc.name_thread(
-                    2,
-                    meta.chain as u64,
-                    &format!("chain{} (group {group})", meta.chain),
-                );
-            }
-            let t0 = meta
-                .first_deps
-                .iter()
-                .map(|&d| report.finish_time(d))
-                .max()
-                .unwrap_or(SimTime::ZERO)
-                .saturating_since(SimTime::ZERO)
-                .as_nanos();
-            let (ex_start, io_start) = match plan.rw {
-                Rw::Write => (t0, t0 + phase.exchange.as_nanos()),
-                Rw::Read => (t0 + phase.io.as_nanos(), t0),
-            };
-            if !phase.exchange.is_zero() {
-                tc.span_with_args(
-                    &format!("r{}.exchange", meta.round),
-                    "exchange",
-                    2,
-                    meta.chain as u64,
-                    ex_start,
-                    phase.exchange.as_nanos(),
-                    args,
-                );
-            }
-            if !phase.io.is_zero() {
-                tc.span_with_args(
-                    &format!("r{}.io", meta.round),
-                    "io",
-                    2,
-                    meta.chain as u64,
-                    io_start,
-                    phase.io.as_nanos(),
-                    args,
-                );
-            }
-        }
+        emit_round_spans(
+            &tc,
+            &report,
+            plan.rw,
+            &round_meta,
+            &chain_groups,
+            &metrics.rounds,
+            0,
+            "",
+        );
         // Fault lanes (pid 3): injected events, failover gates,
         // degradation re-rounds, and per-OST retry/backoff chains. The
         // "inject" category is descriptive only; the resilience
@@ -707,6 +416,443 @@ pub(crate) fn simulate_inner(
     }
 }
 
+/// Per-slot metadata for phase attribution: the activities the slot's
+/// first phase waited on, its messages and its I/O completions (also
+/// grouped per aggregator).
+pub(crate) struct SlotMeta {
+    pub(crate) chain: usize,
+    pub(crate) round: usize,
+    pub(crate) first_deps: Vec<ActivityId>,
+    pub(crate) msgs: Vec<ActivityId>,
+    pub(crate) ios: Vec<ActivityId>,
+    pub(crate) agg_ios: Vec<(Rank, Vec<ActivityId>)>,
+}
+
+/// Lower a whole plan into `sim`: build the round chains (global sync
+/// zips every group into one chain; per-group sync gives each group its
+/// own), wire the pipelining dependencies, and add the per-slot joins.
+///
+/// `prefix` namespaces every activity label this plan creates (the
+/// multi-tenant runner passes `j{n}.` so traces and analysis can
+/// attribute work to its job; the solo executors pass `""`, which keeps
+/// their labels byte-identical to the historical ones). `start_gate`
+/// delays every chain's first round — the job's arrival time. Returns
+/// the slot metadata plus `chain_groups` (`chain_groups[ci]` is the
+/// plan group chain `ci` serves; `None` = all groups, global sync).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lower_plan(
+    sim: &mut Simulation,
+    fabric: &Fabric,
+    pfs: &Pfs,
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    pipeline: Pipeline,
+    exchange: Exchange,
+    gate_acts: &std::collections::HashMap<(Option<usize>, usize), ActivityId>,
+    start_gate: Option<ActivityId>,
+    prefix: &str,
+) -> (Vec<SlotMeta>, Vec<Option<usize>>) {
+    // Chains of round-slots: Global sync zips all groups into one chain;
+    // PerGroup gives each group its own. `chain_groups[ci]` remembers
+    // which plan group chain `ci` serves (`None` = all groups, under
+    // global sync) so the trace can expose per-group span metadata.
+    let mut chains: Vec<Vec<Vec<&Round>>> = Vec::new();
+    let mut chain_groups: Vec<Option<usize>> = Vec::new();
+    match plan.sync {
+        SyncMode::Global => {
+            let mut chain = Vec::new();
+            for r in 0..plan.max_rounds() {
+                chain.push(
+                    plan.groups
+                        .iter()
+                        .filter_map(|g| g.rounds.get(r))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            chains.push(chain);
+            chain_groups.push(None);
+        }
+        SyncMode::PerGroup => {
+            for (gi, g) in plan.groups.iter().enumerate() {
+                if !g.rounds.is_empty() {
+                    chains.push(g.rounds.iter().map(|r| vec![r]).collect());
+                    chain_groups.push(Some(gi));
+                }
+            }
+        }
+    }
+
+    let mut round_meta: Vec<SlotMeta> = Vec::new();
+    for (ci, chain) in chains.iter().enumerate() {
+        let mut ex_joins: Vec<ActivityId> = Vec::new();
+        let mut io_joins: Vec<ActivityId> = Vec::new();
+        for (r, slot) in chain.iter().enumerate() {
+            // Dependencies per pipelining mode. The "first" phase is the
+            // exchange for writes and the I/O for reads.
+            let (mut first_deps, second_extra): (Vec<ActivityId>, Vec<ActivityId>) = if r == 0 {
+                (start_gate.into_iter().collect(), Vec::new())
+            } else {
+                match pipeline {
+                    Pipeline::Serial => (vec![ex_joins[r - 1], io_joins[r - 1]], Vec::new()),
+                    Pipeline::DoubleBuffered => {
+                        // The first phase of round r reuses the buffer the
+                        // second phase of round r-2 released; the second
+                        // phase serializes per buffer stream.
+                        let (prev_first, prev_second) = match plan.rw {
+                            Rw::Write => (&ex_joins, &io_joins),
+                            Rw::Read => (&io_joins, &ex_joins),
+                        };
+                        let mut first = vec![prev_first[r - 1]];
+                        if r >= 2 {
+                            first.push(prev_second[r - 2]);
+                        }
+                        (first, vec![prev_second[r - 1]])
+                    }
+                }
+            };
+            if let Some(&gate) = gate_acts.get(&(chain_groups[ci], r)) {
+                first_deps.push(gate);
+            }
+            let mut msgs_all = Vec::new();
+            let mut ios_all = Vec::new();
+            let mut agg_ios_all: Vec<(Rank, Vec<ActivityId>)> = Vec::new();
+            for round in slot {
+                let h = lower_round(
+                    sim,
+                    fabric,
+                    pfs,
+                    map,
+                    plan.rw,
+                    round,
+                    &first_deps,
+                    &second_extra,
+                    exchange,
+                    prefix,
+                );
+                msgs_all.extend(h.msgs);
+                ios_all.extend(h.ios);
+                agg_ios_all.extend(h.agg_ios);
+            }
+            let ex_join = sim.add_activity(Activity::new(format!("{prefix}c{ci}.r{r}.ex")));
+            for &m in &msgs_all {
+                sim.add_dep(m, ex_join);
+            }
+            let io_join = sim.add_activity(Activity::new(format!("{prefix}c{ci}.r{r}.io")));
+            for &io in &ios_all {
+                sim.add_dep(io, io_join);
+            }
+            // Empty phases still chain (join on the other phase so the
+            // slot completes in order).
+            if msgs_all.is_empty() {
+                for &d in &first_deps {
+                    sim.add_dep(d, ex_join);
+                }
+            }
+            if ios_all.is_empty() {
+                sim.add_dep(ex_join, io_join);
+            }
+            round_meta.push(SlotMeta {
+                chain: ci,
+                round: r,
+                first_deps,
+                msgs: msgs_all,
+                ios: ios_all,
+                agg_ios: agg_ios_all,
+            });
+            ex_joins.push(ex_join);
+            io_joins.push(io_join);
+        }
+    }
+    (round_meta, chain_groups)
+}
+
+/// Busy-time maxima over the machine's resources: the busiest memory
+/// bus, the busiest NIC direction, the busiest OST, and the summed OST
+/// busy time.
+pub(crate) fn busy_maxima(
+    report: &mcio_des::RunReport,
+    fabric: &Fabric,
+    pfs: &Pfs,
+) -> (SimDuration, SimDuration, SimDuration, SimDuration) {
+    let nnodes = fabric.nnodes();
+    let mut membus_busy_max = SimDuration::ZERO;
+    let mut nic_busy_max = SimDuration::ZERO;
+    for n in 0..nnodes {
+        let node = mcio_cluster::NodeId(n);
+        membus_busy_max = membus_busy_max.max(report.resource_usage(fabric.membus(node)).busy_time);
+        nic_busy_max = nic_busy_max
+            .max(report.resource_usage(fabric.nic_tx(node)).busy_time)
+            .max(report.resource_usage(fabric.nic_rx(node)).busy_time);
+    }
+    let mut ost_busy_max = SimDuration::ZERO;
+    let mut ost_busy_total = SimDuration::ZERO;
+    for o in 0..pfs.ost_count() {
+        let busy = report
+            .resource_usage(pfs.ost_resource(mcio_pfs::OstId(o)))
+            .busy_time;
+        ost_busy_max = ost_busy_max.max(busy);
+        ost_busy_total += busy;
+    }
+    (membus_busy_max, nic_busy_max, ost_busy_max, ost_busy_total)
+}
+
+/// Phase attribution of one lowered plan after the simulation ran.
+pub(crate) struct Attribution {
+    /// Attribution-sum exchange time over the plan's chains.
+    pub(crate) exchange_time: SimDuration,
+    /// Attribution-sum file-access time over the plan's chains.
+    pub(crate) io_time: SimDuration,
+    /// Per round-slot phase durations, chain-major.
+    pub(crate) rounds: Vec<RoundPhase>,
+    /// Absolute executed window of every slot.
+    pub(crate) windows: Vec<RoundWindow>,
+    /// Per-aggregator file-access time (first request start → last
+    /// done, summed over rounds), keyed by rank index.
+    pub(crate) agg_io: Vec<(usize, SimDuration)>,
+}
+
+/// Attribute each round slot's executed window to its exchange and I/O
+/// phases: messages span [start, last message done]; I/O spans the rest
+/// of the round. Reads do I/O first, so the roles of the two interval
+/// ends swap.
+pub(crate) fn attribute_phases(
+    rw: Rw,
+    report: &mcio_des::RunReport,
+    round_meta: &[SlotMeta],
+    chain_groups: &[Option<usize>],
+) -> Attribution {
+    let mut exchange_time = SimDuration::ZERO;
+    let mut io_time = SimDuration::ZERO;
+    let mut round_phases: Vec<RoundPhase> = Vec::with_capacity(round_meta.len());
+    let mut windows: Vec<RoundWindow> = Vec::with_capacity(round_meta.len());
+    let mut agg_io_acc: std::collections::BTreeMap<usize, SimDuration> =
+        std::collections::BTreeMap::new();
+    for meta in round_meta {
+        let t0 = meta
+            .first_deps
+            .iter()
+            .map(|&d| report.finish_time(d))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let msgs_end = meta
+            .msgs
+            .iter()
+            .map(|&a| report.finish_time(a))
+            .max()
+            .unwrap_or(t0);
+        let ios_end = meta
+            .ios
+            .iter()
+            .map(|&a| report.finish_time(a))
+            .max()
+            .unwrap_or(t0);
+        windows.push(RoundWindow {
+            group: chain_groups.get(meta.chain).copied().flatten(),
+            round: meta.round,
+            start_ns: t0.saturating_since(SimTime::ZERO).as_nanos(),
+            end_ns: msgs_end
+                .max(ios_end)
+                .saturating_since(SimTime::ZERO)
+                .as_nanos(),
+        });
+        let (exchange, io) = match rw {
+            Rw::Write => (
+                msgs_end.saturating_since(t0),
+                ios_end.saturating_since(msgs_end),
+            ),
+            Rw::Read => (
+                msgs_end.saturating_since(ios_end),
+                ios_end.saturating_since(t0),
+            ),
+        };
+        exchange_time += exchange;
+        io_time += io;
+        round_phases.push(RoundPhase {
+            chain: meta.chain,
+            round: meta.round,
+            exchange,
+            io,
+        });
+        // Per-aggregator file access: first request start → last done.
+        for (agg, ios) in &meta.agg_ios {
+            let start = ios.iter().map(|&a| report.start_time(a)).min();
+            let end = ios.iter().map(|&a| report.finish_time(a)).max();
+            if let (Some(s), Some(e)) = (start, end) {
+                *agg_io_acc.entry(agg.0).or_insert(SimDuration::ZERO) += e.saturating_since(s);
+            }
+        }
+    }
+    Attribution {
+        exchange_time,
+        io_time,
+        rounds: round_phases,
+        windows,
+        agg_io: agg_io_acc.into_iter().collect(),
+    }
+}
+
+/// Normalize an attribution sum into `(exchange_fraction, io_fraction)`
+/// (both zero when nothing was attributed).
+pub(crate) fn phase_fractions(exchange_time: SimDuration, io_time: SimDuration) -> (f64, f64) {
+    let attributed = exchange_time + io_time;
+    if attributed.is_zero() {
+        (0.0, 0.0)
+    } else {
+        let total = attributed.as_secs_f64();
+        (
+            exchange_time.as_secs_f64() / total,
+            io_time.as_secs_f64() / total,
+        )
+    }
+}
+
+/// Record one run's scalar gauges and per-round observations into the
+/// registry. `job` appends a `job` label to every sample so concurrent
+/// tenants stay distinguishable; solo runs pass `None` and keep the
+/// historical label set.
+pub(crate) fn record_run(
+    reg: &Registry,
+    strategy: &str,
+    job: Option<&str>,
+    elapsed: SimDuration,
+    bytes: u64,
+    bandwidth_mibs: f64,
+    metrics: &RunMetrics,
+) {
+    reg.describe(
+        "run.elapsed_ns",
+        "ns",
+        "Simulated wall-clock of the collective",
+    );
+    reg.describe("run.bytes", "bytes", "Requested bytes moved");
+    reg.describe("run.bandwidth_mibs", "MiB/s", "Aggregate bandwidth");
+    reg.describe(
+        "run.exchange_frac",
+        "ratio",
+        "Normalized share of attributed time spent shuffling",
+    );
+    reg.describe(
+        "run.io_frac",
+        "ratio",
+        "Normalized share of attributed time spent in file access",
+    );
+    reg.describe(
+        "run.round.exchange_ns",
+        "ns",
+        "Per-round exchange phase duration",
+    );
+    reg.describe(
+        "run.round.io_ns",
+        "ns",
+        "Per-round file-access phase duration",
+    );
+    reg.describe(
+        "run.agg.io_ns",
+        "ns",
+        "Per-aggregator file-access time summed over rounds",
+    );
+    let mut labels: Vec<(&str, &str)> = vec![("strategy", strategy)];
+    if let Some(j) = job {
+        labels.push(("job", j));
+    }
+    reg.set_gauge("run.elapsed_ns", &labels, elapsed.as_nanos() as f64);
+    reg.inc("run.bytes", &labels, bytes);
+    reg.set_gauge("run.bandwidth_mibs", &labels, bandwidth_mibs);
+    reg.set_gauge("run.exchange_frac", &labels, metrics.exchange_fraction);
+    reg.set_gauge("run.io_frac", &labels, metrics.io_fraction);
+    for p in &metrics.rounds {
+        reg.observe("run.round.exchange_ns", &labels, p.exchange.as_nanos());
+        reg.observe("run.round.io_ns", &labels, p.io.as_nanos());
+    }
+    for (agg, dur) in &metrics.agg_io {
+        let agg = agg.to_string();
+        let mut alabels: Vec<(&str, &str)> = vec![("agg", agg.as_str())];
+        if let Some(j) = job {
+            alabels.push(("job", j));
+        }
+        reg.set_gauge("run.agg.io_ns", &alabels, dur.as_nanos() as f64);
+    }
+}
+
+/// Emit the pid-2 `plan.rounds` spans of one lowered plan: one lane per
+/// chain at `tid_base + chain`, named
+/// `{lane_prefix}chain{c} (group g)`. The solo executors pass
+/// `tid_base = 0, lane_prefix = ""`; the multi-tenant runner stacks the
+/// jobs' chains into disjoint tid ranges and prefixes the lanes with
+/// the job label so `mcio-analyze` can attribute them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_round_spans(
+    tc: &TraceCollector,
+    report: &mcio_des::RunReport,
+    rw: Rw,
+    round_meta: &[SlotMeta],
+    chain_groups: &[Option<usize>],
+    rounds: &[RoundPhase],
+    tid_base: u64,
+    lane_prefix: &str,
+) {
+    let mut named_chains = std::collections::BTreeSet::new();
+    for (meta, phase) in round_meta.iter().zip(rounds) {
+        // Per-group span metadata: which plan group this chain
+        // serves ("all" when global sync zips every group into one
+        // chain) and how many aggregators work the slot. Critical-
+        // path reconstruction in `mcio-analyze` keys on these args.
+        let group = match chain_groups.get(meta.chain).copied().flatten() {
+            Some(gi) => gi.to_string(),
+            None => "all".to_string(),
+        };
+        let naggs = meta.agg_ios.len().to_string();
+        let round_s = meta.round.to_string();
+        let args: &[(&str, &str)] = &[
+            ("group", group.as_str()),
+            ("round", round_s.as_str()),
+            ("aggs", naggs.as_str()),
+        ];
+        let tid = tid_base + meta.chain as u64;
+        if named_chains.insert(meta.chain) {
+            tc.name_thread(
+                2,
+                tid,
+                &format!("{lane_prefix}chain{} (group {group})", meta.chain),
+            );
+        }
+        let t0 = meta
+            .first_deps
+            .iter()
+            .map(|&d| report.finish_time(d))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO)
+            .as_nanos();
+        let (ex_start, io_start) = match rw {
+            Rw::Write => (t0, t0 + phase.exchange.as_nanos()),
+            Rw::Read => (t0 + phase.io.as_nanos(), t0),
+        };
+        if !phase.exchange.is_zero() {
+            tc.span_with_args(
+                &format!("r{}.exchange", meta.round),
+                "exchange",
+                2,
+                tid,
+                ex_start,
+                phase.exchange.as_nanos(),
+                args,
+            );
+        }
+        if !phase.io.is_zero() {
+            tc.span_with_args(
+                &format!("r{}.io", meta.round),
+                "io",
+                2,
+                tid,
+                io_start,
+                phase.io.as_nanos(),
+                args,
+            );
+        }
+    }
+}
+
 /// Emit the pid-3 "faults" trace process: what was injected and how the
 /// execution absorbed it.
 ///
@@ -719,7 +865,7 @@ pub(crate) fn simulate_inner(
 ///   `degraded`.
 /// * tid `3 + ost` — retry/backoff chains per OST: the failed service
 ///   attempts (`retry`) and the waits between them (`backoff`).
-fn trace_faults(
+pub(crate) fn trace_faults(
     tc: &TraceCollector,
     f: &FaultInjection<'_>,
     report: &mcio_des::RunReport,
@@ -960,7 +1106,8 @@ struct RoundHandles {
 
 /// Lower one round. `first_deps` gate the round's first phase (exchange
 /// for writes, I/O for reads); `second_extra` are additional gates on
-/// the second phase (used by pipelined scheduling).
+/// the second phase (used by pipelined scheduling); `prefix` namespaces
+/// every label (job attribution under multi-tenancy, `""` solo).
 #[allow(clippy::too_many_arguments)]
 fn lower_round(
     sim: &mut Simulation,
@@ -972,6 +1119,7 @@ fn lower_round(
     first_deps: &[ActivityId],
     second_extra: &[ActivityId],
     exchange: Exchange,
+    prefix: &str,
 ) -> RoundHandles {
     let mut msg_acts: Vec<ActivityId> = Vec::new();
     let mut io_acts: Vec<ActivityId> = Vec::new();
@@ -991,14 +1139,14 @@ fn lower_round(
                                 // On-node combine at the leader: one extra
                                 // memory-bus copy of the combined payload.
                                 sim.add_activity(fabric.message(
-                                    format!("combine.{node}->{dst}"),
+                                    format!("{prefix}combine.{node}->{dst}"),
                                     node,
                                     node,
                                     bytes,
                                 ))
                             }
                             Leg::Wire { src, bytes } => sim.add_activity(fabric.message(
-                                format!("msg.{src}->{dst}"),
+                                format!("{prefix}msg.{src}->{dst}"),
                                 src,
                                 map.node_of(dst),
                                 bytes,
@@ -1029,7 +1177,7 @@ fn lower_round(
                     let done = pfs.submit(
                         sim,
                         fabric,
-                        &format!("io.{}", io.agg),
+                        &format!("{prefix}io.{}", io.agg),
                         node,
                         Rw::Write,
                         *e,
@@ -1051,7 +1199,7 @@ fn lower_round(
                     let done = pfs.submit(
                         sim,
                         fabric,
-                        &format!("io.{}", io.agg),
+                        &format!("{prefix}io.{}", io.agg),
                         node,
                         Rw::Read,
                         *e,
@@ -1070,7 +1218,7 @@ fn lower_round(
                             Leg::Combine { node, bytes } => {
                                 // On-node scatter from the leader's buffer.
                                 sim.add_activity(fabric.message(
-                                    format!("scatter.{agg}->{node}"),
+                                    format!("{prefix}scatter.{agg}->{node}"),
                                     node,
                                     node,
                                     bytes,
@@ -1080,7 +1228,7 @@ fn lower_round(
                                 src: dst_node,
                                 bytes,
                             } => sim.add_activity(fabric.message(
-                                format!("msg.{agg}->{dst_node}"),
+                                format!("{prefix}msg.{agg}->{dst_node}"),
                                 map.node_of(agg),
                                 dst_node,
                                 bytes,

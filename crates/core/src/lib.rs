@@ -43,6 +43,7 @@ pub mod hints;
 pub mod mcio;
 pub mod memory;
 pub mod mpiio;
+pub mod multitenant;
 pub mod pattern;
 pub mod placement;
 pub mod plan;
@@ -61,6 +62,7 @@ pub use exec_sim::{
     Pipeline, RoundPhase, RunMetrics, TimingReport,
 };
 pub use memory::ProcMemory;
+pub use multitenant::{run_multitenant, JobOutcome, MultiTenantReport, TenantJob};
 pub use placement::PlacementDiag;
 pub use plan::{
     AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, PlanDiag, Round, SyncMode,

@@ -1,0 +1,538 @@
+//! Multi-tenant execution: N independent collective jobs sharing one
+//! machine.
+//!
+//! The paper tunes collective I/O on a dedicated testbed, but a real
+//! extreme-scale machine runs many collective jobs against one shared
+//! parallel file system. This module lowers every job's plan into a
+//! *single* discrete-event simulation over one shared [`Fabric`] and
+//! [`Pfs`], so cross-job contention on OSTs, NICs and memory buses
+//! falls out of the existing resource model instead of being modeled
+//! separately:
+//!
+//! * each job owns a node partition via [`TenantJob::node_offset`]
+//!   (partitions may overlap — two jobs can share nodes);
+//! * each job arrives at [`TenantJob::start`] (simulated time, no
+//!   wall-clock): a release-gated activity holds back its first round;
+//! * every activity label is namespaced `j{n}.` so traces, metrics and
+//!   `mcio-analyze` can attribute work to a job.
+//!
+//! A single-job run with offset 0 and start 0 is byte-identical to
+//! [`simulate_observed`](crate::exec_sim::simulate_observed) — the
+//! prefix collapses to `""` and the lowering is the very same code
+//! path (`crates/core/tests/multitenant_props.rs` proves it).
+//!
+//! Interference metrics per job:
+//! * **slowdown** — the job's span on the shared machine divided by
+//!   its elapsed time when simulated alone on the same nodes;
+//! * **OST busy-overlap** — the fraction of the job's OST service time
+//!   during which at least one *other* job was also being served by
+//!   some OST (how much of its storage work was contended).
+
+use crate::config::Strategy;
+use crate::exec_sim::{
+    attribute_phases, busy_maxima, emit_round_spans, lower_plan, phase_fractions, record_run,
+    simulate_inner, trace_faults, Attribution, Exchange, FaultInjection, Observe, Pipeline,
+    RunMetrics, TimingReport,
+};
+use crate::plan::CollectivePlan;
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::{Fabric, ProcessMap};
+use mcio_des::{Activity, SimDuration, SimTime, Simulation};
+use mcio_faults::FaultSpec;
+use mcio_obs::TraceCollector;
+use mcio_pfs::{OstId, Pfs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The trace process id of the per-job tenant lanes (pid 1 = resources,
+/// 2 = round phases, 3 = faults). Emitted only when a run has two or
+/// more jobs, so single-job traces stay byte-identical to solo runs.
+pub const PID_TENANTS: u64 = 4;
+
+/// One job of a multi-tenant run: a fully planned collective plus its
+/// placement on the shared machine and its arrival time.
+#[derive(Debug, Clone)]
+pub struct TenantJob {
+    /// Job name (trace lanes, metric labels, reports).
+    pub label: String,
+    /// The planned collective (pure data; any strategy).
+    pub plan: CollectivePlan,
+    /// The job's process placement over its *local* nodes
+    /// `0..map.nnodes()`; shifted onto the shared machine by
+    /// [`node_offset`](Self::node_offset) at lowering time.
+    pub map: ProcessMap,
+    /// First machine node of the job's partition. Partitions are
+    /// exclusive when offsets don't overlap and shared when they do.
+    pub node_offset: usize,
+    /// Arrival time: no round of this job starts earlier.
+    pub start: SimDuration,
+    /// Round pipelining mode.
+    pub pipeline: Pipeline,
+    /// Exchange shape.
+    pub exchange: Exchange,
+}
+
+impl TenantJob {
+    /// A job at node offset 0, arriving at time 0, with serial rounds
+    /// and a direct exchange.
+    pub fn new(label: impl Into<String>, plan: CollectivePlan, map: ProcessMap) -> Self {
+        Self {
+            label: label.into(),
+            plan,
+            map,
+            node_offset: 0,
+            start: SimDuration::ZERO,
+            pipeline: Pipeline::Serial,
+            exchange: Exchange::Direct,
+        }
+    }
+
+    /// Place the job's nodes at `offset..offset + map.nnodes()`.
+    pub fn node_offset(mut self, offset: usize) -> Self {
+        self.node_offset = offset;
+        self
+    }
+
+    /// Delay the job's first round until `start`.
+    pub fn start(mut self, start: SimDuration) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Set the round pipelining mode.
+    pub fn pipeline(mut self, pipeline: Pipeline) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Set the exchange shape.
+    pub fn exchange(mut self, exchange: Exchange) -> Self {
+        self.exchange = exchange;
+        self
+    }
+}
+
+/// Outcome of one job of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's label, copied from its [`TenantJob`].
+    pub label: String,
+    /// The strategy its plan used.
+    pub strategy: Strategy,
+    /// The job's timing view of the shared run. `elapsed` is the job's
+    /// *span* — arrival to last round completion — and the busy maxima
+    /// are machine-wide (the resources are shared).
+    pub report: TimingReport,
+    /// Arrival time, nanoseconds.
+    pub start_ns: u64,
+    /// Completion of the job's last round slot, nanoseconds.
+    pub end_ns: u64,
+    /// Elapsed time of the same job simulated alone on the same nodes.
+    pub solo_elapsed: SimDuration,
+    /// `span / solo_elapsed` — 1.0 means no interference cost.
+    pub slowdown: f64,
+    /// Fraction of this job's OST service time overlapping some other
+    /// job's OST service time, in `[0, 1]`. Zero for a single job.
+    pub ost_overlap: f64,
+}
+
+/// Result of [`run_multitenant`]: per-job outcomes in job order plus
+/// the shared-machine makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantReport {
+    /// One outcome per job, in the order the jobs were given.
+    pub jobs: Vec<JobOutcome>,
+    /// Completion of the last activity of any job.
+    pub makespan: SimDuration,
+    /// Unified Chrome-trace JSON when requested: resource lanes
+    /// (pid 1), per-job round phases (pid 2, lanes prefixed `j{n}.`),
+    /// fault lanes (pid 3) and per-job window lanes ([`PID_TENANTS`]).
+    pub trace: Option<String>,
+}
+
+/// Per-job bookkeeping of the shared lowering.
+struct JobLowered {
+    meta: Vec<crate::exec_sim::SlotMeta>,
+    groups: Vec<Option<usize>>,
+    /// Activity-id range `[act_lo, act_hi)` this job created (its start
+    /// gate, messages, PFS requests and joins) — the ownership key for
+    /// attributing service records to jobs.
+    act_lo: usize,
+    act_hi: usize,
+}
+
+/// Run `jobs` concurrently on one shared machine.
+///
+/// All jobs are lowered into a single DES over one `Fabric` and one
+/// `Pfs`; contention on shared OSTs, NICs and memory buses emerges
+/// from the FIFO resource model. `faults` is a machine-level fault
+/// plan (OST slowdowns/stalls, transient request failures) applied to
+/// the shared PFS — every job sees it, exactly like a real storage
+/// degradation. Structural per-job faults (aggregator crash, memory
+/// shock) go through [`simulate_faulted`](crate::simulate_faulted)
+/// instead, which re-plans a single job.
+///
+/// # Panics
+/// Panics if `jobs` is empty or any job's partition
+/// (`node_offset + map.nnodes()`) exceeds the machine's node count.
+pub fn run_multitenant(
+    jobs: &[TenantJob],
+    spec: &ClusterSpec,
+    faults: Option<&FaultSpec>,
+    obs: Observe<'_>,
+) -> MultiTenantReport {
+    assert!(
+        !jobs.is_empty(),
+        "a multi-tenant run needs at least one job"
+    );
+    let multi = jobs.len() > 1;
+
+    let mut sim = Simulation::new();
+    // The OST-overlap metric needs service records, so multi-job runs
+    // always trace the DES (the Chrome JSON is still only rendered on
+    // request). Single-job runs keep the solo code path bit-for-bit.
+    if obs.trace || multi {
+        sim.enable_trace();
+    }
+    let fabric = Fabric::build(&mut sim, spec);
+    let mut pfs = Pfs::build(&mut sim, spec);
+    if let Some(reg) = obs.registry {
+        pfs.set_registry(Arc::clone(reg));
+    }
+    if let Some(fspec) = faults {
+        pfs.apply_faults(&mut sim, fspec);
+    }
+
+    // Lower every job behind its arrival gate, remembering which
+    // activity-id range it created.
+    let no_gates: HashMap<(Option<usize>, usize), mcio_des::ActivityId> = HashMap::new();
+    let mut lowered: Vec<JobLowered> = Vec::with_capacity(jobs.len());
+    let mut shifted_maps: Vec<ProcessMap> = Vec::with_capacity(jobs.len());
+    for (ji, job) in jobs.iter().enumerate() {
+        let tmap = job.map.with_node_offset(job.node_offset);
+        assert!(
+            tmap.nnodes() <= fabric.nnodes(),
+            "job {} needs nodes {}..{} but the machine has {}",
+            job.label,
+            job.node_offset,
+            tmap.nnodes(),
+            fabric.nnodes()
+        );
+        let prefix = if multi {
+            format!("j{ji}.")
+        } else {
+            String::new()
+        };
+        let act_lo = sim.activity_count();
+        let start_gate = if job.start.is_zero() {
+            None
+        } else {
+            Some(sim.add_activity(
+                Activity::new(format!("{prefix}start")).release_at(SimTime::ZERO + job.start),
+            ))
+        };
+        let (meta, groups) = lower_plan(
+            &mut sim,
+            &fabric,
+            &pfs,
+            &job.plan,
+            &tmap,
+            job.pipeline,
+            job.exchange,
+            &no_gates,
+            start_gate,
+            &prefix,
+        );
+        lowered.push(JobLowered {
+            meta,
+            groups,
+            act_lo,
+            act_hi: sim.activity_count(),
+        });
+        shifted_maps.push(tmap);
+    }
+
+    let report = sim.run().expect("multi-tenant DAG is acyclic");
+    let retry_marks = pfs.take_retry_marks();
+    let makespan = report.makespan().saturating_since(SimTime::ZERO);
+    let (membus_busy_max, nic_busy_max, ost_busy_max, ost_busy_total) =
+        busy_maxima(&report, &fabric, &pfs);
+
+    // Per-job OST service intervals (for the busy-overlap metric):
+    // every service record on an OST resource belongs to exactly one
+    // job, found by its activity-id range.
+    let mut per_job_ost: Vec<Vec<(u64, u64)>> = vec![Vec::new(); jobs.len()];
+    if multi {
+        let ost_ids: std::collections::HashSet<_> = (0..pfs.ost_count())
+            .map(|o| pfs.ost_resource(OstId(o)))
+            .collect();
+        for rec in report.trace().unwrap_or(&[]) {
+            if !ost_ids.contains(&rec.resource) {
+                continue;
+            }
+            let idx = rec.activity.index();
+            if let Some(ji) = lowered
+                .iter()
+                .position(|l| idx >= l.act_lo && idx < l.act_hi)
+            {
+                let start = rec.start.saturating_since(SimTime::ZERO).as_nanos();
+                let end = rec.end.saturating_since(SimTime::ZERO).as_nanos();
+                if end > start {
+                    per_job_ost[ji].push((start, end));
+                }
+            }
+        }
+    }
+    let merged_ost: Vec<Vec<(u64, u64)>> = per_job_ost.into_iter().map(merge_intervals).collect();
+
+    // Per-job attribution, solo baseline and outcome.
+    let mut attributions: Vec<Attribution> = Vec::with_capacity(jobs.len());
+    let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+    for (ji, (job, l)) in jobs.iter().zip(&lowered).enumerate() {
+        let att = attribute_phases(job.plan.rw, &report, &l.meta, &l.groups);
+        let start_ns = job.start.as_nanos();
+        let end_ns = att
+            .windows
+            .iter()
+            .map(|w| w.end_ns)
+            .max()
+            .unwrap_or(start_ns)
+            .max(start_ns);
+        let span = SimDuration::from_nanos(end_ns - start_ns);
+        let bytes: u64 = job.plan.groups.iter().map(|g| g.io_bytes()).sum();
+        let bandwidth_mibs = if span.is_zero() {
+            0.0
+        } else {
+            bytes as f64 / (1024.0 * 1024.0) / span.as_secs_f64()
+        };
+        let (exchange_fraction, io_fraction) = phase_fractions(att.exchange_time, att.io_time);
+        let metrics = RunMetrics {
+            exchange_fraction,
+            io_fraction,
+            rounds: att.rounds.clone(),
+            agg_io: att.agg_io.clone(),
+        };
+        let timing = TimingReport {
+            elapsed: span,
+            exchange_time: att.exchange_time,
+            io_time: att.io_time,
+            bytes,
+            bandwidth_mibs,
+            membus_busy_max,
+            nic_busy_max,
+            ost_busy_max,
+            ost_busy_total,
+            activities: l.act_hi - l.act_lo,
+            metrics,
+        };
+        // Solo baseline: the same job, alone, on the same nodes of the
+        // same machine (fault-free — the baseline isolates *tenancy*).
+        let solo_elapsed = simulate_inner(
+            &job.plan,
+            &shifted_maps[ji],
+            spec,
+            job.pipeline,
+            job.exchange,
+            Observe::default(),
+            None,
+        )
+        .report
+        .elapsed;
+        let slowdown = if solo_elapsed.is_zero() {
+            1.0
+        } else {
+            span.as_secs_f64() / solo_elapsed.as_secs_f64()
+        };
+        let others: Vec<(u64, u64)> = merge_intervals(
+            merged_ost
+                .iter()
+                .enumerate()
+                .filter(|(oj, _)| *oj != ji)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect(),
+        );
+        let own = total_len(&merged_ost[ji]);
+        let ost_overlap = if own == 0 {
+            0.0
+        } else {
+            intersect_len(&merged_ost[ji], &others) as f64 / own as f64
+        };
+        attributions.push(att);
+        outcomes.push(JobOutcome {
+            label: job.label.clone(),
+            strategy: job.plan.strategy,
+            report: timing,
+            start_ns,
+            end_ns,
+            solo_elapsed,
+            slowdown,
+            ost_overlap,
+        });
+    }
+
+    if let Some(reg) = obs.registry {
+        report.record_into(reg);
+        pfs.record_imbalance();
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            job.plan.record_into(reg);
+            record_run(
+                reg,
+                job.plan.strategy.label(),
+                if multi { Some(&job.label) } else { None },
+                outcome.report.elapsed,
+                outcome.report.bytes,
+                outcome.report.bandwidth_mibs,
+                &outcome.report.metrics,
+            );
+        }
+        reg.describe("tenant.jobs", "count", "Concurrent jobs in the run");
+        reg.describe("tenant.makespan_ns", "ns", "Shared-machine makespan");
+        reg.describe(
+            "tenant.slowdown",
+            "ratio",
+            "Per-job span over solo elapsed (interference cost)",
+        );
+        reg.describe(
+            "tenant.ost_overlap_frac",
+            "ratio",
+            "Per-job fraction of OST service time overlapping other tenants",
+        );
+        reg.describe(
+            "tenant.solo_elapsed_ns",
+            "ns",
+            "Per-job elapsed when simulated alone on the same nodes",
+        );
+        let none: [(&str, &str); 0] = [];
+        reg.set_gauge("tenant.jobs", &none, jobs.len() as f64);
+        reg.set_gauge("tenant.makespan_ns", &none, makespan.as_nanos() as f64);
+        for outcome in &outcomes {
+            let labels = [
+                ("job", outcome.label.as_str()),
+                ("strategy", outcome.strategy.label()),
+            ];
+            reg.set_gauge("tenant.slowdown", &labels, outcome.slowdown);
+            reg.set_gauge("tenant.ost_overlap_frac", &labels, outcome.ost_overlap);
+            reg.set_gauge(
+                "tenant.solo_elapsed_ns",
+                &labels,
+                outcome.solo_elapsed.as_nanos() as f64,
+            );
+        }
+    }
+
+    let trace = if obs.trace {
+        let tc = TraceCollector::new();
+        report.trace_into(&tc, 1);
+        tc.name_process(2, "plan.rounds");
+        let mut tid_base = 0u64;
+        for (ji, (job, l)) in jobs.iter().zip(&lowered).enumerate() {
+            let lane_prefix = if multi {
+                format!("j{ji}.")
+            } else {
+                String::new()
+            };
+            emit_round_spans(
+                &tc,
+                &report,
+                job.plan.rw,
+                &l.meta,
+                &l.groups,
+                &attributions[ji].rounds,
+                tid_base,
+                &lane_prefix,
+            );
+            tid_base += l.groups.len() as u64;
+        }
+        if faults.is_some_and(|s| !s.is_empty()) || !retry_marks.is_empty() {
+            let inj = FaultInjection {
+                spec: faults,
+                gates: Vec::new(),
+                degraded: Vec::new(),
+            };
+            trace_faults(&tc, &inj, &report, &[], &retry_marks, makespan.as_nanos());
+        }
+        if multi {
+            tc.name_process(PID_TENANTS, "tenants");
+            for (ji, outcome) in outcomes.iter().enumerate() {
+                tc.name_thread(PID_TENANTS, ji as u64, &format!("j{ji} {}", outcome.label));
+                let slowdown = format!("{:.6}", outcome.slowdown);
+                let overlap = format!("{:.6}", outcome.ost_overlap);
+                tc.span_with_args(
+                    &format!("j{ji}.window"),
+                    "tenant",
+                    PID_TENANTS,
+                    ji as u64,
+                    outcome.start_ns,
+                    outcome.end_ns - outcome.start_ns,
+                    &[
+                        ("job", outcome.label.as_str()),
+                        ("strategy", outcome.strategy.label()),
+                        ("slowdown", slowdown.as_str()),
+                        ("ost_overlap", overlap.as_str()),
+                    ],
+                );
+            }
+        }
+        Some(tc.chrome_trace_json())
+    } else {
+        None
+    };
+
+    MultiTenantReport {
+        jobs: outcomes,
+        makespan,
+        trace,
+    }
+}
+
+/// Merge possibly-overlapping intervals into a sorted disjoint set.
+fn merge_intervals(mut v: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of a disjoint, sorted interval set.
+fn total_len(v: &[(u64, u64)]) -> u64 {
+    v.iter().map(|(s, e)| e - s).sum()
+}
+
+/// Length of the intersection of two disjoint, sorted interval sets.
+fn intersect_len(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_helpers() {
+        let merged = merge_intervals(vec![(5, 9), (0, 3), (2, 4), (9, 12)]);
+        assert_eq!(merged, vec![(0, 4), (5, 12)]);
+        assert_eq!(total_len(&merged), 11);
+        assert_eq!(intersect_len(&[(0, 10)], &[(5, 15)]), 5);
+        assert_eq!(intersect_len(&[(0, 2), (4, 6)], &[(1, 5)]), 2);
+        assert_eq!(intersect_len(&[(0, 2)], &[(2, 4)]), 0);
+        assert_eq!(intersect_len(&[], &[(0, 4)]), 0);
+    }
+}

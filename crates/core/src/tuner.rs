@@ -175,4 +175,97 @@ mod tests {
         assert!(t.msg_group >= t.msg_ind);
         assert!(t.nah >= 1);
     }
+
+    #[test]
+    fn tune_deterministic_across_repeated_probes() {
+        // The probes are pure DES runs — no clocks, no RNG — so the
+        // calibration must replay bit-identically, read and write.
+        let spec = ClusterSpec::small(4, 2);
+        for rw in [Rw::Write, Rw::Read] {
+            assert_eq!(tune(&spec, rw), tune(&spec, rw));
+            let a = probe_bandwidth(&spec, 2, 3, 8 * MIB, rw);
+            let b = probe_bandwidth(&spec, 2, 3, 8 * MIB, rw);
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn msg_ind_monotone_in_overheads() {
+        // Scaling the per-message and per-request overheads up forces
+        // larger messages to amortize them: the saturating size never
+        // shrinks, and grows across the sweep.
+        use mcio_des::SimDuration;
+        let base = ClusterSpec::small(4, 2);
+        let mut prev = 0;
+        let mut sizes = Vec::new();
+        for mult in [1u64, 4, 16, 64, 256] {
+            let mut spec = base.clone();
+            spec.ost_request_overhead =
+                SimDuration::from_nanos(base.ost_request_overhead.as_nanos() * mult);
+            spec.message_overhead =
+                SimDuration::from_nanos(base.message_overhead.as_nanos() * mult);
+            let msg_ind = tune_msg_ind(&spec, Rw::Write, 0.9);
+            assert!(
+                msg_ind >= prev,
+                "msg_ind shrank under higher overhead: {msg_ind} < {prev} at x{mult}"
+            );
+            prev = msg_ind;
+            sizes.push(msg_ind);
+        }
+        assert!(
+            sizes.last() > sizes.first(),
+            "msg_ind never responded to a 256x overhead increase: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn msg_group_monotone_in_io_servers() {
+        // More I/O servers means more aggregators keep helping before
+        // the PFS saturates: the group size never shrinks as servers
+        // are added, and grows across the sweep.
+        let base = ClusterSpec::small(4, 2);
+        let mut prev = 0;
+        let mut groups = Vec::new();
+        for servers in [1usize, 2, 4, 8, 16] {
+            let mut spec = base.clone();
+            spec.io_servers = servers;
+            let group = tune_msg_group(&spec, 16 * MIB, 2, Rw::Write, 0.05);
+            assert!(
+                group >= prev,
+                "msg_group shrank with more servers: {group} < {prev} at {servers}"
+            );
+            prev = group;
+            groups.push(group);
+        }
+        assert!(
+            groups.last() > groups.first(),
+            "msg_group never responded to 16x more servers: {groups:?}"
+        );
+    }
+
+    #[test]
+    fn table1_machines_tune_to_pinned_params() {
+        // Regression pin for the Table-1 machines: these values are a
+        // contract of the machine model — if a resource-model change
+        // moves them, the paper-facing calibration moved too, and the
+        // change needs a deliberate re-pin.
+        let ex = tune(&ClusterSpec::exascale_2018(), Rw::Write);
+        assert_eq!(
+            ex,
+            TunedParams {
+                msg_ind: 128 * MIB,
+                nah: 2,
+                msg_group: 512 * 1024 * MIB,
+            }
+        );
+        let peta = tune(&ClusterSpec::petascale_2010(), Rw::Write);
+        assert_eq!(
+            peta,
+            TunedParams {
+                msg_ind: 16 * MIB,
+                nah: 2,
+                msg_group: 32 * 1024 * MIB,
+            }
+        );
+    }
 }

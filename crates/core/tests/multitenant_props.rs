@@ -1,0 +1,244 @@
+//! Differential conformance properties of the multi-tenant runner.
+//!
+//! The multi-tenant layer must be a *conservative extension* of the
+//! solo executors:
+//!
+//! * a single job (offset 0, start 0) run through `run_multitenant` is
+//!   byte-identical to `simulate_observed` — same `TimingReport`
+//!   (including structured metrics), same trace JSON, for both
+//!   strategies and every pipeline/exchange combination;
+//! * K jobs on disjoint files each deliver exactly the file bytes
+//!   their solo run delivers (tenancy perturbs *time*, never *data*);
+//! * a seeded multi-tenant run replays deterministically, trace bytes
+//!   included.
+
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::ProcessMap;
+use mcio_core::exec_sim::{Exchange, Observe, Pipeline};
+use mcio_core::{
+    exec_fn, mcio, run_multitenant, simulate_observed, twophase, CollectiveConfig, CollectivePlan,
+    CollectiveRequest, Extent, ProcMemory, Rw, Strategy, TenantJob,
+};
+use mcio_des::SimDuration;
+use mcio_pfs::SparseFile;
+use proptest::prelude::*;
+
+const KIB: u64 = 1024;
+
+/// The access shapes of the differential suite (see `diff_props.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    Contiguous,
+    Strided,
+    Nested,
+}
+
+/// Build a write request of `shape` with a per-job byte offset so
+/// multiple jobs can target disjoint file regions ("own files": the
+/// PFS namespace is flat, so a file is a region of the offset space).
+fn build_request(
+    shape: Shape,
+    nranks: usize,
+    bs: u64,
+    blocks: usize,
+    base: u64,
+) -> CollectiveRequest {
+    let per_rank: Vec<Vec<Extent>> = (0..nranks as u64)
+        .map(|r| match shape {
+            Shape::Contiguous => {
+                let chunk = bs * blocks as u64;
+                vec![Extent::new(base + r * chunk, chunk)]
+            }
+            Shape::Strided => (0..blocks as u64)
+                .map(|b| Extent::new(base + (b * nranks as u64 + r) * bs, bs))
+                .collect(),
+            Shape::Nested => {
+                let inner_span = 2 * bs * blocks as u64;
+                (0..blocks as u64)
+                    .map(|i| Extent::new(base + r * inner_span + i * 2 * bs, bs))
+                    .collect()
+            }
+        })
+        .collect();
+    CollectiveRequest::new(Rw::Write, per_rank)
+}
+
+fn plan_for(
+    strategy: Strategy,
+    req: &CollectiveRequest,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    cfg: &CollectiveConfig,
+) -> CollectivePlan {
+    match strategy {
+        Strategy::TwoPhase => twophase::plan(req, map, mem, cfg),
+        Strategy::MemoryConscious => mcio::plan(req, map, mem, cfg),
+    }
+}
+
+/// Execute a write plan and return the file image over the hull.
+fn file_image(plan: &CollectivePlan, req: &CollectiveRequest) -> Vec<u8> {
+    let mut file = SparseFile::new();
+    exec_fn::execute_write(plan, &mut file).expect("plan executes");
+    exec_fn::verify_write(req, &file).expect("written bytes match the oracle");
+    let hull = req.hull();
+    file.read_vec(0, hull.end() as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One job in multi-tenant mode ≡ `simulate_observed`, byte for
+    /// byte: identical timing report, metrics and trace JSON.
+    #[test]
+    fn single_job_is_byte_identical_to_solo(
+        shape in prop::sample::select(vec![
+            Shape::Contiguous, Shape::Strided, Shape::Nested,
+        ]),
+        strategy in prop::sample::select(vec![
+            Strategy::TwoPhase, Strategy::MemoryConscious,
+        ]),
+        nranks in prop::sample::select(vec![6usize, 8, 12]),
+        pipeline in prop::sample::select(vec![Pipeline::Serial, Pipeline::DoubleBuffered]),
+        exchange in prop::sample::select(vec![Exchange::Direct, Exchange::TwoLevel]),
+        bs in prop::sample::select(vec![16 * KIB, 64 * KIB]),
+        uneven in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let req = build_request(shape, nranks, bs, 3, 0);
+        let map = ProcessMap::block_ppn(nranks, 4);
+        let budget = 4 * bs;
+        let mem = if uneven {
+            ProcMemory::normal(nranks, budget, 0.35, seed)
+        } else {
+            ProcMemory::uniform(nranks, budget)
+        };
+        let cfg = CollectiveConfig::with_buffer(budget);
+        let cluster = ClusterSpec::small(map.nnodes(), 4);
+        let plan = plan_for(strategy, &req, &map, &mem, &cfg);
+
+        let (solo_report, solo_trace) = simulate_observed(
+            &plan, &map, &cluster, pipeline, exchange,
+            Observe { registry: None, trace: true },
+        );
+        let mt = run_multitenant(
+            &[TenantJob::new("only", plan.clone(), map.clone())
+                .pipeline(pipeline)
+                .exchange(exchange)],
+            &cluster,
+            None,
+            Observe { registry: None, trace: true },
+        );
+
+        prop_assert_eq!(mt.jobs.len(), 1);
+        prop_assert_eq!(&mt.jobs[0].report, &solo_report,
+            "single-job timing must match the solo executor");
+        prop_assert_eq!(mt.trace.as_deref(), solo_trace.as_deref(),
+            "single-job trace bytes must match the solo executor");
+        prop_assert_eq!(mt.makespan, solo_report.elapsed);
+        prop_assert!((mt.jobs[0].slowdown - 1.0).abs() < 1e-12,
+            "a lone tenant has slowdown 1.0, got {}", mt.jobs[0].slowdown);
+        prop_assert_eq!(mt.jobs[0].ost_overlap, 0.0);
+    }
+
+    /// K jobs on disjoint files: tenancy shifts time, never bytes —
+    /// each job's plan still delivers exactly its solo file image, and
+    /// no job gets faster than running alone.
+    #[test]
+    fn disjoint_file_jobs_reproduce_solo_bytes(
+        k in 2usize..5,
+        shape in prop::sample::select(vec![
+            Shape::Contiguous, Shape::Strided, Shape::Nested,
+        ]),
+        strategy in prop::sample::select(vec![
+            Strategy::TwoPhase, Strategy::MemoryConscious,
+        ]),
+        stagger_us in prop::sample::select(vec![0u64, 150, 400]),
+        seed in 0u64..1000,
+    ) {
+        let nranks = 8usize;
+        let ppn = 2usize;
+        let bs = 32 * KIB;
+        let nnodes = nranks / ppn;
+        let cluster = ClusterSpec::small(k * nnodes, 2);
+
+        let mut jobs = Vec::new();
+        let mut solo_images = Vec::new();
+        let mut requests = Vec::new();
+        for ji in 0..k as u64 {
+            // Each job owns a disjoint region of the offset space — its
+            // "file" — and its own node partition.
+            let base = ji * 64 * 1024 * KIB;
+            let req = build_request(shape, nranks, bs, 3, base);
+            let map = ProcessMap::block_ppn(nranks, ppn);
+            let mem = ProcMemory::normal(nranks, 4 * bs, 0.3, seed + ji);
+            let cfg = CollectiveConfig::with_buffer(4 * bs);
+            let plan = plan_for(strategy, &req, &map, &mem, &cfg);
+            solo_images.push(file_image(&plan, &req));
+            jobs.push(
+                TenantJob::new(format!("job{ji}"), plan, map)
+                    .node_offset(ji as usize * nnodes)
+                    .start(SimDuration::from_micros(ji * stagger_us)),
+            );
+            requests.push(req);
+        }
+
+        let mt = run_multitenant(&jobs, &cluster, None,
+            Observe { registry: None, trace: false });
+
+        prop_assert_eq!(mt.jobs.len(), k);
+        for (ji, outcome) in mt.jobs.iter().enumerate() {
+            // The bytes a job writes are a property of its plan — the
+            // shared machine must not have changed them.
+            let image = file_image(&jobs[ji].plan, &requests[ji]);
+            prop_assert_eq!(&image, &solo_images[ji],
+                "job {} file bytes diverged from its solo run", ji);
+            // Sharing a machine can only cost time.
+            prop_assert!(outcome.slowdown >= 1.0 - 1e-9,
+                "job {} sped up under contention: slowdown {}", ji, outcome.slowdown);
+            prop_assert!(outcome.end_ns >= outcome.start_ns);
+            prop_assert!((0.0..=1.0).contains(&outcome.ost_overlap));
+        }
+        prop_assert!(mt.makespan.as_nanos()
+            >= mt.jobs.iter().map(|j| j.end_ns).max().unwrap_or(0));
+    }
+
+    /// Seeded replay: the same multi-tenant input produces the same
+    /// outcome — reports and trace bytes — every time.
+    #[test]
+    fn multitenant_replay_is_deterministic(
+        k in 2usize..4,
+        strategy in prop::sample::select(vec![
+            Strategy::TwoPhase, Strategy::MemoryConscious,
+        ]),
+        seed in 0u64..1000,
+    ) {
+        let nranks = 8usize;
+        let ppn = 2usize;
+        let bs = 32 * KIB;
+        let nnodes = nranks / ppn;
+        // Overlapping partitions on purpose: every job shares the same
+        // nodes, so contention is maximal and any nondeterminism in the
+        // shared lowering would surface.
+        let cluster = ClusterSpec::small(nnodes, 2);
+        let jobs: Vec<TenantJob> = (0..k as u64)
+            .map(|ji| {
+                let req = build_request(Shape::Strided, nranks, bs, 3, ji * 1024 * KIB);
+                let map = ProcessMap::block_ppn(nranks, ppn);
+                let mem = ProcMemory::normal(nranks, 4 * bs, 0.3, seed + ji);
+                let cfg = CollectiveConfig::with_buffer(4 * bs);
+                let plan = plan_for(strategy, &req, &map, &mem, &cfg);
+                TenantJob::new(format!("job{ji}"), plan, map)
+                    .start(SimDuration::from_micros(ji * 100))
+            })
+            .collect();
+
+        let a = run_multitenant(&jobs, &cluster, None,
+            Observe { registry: None, trace: true });
+        let b = run_multitenant(&jobs, &cluster, None,
+            Observe { registry: None, trace: true });
+        prop_assert_eq!(&a.jobs, &b.jobs, "job outcomes must replay identically");
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(&a.trace, &b.trace, "trace bytes must replay identically");
+    }
+}

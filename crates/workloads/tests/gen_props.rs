@@ -1,0 +1,278 @@
+//! Property tests for the workload generators.
+//!
+//! Every generator must produce requests that are **in bounds** (no
+//! extent past the file it defines), **shaped like their pattern
+//! class** (IOR's interleaved/segmented block formulas, coll_perf's
+//! exact 3D partition, checkpoint's prefix-sum packing), and
+//! **byte-deterministic** — the same parameters (and, for the random
+//! generators, the same seed) always yield the identical
+//! `CollectiveRequest`.
+
+use mcio_core::{Extent, Rw};
+use mcio_workloads::collperf::balanced_grid;
+use mcio_workloads::{science, synthetic, CollPerf, Ior, IorLayout};
+use proptest::prelude::*;
+
+const KIB: u64 = 1024;
+
+// ---------------------------------------------------------------- IOR
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every IOR request partitions its file exactly: all extents stay
+    /// inside `[0, file_bytes())`, each rank contributes exactly
+    /// `per_proc_bytes()`, and the ranks are pairwise disjoint (the
+    /// coalesced coverage is one extent spanning the whole file).
+    #[test]
+    fn ior_partitions_its_file(
+        nprocs in 1usize..=24,
+        per_proc_kib in 1u64..=64,
+        segments in 1u64..=6,
+        segmented in any::<bool>(),
+    ) {
+        let mut ior = Ior::paper(nprocs, per_proc_kib * KIB, segments);
+        if segmented {
+            ior.layout = IorLayout::Segmented;
+        }
+        let req = ior.request(Rw::Write);
+        prop_assert_eq!(req.nranks(), nprocs);
+        let file = ior.file_bytes();
+        for rank in &req.ranks {
+            let mut bytes = 0;
+            for e in &rank.extents {
+                prop_assert!(e.end() <= file, "extent {e:?} past file end {file}");
+                bytes += e.len;
+            }
+            prop_assert_eq!(bytes, ior.per_proc_bytes());
+        }
+        // Disjoint and gapless: the file is covered exactly once.
+        prop_assert_eq!(req.total_bytes(), file);
+        prop_assert_eq!(req.coverage(), vec![Extent::new(0, file)]);
+    }
+
+    /// Interleaved layout follows the Figure 7/8 block formula: rank
+    /// `r`'s segment-`s` block sits at `(s·nprocs + r) · block_size`.
+    #[test]
+    fn ior_interleaved_block_formula(
+        nprocs in 2usize..=16,
+        block_kib in 1u64..=32,
+        segments in 1u64..=5,
+        rank in 0usize..16,
+    ) {
+        let rank = rank % nprocs;
+        let ior = Ior {
+            nprocs,
+            block_size: block_kib * KIB,
+            segments,
+            layout: IorLayout::Interleaved,
+        };
+        let expected: Vec<Extent> = (0..segments)
+            .map(|s| {
+                Extent::new(
+                    (s * nprocs as u64 + rank as u64) * ior.block_size,
+                    ior.block_size,
+                )
+            })
+            .collect();
+        prop_assert_eq!(ior.extents_of(rank), expected);
+    }
+
+    /// Segmented layout packs each rank's blocks back to back, so a
+    /// rank's whole request coalesces into the single extent
+    /// `[r·segments·block_size, r·segments·block_size + per_proc)`.
+    #[test]
+    fn ior_segmented_is_one_contiguous_run(
+        nprocs in 1usize..=16,
+        block_kib in 1u64..=32,
+        segments in 1u64..=5,
+    ) {
+        let ior = Ior {
+            nprocs,
+            block_size: block_kib * KIB,
+            segments,
+            layout: IorLayout::Segmented,
+        };
+        let req = ior.request(Rw::Read);
+        for (r, rank) in req.ranks.iter().enumerate() {
+            let start = r as u64 * segments * ior.block_size;
+            prop_assert_eq!(
+                &rank.extents,
+                &vec![Extent::new(start, ior.per_proc_bytes())]
+            );
+        }
+    }
+
+    /// Fixed parameters always rebuild the identical request.
+    #[test]
+    fn ior_is_deterministic(
+        nprocs in 1usize..=16,
+        per_proc_kib in 1u64..=64,
+        segments in 1u64..=6,
+    ) {
+        let a = Ior::paper(nprocs, per_proc_kib * KIB, segments).request(Rw::Write);
+        let b = Ior::paper(nprocs, per_proc_kib * KIB, segments).request(Rw::Write);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ----------------------------------------------------------- coll_perf
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `balanced_grid(n)` is a true factorization: the grid covers
+    /// exactly `n` processes with every dimension populated.
+    #[test]
+    fn balanced_grid_factors_exactly(n in 1usize..=256) {
+        let g = balanced_grid(n);
+        prop_assert_eq!(g[0] * g[1] * g[2], n);
+        prop_assert!(g.iter().all(|&c| c >= 1));
+        // Sorted non-decreasing: largest factor in the fastest (last)
+        // dimension, like `MPI_Dims_create`.
+        prop_assert!(g[0] <= g[1] && g[1] <= g[2]);
+    }
+
+    /// The 3D blocks tile the array exactly: along each axis the
+    /// subsizes of the grid cells sum to the dimension, and the
+    /// flattened request covers the file once with no overlap.
+    #[test]
+    fn collperf_blocks_tile_the_array(
+        nprocs in 1usize..=32,
+        scale in 1u64..=8,
+    ) {
+        let cp = CollPerf::paper(nprocs, scale * 64);
+        prop_assert_eq!(cp.nprocs(), nprocs);
+        // Per-axis: walk the cells along one axis (others fixed at 0)
+        // and check starts/subsizes chain to exactly dims[d].
+        for d in 0..3 {
+            let mut cursor = 0;
+            for c in 0..cp.grid[d] {
+                let mut coord = [0usize; 3];
+                coord[d] = c;
+                let rank = (coord[0] * cp.grid[1] + coord[1]) * cp.grid[2] + coord[2];
+                let (starts, subsizes) = cp.block_of(rank);
+                prop_assert_eq!(starts[d], cursor);
+                cursor += subsizes[d];
+            }
+            prop_assert_eq!(cursor, cp.dims[d]);
+        }
+        // Whole-file partition, byte level.
+        let req = cp.request(Rw::Write);
+        let file = cp.file_bytes();
+        prop_assert_eq!(req.total_bytes(), file);
+        prop_assert_eq!(req.coverage(), vec![Extent::new(0, file)]);
+        for rank in &req.ranks {
+            for e in &rank.extents {
+                prop_assert!(e.end() <= file);
+            }
+        }
+    }
+
+    /// Fixed parameters always rebuild the identical request.
+    #[test]
+    fn collperf_is_deterministic(nprocs in 1usize..=24, scale in 1u64..=8) {
+        let a = CollPerf::paper(nprocs, scale * 64).request(Rw::Read);
+        let b = CollPerf::paper(nprocs, scale * 64).request(Rw::Read);
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ------------------------------------------------------------- science
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Checkpoints pack header + per-rank records by exclusive prefix
+    /// sum: total bytes add up, nothing overlaps, and the file is
+    /// covered end to end.
+    #[test]
+    fn checkpoint_prefix_sum_packing(
+        header in 0u64..=4096,
+        states in proptest::collection::vec(0u64..=8192, 1..=12),
+    ) {
+        let req = science::checkpoint(Rw::Write, header, &states);
+        let total = header + states.iter().sum::<u64>();
+        prop_assert_eq!(req.nranks(), states.len());
+        prop_assert_eq!(req.total_bytes(), total);
+        if total > 0 {
+            prop_assert_eq!(req.coverage(), vec![Extent::new(0, total)]);
+        }
+        // Each rank's record lands at the exclusive prefix sum.
+        let mut offset = header;
+        for (r, &len) in states.iter().enumerate() {
+            let got: u64 = req.ranks[r].extents.iter().map(|e| e.len).sum();
+            let expect = if r == 0 { header + len } else { len };
+            prop_assert_eq!(got, expect);
+            if len > 0 && r > 0 {
+                prop_assert_eq!(req.ranks[r].extents[0].offset, offset);
+            }
+            offset += len;
+        }
+    }
+
+    /// Nested strides keep ranks disjoint whenever the inner stride
+    /// leaves room for every rank's diagonal shift.
+    #[test]
+    fn nested_strided_ranks_stay_disjoint(
+        nranks in 1usize..=4,
+        outer in 1u64..=4,
+        inner in 1u64..=4,
+        pad in 0u64..=3,
+        cell in 1u64..=16,
+    ) {
+        let inner_stride = nranks as u64 + pad; // room for the diagonal
+        let outer_stride = inner * inner_stride + pad;
+        let req = science::nested_strided(
+            Rw::Write, nranks, outer, inner, inner_stride, outer_stride, cell,
+        );
+        for rank in &req.ranks {
+            prop_assert_eq!(rank.bytes(), outer * inner * cell);
+        }
+        let covered: u64 = req.coverage().iter().map(|e| e.len).sum();
+        prop_assert_eq!(covered, req.total_bytes(), "ranks overlap");
+    }
+}
+
+// ----------------------------------------------------------- synthetic
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `random_bursts` is a pure function of its seed: the same seed
+    /// reproduces the identical request, byte for byte.
+    #[test]
+    fn random_bursts_seed_determinism(
+        nranks in 1usize..=8,
+        bursts in 1usize..=16,
+        seed in any::<u64>(),
+        allow_overlap in any::<bool>(),
+    ) {
+        let make = || synthetic::random_bursts(
+            Rw::Write, nranks, bursts, 16, 256, 64 * KIB, seed, allow_overlap,
+        );
+        prop_assert_eq!(make(), make());
+    }
+
+    /// Without `allow_overlap`, every burst stays inside its rank's
+    /// private lane of the file — so ranks can never collide.
+    #[test]
+    fn random_bursts_respect_lanes(
+        nranks in 1usize..=8,
+        bursts in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        let file_len = 64 * KIB;
+        let req = synthetic::random_bursts(
+            Rw::Read, nranks, bursts, 16, 256, file_len, seed, false,
+        );
+        let lane = file_len / nranks as u64;
+        for (r, rank) in req.ranks.iter().enumerate() {
+            let (lo, hi) = (r as u64 * lane, (r as u64 + 1) * lane);
+            for e in &rank.extents {
+                prop_assert!(e.offset >= lo && e.end() <= hi,
+                    "rank {r} extent {e:?} escapes lane [{lo}, {hi})");
+            }
+        }
+    }
+}
