@@ -357,34 +357,50 @@ pub fn chain_summaries(model: &TraceModel) -> Vec<ChainSummary> {
     out
 }
 
+/// Resolve the aggregator rank a resource-lane span attributes to, and
+/// whether it is I/O service (`true`) or shuffle traffic (`false`).
+/// I/O names are `io.rank<N>`, `io.rank<N>.egress`, or
+/// `io.rank<N>.ost<M>` (the aggregator is the first segment); shuffle
+/// legs name the aggregator endpoint as `rank<N>` on one side of `->`
+/// (destination for writes, source for reads). Shared by the
+/// per-aggregator attribution and the straggler detector so both
+/// reconstructions can never disagree on ownership.
+pub(crate) fn span_aggregator(name: &str) -> Option<(u64, bool)> {
+    let rank_of = |s: &str| -> Option<u64> { s.strip_prefix("rank")?.parse().ok() };
+    if let Some(rest) = name.strip_prefix("io.") {
+        let first = rest.split('.').next().unwrap_or(rest);
+        if let Some(agg) = rank_of(first) {
+            return Some((agg, true));
+        }
+    }
+    if let Some((lhs, rhs)) = name.split_once("->") {
+        let lhs_rank = lhs.rsplit('.').next().and_then(rank_of);
+        if let Some(agg) = rank_of(rhs).or(lhs_rank) {
+            return Some((agg, false));
+        }
+    }
+    None
+}
+
 /// Reconstruct per-aggregator attribution from the resource lanes,
 /// sorted by I/O service time descending.
 pub fn aggregator_io(model: &TraceModel) -> Vec<AggIo> {
     let mut by_agg: std::collections::BTreeMap<u64, AggIo> = std::collections::BTreeMap::new();
-    let rank_of = |s: &str| -> Option<u64> { s.strip_prefix("rank")?.parse().ok() };
     for s in model.spans.iter().filter(|s| s.pid == PID_RESOURCES) {
-        if let Some(rest) = s.name.strip_prefix("io.") {
-            // Names are `io.rank<N>`, `io.rank<N>.egress`, or
-            // `io.rank<N>.ost<M>`; the aggregator is the first segment.
-            let first = rest.split('.').next().unwrap_or(rest);
-            if let Some(agg) = rank_of(first) {
+        match span_aggregator(&s.name) {
+            Some((agg, true)) => {
                 let e = by_agg.entry(agg).or_default();
                 e.agg = agg;
                 e.io_busy_ns += s.dur_ns;
                 e.io_requests += 1;
-                continue;
             }
-        }
-        // Shuffle legs name the aggregator endpoint as `rank<N>` on one
-        // side of `->` (destination for writes, source for reads).
-        if let Some((lhs, rhs)) = s.name.split_once("->") {
-            let lhs_rank = lhs.rsplit('.').next().and_then(rank_of);
-            if let Some(agg) = rank_of(rhs).or(lhs_rank) {
+            Some((agg, false)) => {
                 let e = by_agg.entry(agg).or_default();
                 e.agg = agg;
                 e.msg_busy_ns += s.dur_ns;
                 e.msgs += 1;
             }
+            None => {}
         }
     }
     let mut out: Vec<AggIo> = by_agg.into_values().collect();

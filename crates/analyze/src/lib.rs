@@ -28,14 +28,20 @@
 #![warn(missing_docs)]
 
 pub mod critical_path;
+pub mod diff;
 pub mod report;
+pub mod stragglers;
 pub mod tenants;
+pub mod timeline;
 pub mod trace_model;
 
 pub use critical_path::{
     aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
     PhaseKind,
 };
+pub use diff::{diff_critical_paths, diff_models, RunDiff, SeriesDelta};
 pub use report::{analyze, compare, Analysis, ClassStat, Comparison, PhaseTotals};
+pub use stragglers::{format_rounds, stragglers, Straggler, StragglerKind};
 pub use tenants::{tenant_paths, TenantPath};
+pub use timeline::{default_bucket_ns, timeline, Series, SeriesKind, Timeline};
 pub use trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS, PID_TENANTS};

@@ -9,6 +9,7 @@
 use crate::critical_path::{
     aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
 };
+use crate::stragglers::{stragglers, Straggler};
 use crate::tenants::{tenant_paths, TenantPath};
 use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES};
 use mcio_obs::trace::escape_json;
@@ -61,9 +62,17 @@ pub struct Analysis {
     /// Per-job interference attribution (multi-tenant traces only;
     /// empty for solo runs, and then omitted from both renderings).
     pub tenants: Vec<TenantPath>,
+    /// Robust outliers among chains, aggregators, and OSTs, highest
+    /// score first (empty when nothing straggles, and then omitted
+    /// from both renderings).
+    pub stragglers: Vec<Straggler>,
     /// How many chains/aggregators the text report prints.
     pub top_k: usize,
 }
+
+/// Schema tag stamped into the JSON rendering. Consumers must
+/// accept-and-ignore unknown top-level keys so the document can grow.
+pub const ANALYZE_SCHEMA: &str = "mcio.analyze.v1";
 
 /// Analyze one trace: critical path, chain and aggregator attribution,
 /// and resource-class percentiles. `top_k` bounds only the *text*
@@ -108,6 +117,7 @@ pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
         aggregators: aggregator_io(model),
         class_stats,
         tenants: tenant_paths(model),
+        stragglers: stragglers(model),
         top_k,
     }
 }
@@ -118,6 +128,7 @@ impl Analysis {
     pub fn to_json(&self) -> String {
         let cp = &self.critical_path;
         let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{ANALYZE_SCHEMA}\",");
         let _ = writeln!(out, "  \"elapsed_ns\": {},", self.elapsed_ns);
         let _ = writeln!(out, "  \"critical_path\": {{");
         let _ = writeln!(
@@ -182,9 +193,7 @@ impl Analysis {
                 s.class, s.busy_ns, s.spans, s.p50_ns, s.p95_ns, s.p99_ns
             );
         }
-        if self.tenants.is_empty() {
-            out.push_str("\n  ]\n}\n");
-        } else {
+        if !self.tenants.is_empty() {
             out.push_str("\n  ],\n  \"tenants\": [");
             for (i, t) in self.tenants.iter().enumerate() {
                 if i > 0 {
@@ -217,8 +226,33 @@ impl Analysis {
                     lane
                 );
             }
-            out.push_str("\n  ]\n}\n");
         }
+        if !self.stragglers.is_empty() {
+            out.push_str("\n  ],\n  \"stragglers\": [");
+            for (i, s) in self.stragglers.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n    {{\"kind\": \"{}\", \"name\": \"{}\", \"duration_ns\": {}, \
+                     \"peer_median_ns\": {}, \"score\": {:.3}, \"bucket\": \"{}\", \
+                     \"rounds\": [{}]}}",
+                    s.kind.label(),
+                    escape_json(&s.name),
+                    s.duration_ns,
+                    s.peer_median_ns,
+                    s.score,
+                    s.bucket,
+                    s.rounds
+                        .iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+            }
+        }
+        out.push_str("\n  ]\n}\n");
         out
     }
 
@@ -348,6 +382,13 @@ impl Analysis {
                     t.ost_overlap
                         .map_or_else(|| "-".to_string(), |o| format!("{o:.3}")),
                 );
+            }
+        }
+
+        if !self.stragglers.is_empty() {
+            let _ = writeln!(out, "\n== stragglers ==");
+            for s in &self.stragglers {
+                let _ = writeln!(out, "{}", s.describe());
             }
         }
         out
@@ -559,6 +600,49 @@ mod tests {
         assert!(text.contains("== tenants =="), "{text}");
         assert!(text.contains("beta"), "{text}");
         assert!(text.contains("1.500x"), "{text}");
+    }
+
+    #[test]
+    fn json_carries_schema_stamp() {
+        let a = analyze(&model(), 5);
+        let rendered = a.to_json();
+        assert!(
+            rendered.starts_with("{\n  \"schema\": \"mcio.analyze.v1\",\n"),
+            "{rendered}"
+        );
+        let doc = json::parse(&rendered).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(JsonValue::as_str),
+            Some(ANALYZE_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn straggler_sections_appear_only_when_flagged() {
+        let quiet = analyze(&model(), 5);
+        assert!(quiet.stragglers.is_empty());
+        assert!(!quiet.to_json().contains("\"stragglers\""));
+        assert!(!quiet.to_text().contains("== stragglers =="));
+
+        let tc = TraceCollector::new();
+        for i in 0..4u64 {
+            tc.name_thread(PID_RESOURCES, i, &format!("ost{i}"));
+            let dur = if i == 3 { 4000 } else { 1000 };
+            tc.span("io.rank0", "c", PID_RESOURCES, i, 0, dur);
+        }
+        let loud = analyze(&TraceModel::from_collector(&tc), 5);
+        assert_eq!(loud.stragglers.len(), 1);
+        let doc = json::parse(&loud.to_json()).expect("valid JSON with stragglers");
+        let arr = doc.get("stragglers").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("name").and_then(JsonValue::as_str), Some("ost3"));
+        assert_eq!(
+            arr[0].get("bucket").and_then(JsonValue::as_str),
+            Some("ost_io")
+        );
+        let text = loud.to_text();
+        assert!(text.contains("== stragglers =="), "{text}");
+        assert!(text.contains("ost ost3"), "{text}");
     }
 
     #[test]

@@ -76,7 +76,7 @@ fn fraction(part: u64, whole: u64) -> f64 {
 /// The job index encoded in an activity label: `j3.io.1` → `Some(3)`.
 /// Labels without a `j<digits>.` prefix (solo runs, unprefixed
 /// internals) yield `None`.
-fn job_of(label: &str) -> Option<u64> {
+pub(crate) fn job_of(label: &str) -> Option<u64> {
     let rest = label.strip_prefix('j')?;
     let digits = rest.split('.').next()?;
     if digits.is_empty() || rest.len() == digits.len() {

@@ -1,0 +1,576 @@
+//! Time-resolved utilization: deterministic fixed-interval bucketing of
+//! the DES resource spans.
+//!
+//! The critical-path buckets say *how much* of a run each resource
+//! class explains; this module says *when*. The trace's pid-1 service
+//! spans are swept into integer-nanosecond buckets of a fixed width,
+//! yielding one utilization series per resource class (network fabric,
+//! memory bus, storage), one per individual OST lane, and — for
+//! multi-tenant traces — one per tenant (activities carrying a `j<N>.`
+//! job prefix). All arithmetic is exact: a series integrates back to
+//! the same total busy time as the underlying merged interval union
+//! (`sum(series.busy_ns) == total_len(class_busy_intervals)`), which is
+//! property-tested in `tests/timeline_props.rs`.
+//!
+//! The rendered `mcio.timeline.v1` JSON/CSV documents are byte-stable:
+//! integers only, deterministic series order (classes, then OST lanes
+//! in lane order, then tenants in job order), no floats, no wall-clock.
+
+use crate::trace_model::{merge_intervals, ResourceClass, TraceModel, PID_RESOURCES};
+use mcio_obs::json::{self, JsonValue};
+use mcio_obs::Registry;
+use std::fmt::Write as _;
+
+/// What one utilization series aggregates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// The merged busy union of one resource class (network fabric,
+    /// memory bus, storage).
+    Class,
+    /// One individual OST lane.
+    Ost,
+    /// One tenant: every resource span whose activity label carries the
+    /// tenant's `j<N>.` job prefix.
+    Tenant,
+}
+
+impl SeriesKind {
+    /// Stable lowercase label used in documents.
+    pub fn label(self) -> &'static str {
+        match self {
+            SeriesKind::Class => "class",
+            SeriesKind::Ost => "ost",
+            SeriesKind::Tenant => "tenant",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "class" => Some(SeriesKind::Class),
+            "ost" => Some(SeriesKind::Ost),
+            "tenant" => Some(SeriesKind::Tenant),
+            _ => None,
+        }
+    }
+}
+
+/// One utilization time-series: busy nanoseconds per fixed-width
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// Series key: a class label (`network`/`memory`/`storage`), an OST
+    /// lane name (`ost3`), or a tenant key (`j0`).
+    pub key: String,
+    /// What the series aggregates over.
+    pub kind: SeriesKind,
+    /// Busy nanoseconds inside each bucket, in bucket order. The last
+    /// bucket may be shorter than `bucket_ns` (it is clipped at the
+    /// trace makespan).
+    pub busy_ns: Vec<u64>,
+    /// Exact total: `busy_ns.iter().sum()`, kept explicit so documents
+    /// are audit-safe without re-summing.
+    pub total_busy_ns: u64,
+}
+
+impl Series {
+    fn from_intervals(
+        key: String,
+        kind: SeriesKind,
+        ivs: &[(u64, u64)],
+        bucket_ns: u64,
+        buckets: usize,
+    ) -> Self {
+        let mut busy = vec![0u64; buckets];
+        for &(a, b) in ivs {
+            // An interval can cross several buckets; walk only the
+            // buckets it touches.
+            let first = (a / bucket_ns) as usize;
+            let last = (b.saturating_sub(1) / bucket_ns) as usize;
+            for (i, slot) in busy
+                .iter_mut()
+                .enumerate()
+                .take(last.min(buckets.saturating_sub(1)) + 1)
+                .skip(first)
+            {
+                let lo = i as u64 * bucket_ns;
+                let hi = lo + bucket_ns;
+                *slot += b.min(hi).saturating_sub(a.max(lo));
+            }
+        }
+        let total_busy_ns = busy.iter().sum();
+        Series {
+            key,
+            kind,
+            busy_ns: busy,
+            total_busy_ns,
+        }
+    }
+
+    /// The bucket with the most busy time (first on ties), as
+    /// `(index, busy_ns)`; `None` for an all-idle series.
+    pub fn peak(&self) -> Option<(usize, u64)> {
+        let (mut idx, mut best) = (0usize, 0u64);
+        for (i, &v) in self.busy_ns.iter().enumerate() {
+            if v > best {
+                idx = i;
+                best = v;
+            }
+        }
+        (best > 0).then_some((idx, best))
+    }
+}
+
+/// A full time-resolved utilization document for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Trace makespan, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Fixed bucket width, nanoseconds (always ≥ 1).
+    pub bucket_ns: u64,
+    /// Number of buckets tiling `[0, elapsed_ns)`.
+    pub buckets: usize,
+    /// The series, in deterministic order: classes (network, memory,
+    /// storage), then OST lanes in lane order, then tenants in job
+    /// order. Series with zero spans are omitted.
+    pub series: Vec<Series>,
+}
+
+/// Deterministic default bucket width for a run of `elapsed_ns`:
+/// the smallest width that tiles the run into at most 100 buckets
+/// (`ceil(elapsed / 100)`, minimum 1 ns). Integer-only, so the same
+/// trace always buckets identically on every machine.
+pub fn default_bucket_ns(elapsed_ns: u64) -> u64 {
+    (elapsed_ns.div_ceil(100)).max(1)
+}
+
+/// Sweep `model`'s resource spans into a [`Timeline`] with the given
+/// bucket width (clamped to ≥ 1 ns). See the module docs for series
+/// order and exactness guarantees.
+pub fn timeline(model: &TraceModel, bucket_ns: u64) -> Timeline {
+    let elapsed_ns = model.makespan_ns();
+    let bucket_ns = bucket_ns.max(1);
+    let buckets = elapsed_ns.div_ceil(bucket_ns) as usize;
+    let mut tl = Timeline {
+        elapsed_ns,
+        bucket_ns,
+        buckets,
+        series: Vec::new(),
+    };
+    if elapsed_ns == 0 {
+        return tl;
+    }
+
+    // Per-class series from the merged class unions.
+    for class in [
+        ResourceClass::Network,
+        ResourceClass::Memory,
+        ResourceClass::Storage,
+    ] {
+        let ivs = model.class_busy_intervals(class);
+        if ivs.is_empty() {
+            continue;
+        }
+        tl.series.push(Series::from_intervals(
+            class.label().to_string(),
+            SeriesKind::Class,
+            &ivs,
+            bucket_ns,
+            buckets,
+        ));
+    }
+
+    // Per-OST series: one per storage lane, in lane (tid) order.
+    for (tid, spans) in model.lanes(PID_RESOURCES) {
+        let Some(name) = model.lane_name(PID_RESOURCES, tid) else {
+            continue;
+        };
+        if ResourceClass::classify(name) != ResourceClass::Storage {
+            continue;
+        }
+        let ivs = merge_intervals(
+            spans
+                .iter()
+                .filter(|s| s.dur_ns > 0)
+                .map(|s| (s.start_ns, s.end_ns()))
+                .collect(),
+        );
+        if ivs.is_empty() {
+            continue;
+        }
+        tl.series.push(Series::from_intervals(
+            name.to_string(),
+            SeriesKind::Ost,
+            &ivs,
+            bucket_ns,
+            buckets,
+        ));
+    }
+
+    // Per-tenant series: resource spans whose activity label carries a
+    // `j<N>.` prefix (multi-tenant runs only; solo traces add nothing).
+    let mut by_job: std::collections::BTreeMap<u64, Vec<(u64, u64)>> = Default::default();
+    for s in model
+        .spans
+        .iter()
+        .filter(|s| s.pid == PID_RESOURCES && s.dur_ns > 0)
+    {
+        if let Some(ji) = crate::tenants::job_of(&s.name) {
+            by_job.entry(ji).or_default().push((s.start_ns, s.end_ns()));
+        }
+    }
+    for (ji, ivs) in by_job {
+        let ivs = merge_intervals(ivs);
+        tl.series.push(Series::from_intervals(
+            format!("j{ji}"),
+            SeriesKind::Tenant,
+            &ivs,
+            bucket_ns,
+            buckets,
+        ));
+    }
+    tl
+}
+
+impl Timeline {
+    /// Look up a series by key.
+    pub fn get(&self, key: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.key == key)
+    }
+
+    /// Render the byte-stable `mcio.timeline.v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"mcio.timeline.v1\",\n");
+        let _ = writeln!(out, "  \"elapsed_ns\": {},", self.elapsed_ns);
+        let _ = writeln!(out, "  \"bucket_ns\": {},", self.bucket_ns);
+        let _ = writeln!(out, "  \"buckets\": {},", self.buckets);
+        out.push_str("  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"key\": \"{}\", \"kind\": \"{}\", \"total_busy_ns\": {}, \"busy_ns\": [",
+                mcio_obs::trace::escape_json(&s.key),
+                s.kind.label(),
+                s.total_busy_ns
+            );
+            for (j, v) in s.busy_ns.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render as flat CSV: `series,kind,bucket,start_ns,busy_ns`, one
+    /// row per (series, bucket).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,kind,bucket,start_ns,busy_ns\n");
+        for s in &self.series {
+            for (i, v) in s.busy_ns.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    s.key,
+                    s.kind.label(),
+                    i,
+                    i as u64 * self.bucket_ns,
+                    v
+                );
+            }
+        }
+        out
+    }
+
+    /// Parse a `mcio.timeline.v1` document back. Unknown top-level keys
+    /// are accepted and ignored (the house re-parse convention).
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let doc = json::parse(input).map_err(|e| format!("timeline is not valid JSON: {e}"))?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some("mcio.timeline.v1") => {}
+            Some(other) => {
+                return Err(format!(
+                    "timeline schema is \"{other}\", expected \"mcio.timeline.v1\""
+                ))
+            }
+            None => {
+                return Err(
+                    "timeline has no \"schema\" field, expected \"mcio.timeline.v1\"".to_string(),
+                )
+            }
+        }
+        let num = |k: &str| -> Result<u64, String> {
+            doc.get(k)
+                .and_then(JsonValue::as_f64)
+                .map(|v| v as u64)
+                .ok_or_else(|| format!("timeline missing numeric field `{k}`"))
+        };
+        let mut tl = Timeline {
+            elapsed_ns: num("elapsed_ns")?,
+            bucket_ns: num("bucket_ns")?.max(1),
+            buckets: num("buckets")? as usize,
+            series: Vec::new(),
+        };
+        let arr = doc
+            .get("series")
+            .and_then(JsonValue::as_array)
+            .ok_or("timeline missing series array")?;
+        for v in arr {
+            let key = v
+                .get("key")
+                .and_then(JsonValue::as_str)
+                .ok_or("series missing key")?
+                .to_string();
+            let kind = v
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .and_then(SeriesKind::parse)
+                .ok_or("series missing kind")?;
+            let busy_ns: Vec<u64> = v
+                .get("busy_ns")
+                .and_then(JsonValue::as_array)
+                .ok_or("series missing busy_ns")?
+                .iter()
+                .map(|b| b.as_f64().map(|f| f as u64).ok_or("non-numeric bucket"))
+                .collect::<Result<_, _>>()?;
+            let total_busy_ns = busy_ns.iter().sum();
+            tl.series.push(Series {
+                key,
+                kind,
+                busy_ns,
+                total_busy_ns,
+            });
+        }
+        Ok(tl)
+    }
+
+    /// Record the timeline into a metrics registry:
+    /// `timeline.bucket_busy_ns` (histogram, labeled `{series}`) with
+    /// one observation per bucket, `timeline.series_busy_ns` (counter,
+    /// labeled `{series}`) with the exact totals, and the scalar
+    /// `timeline.bucket_ns` gauge — so a scrape endpoint can expose
+    /// time-resolved utilization without shipping the trace.
+    pub fn record_into(&self, reg: &Registry) {
+        reg.describe(
+            "timeline.bucket_busy_ns",
+            "ns",
+            "per-bucket busy time of one utilization series",
+        );
+        reg.describe(
+            "timeline.series_busy_ns",
+            "ns",
+            "total busy time of one utilization series",
+        );
+        reg.describe("timeline.bucket_ns", "ns", "timeline bucket width");
+        reg.set_gauge("timeline.bucket_ns", &[], self.bucket_ns as f64);
+        for s in &self.series {
+            for &v in &s.busy_ns {
+                reg.observe("timeline.bucket_busy_ns", &[("series", &s.key)], v);
+            }
+            reg.inc(
+                "timeline.series_busy_ns",
+                &[("series", &s.key)],
+                s.total_busy_ns,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace_model::{PID_RESOURCES, PID_TENANTS};
+    use mcio_obs::TraceCollector;
+
+    fn model() -> TraceModel {
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "node0.nic_tx");
+        tc.name_thread(PID_RESOURCES, 1, "node0.membus");
+        tc.name_thread(PID_RESOURCES, 2, "ost0");
+        tc.name_thread(PID_RESOURCES, 3, "ost1");
+        tc.span("msg.0->1", "node0.nic_tx", PID_RESOURCES, 0, 0, 450);
+        tc.span("copy", "node0.membus", PID_RESOURCES, 1, 100, 100);
+        tc.span("io.1", "ost0", PID_RESOURCES, 2, 400, 600);
+        tc.span("io.2", "ost1", PID_RESOURCES, 3, 500, 300);
+        TraceModel::from_collector(&tc)
+    }
+
+    #[test]
+    fn buckets_integrate_to_class_busy_exactly() {
+        let m = model();
+        let tl = timeline(&m, 128); // deliberately awkward width
+        assert_eq!(tl.elapsed_ns, 1000);
+        assert_eq!(tl.buckets, 8);
+        for (class, key) in [
+            (ResourceClass::Network, "network"),
+            (ResourceClass::Memory, "memory"),
+            (ResourceClass::Storage, "storage"),
+        ] {
+            let ivs = m.class_busy_intervals(class);
+            let total: u64 = ivs.iter().map(|(a, b)| b - a).sum();
+            let s = tl.get(key).expect(key);
+            assert_eq!(s.total_busy_ns, total, "{key} integrates exactly");
+            assert_eq!(s.busy_ns.iter().sum::<u64>(), total);
+        }
+        // Per-OST series exist and are bounded by the bucket width.
+        let ost0 = tl.get("ost0").unwrap();
+        assert_eq!(ost0.kind, SeriesKind::Ost);
+        assert_eq!(ost0.total_busy_ns, 600);
+        assert!(ost0.busy_ns.iter().all(|&v| v <= 128));
+        assert_eq!(tl.get("ost1").unwrap().total_busy_ns, 300);
+    }
+
+    #[test]
+    fn default_bucket_width_is_deterministic() {
+        assert_eq!(default_bucket_ns(0), 1);
+        assert_eq!(default_bucket_ns(1), 1);
+        assert_eq!(default_bucket_ns(100), 1);
+        assert_eq!(default_bucket_ns(101), 2);
+        assert_eq!(default_bucket_ns(1_000_000), 10_000);
+    }
+
+    #[test]
+    fn json_round_trips_and_is_stable() {
+        let tl = timeline(&model(), 250);
+        let rendered = tl.to_json();
+        let parsed = Timeline::from_json(&rendered).expect("round trip");
+        assert_eq!(parsed, tl);
+        assert_eq!(parsed.to_json(), rendered, "render is a fixed point");
+        // Unknown top-level keys are accepted and ignored.
+        let with_extra = rendered.replace(
+            "\"schema\": \"mcio.timeline.v1\",",
+            "\"schema\": \"mcio.timeline.v1\",\n  \"future_key\": [1,2,3],",
+        );
+        assert_eq!(Timeline::from_json(&with_extra).expect("tolerant"), tl);
+        // Bad schemas are one-line errors.
+        let err = Timeline::from_json("{\"schema\": \"mcio.sweep.v1\"}").unwrap_err();
+        assert!(err.contains("mcio.timeline.v1"), "{err}");
+        assert!(!err.contains('\n'), "{err}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_bucket() {
+        let tl = timeline(&model(), 500);
+        let csv = tl.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,kind,bucket,start_ns,busy_ns");
+        // 5 series (3 classes + 2 OSTs) × 2 buckets.
+        assert_eq!(lines.len(), 1 + 5 * 2);
+        assert!(lines.contains(&"ost0,ost,1,500,500"), "{csv}");
+    }
+
+    #[test]
+    fn tenant_series_appear_only_for_prefixed_activity() {
+        assert!(timeline(&model(), 100)
+            .series
+            .iter()
+            .all(|s| s.kind != SeriesKind::Tenant));
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "ost0");
+        tc.span("j0.io.0", "ost0", PID_RESOURCES, 0, 0, 600);
+        tc.span("j1.io.0", "ost0", PID_RESOURCES, 0, 600, 400);
+        tc.name_process(PID_TENANTS, "tenants");
+        let tl = timeline(&TraceModel::from_collector(&tc), 250);
+        let j0 = tl.get("j0").expect("tenant series");
+        assert_eq!(j0.kind, SeriesKind::Tenant);
+        assert_eq!(j0.total_busy_ns, 600);
+        assert_eq!(tl.get("j1").unwrap().total_busy_ns, 400);
+        assert_eq!(j0.peak(), Some((0, 250)));
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_timeline() {
+        let tl = timeline(&TraceModel::default(), 100);
+        assert_eq!(tl.buckets, 0);
+        assert!(tl.series.is_empty());
+        assert_eq!(Timeline::from_json(&tl.to_json()).unwrap(), tl);
+    }
+
+    /// Timeline metrics survive a Prometheus scrape even when a lane
+    /// name (and therefore a series label) is hostile: the exporter
+    /// must keep one physical line per sample, escape the label, and
+    /// keep `_bucket`/`_sum`/`_count` consistent.
+    #[test]
+    fn prometheus_export_round_trips_hostile_series_labels() {
+        // "ost" substring makes the lane a storage series; the rest is
+        // exposition-format poison (backslash, quote, newline).
+        let hostile = "ost\\evil\"lane\n0";
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, hostile);
+        tc.span("io.0", hostile, PID_RESOURCES, 0, 0, 700);
+        tc.span("io.1", hostile, PID_RESOURCES, 0, 800, 200);
+        let tl = timeline(&TraceModel::from_collector(&tc), 250);
+        assert!(tl.get(hostile).is_some(), "hostile lane becomes a series");
+
+        let reg = Registry::new();
+        tl.record_into(&reg);
+        let prom = mcio_obs::export::to_prometheus(&reg.snapshot());
+
+        // The embedded newline must not split any sample line: every
+        // non-comment line is `name{labels} value`.
+        for line in prom.lines().filter(|l| !l.starts_with('#')) {
+            assert!(
+                line.starts_with("timeline_"),
+                "unbroken sample lines only, got: {line:?}"
+            );
+        }
+        let count_line = prom
+            .lines()
+            .find(|l| l.starts_with("timeline_bucket_busy_ns_count"))
+            .expect("histogram count present");
+        assert!(
+            count_line.contains("series=\"ost\\\\evil\\\"lane\\n0\""),
+            "label escaped: {count_line:?}"
+        );
+        assert!(
+            count_line.ends_with(&format!(" {}", tl.buckets)),
+            "{count_line}"
+        );
+        let sum_line = prom
+            .lines()
+            .find(|l| l.starts_with("timeline_bucket_busy_ns_sum"))
+            .unwrap();
+        assert!(
+            sum_line.ends_with(" 900"),
+            "sum equals total busy: {sum_line}"
+        );
+        // Cumulative buckets are non-decreasing and end at count.
+        let cumulative: Vec<u64> = prom
+            .lines()
+            .filter(|l| l.starts_with("timeline_bucket_busy_ns_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "{cumulative:?}"
+        );
+        assert_eq!(*cumulative.last().unwrap(), tl.buckets as u64);
+    }
+
+    #[test]
+    fn registry_recording_matches_totals() {
+        let tl = timeline(&model(), 250);
+        let reg = Registry::new();
+        tl.record_into(&reg);
+        let snap = reg.snapshot();
+        let total: u64 = snap
+            .counters
+            .iter()
+            .filter(|c| c.name == "timeline.series_busy_ns")
+            .map(|c| c.value)
+            .sum();
+        let expect: u64 = tl.series.iter().map(|s| s.total_busy_ns).sum();
+        assert_eq!(total, expect);
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "timeline.bucket_busy_ns")
+            .expect("bucket histogram recorded");
+        assert!(hist.count > 0);
+    }
+}

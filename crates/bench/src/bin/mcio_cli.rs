@@ -29,9 +29,19 @@
 //!
 //! The `analyze` subcommand consumes a `--trace` file and reports the
 //! critical path (network-shuffle / OST-I/O / memory-wait / idle),
-//! top-K longest round chains, per-aggregator I/O pressure, and
-//! resource-class service percentiles:
+//! top-K longest round chains, per-aggregator I/O pressure, straggler
+//! findings, and resource-class service percentiles:
 //! `mcio_cli analyze --trace FILE [--report text|json] [--top N]`.
+//! Adding `--timeline FILE` also writes the fixed-interval utilization
+//! time-series (`mcio.timeline.v1`) for every resource class, OST, and
+//! tenant lane: `[--timeline-format json|csv] [--bucket-ns N]`.
+//!
+//! The `diff` subcommand compares two runs and prints one line per
+//! change — critical-path bucket deltas, utilization-timeline deltas,
+//! straggler-set changes — so a regression names its cause. Inputs may
+//! be two Chrome traces, two `mcio.perf_suite.v1` documents, or two
+//! `mcio.analyze.v1` reports; identical runs print nothing and exit 0:
+//! `mcio_cli diff A B`.
 //!
 //! The `sweep` subcommand fans a buffer × pipeline × strategy grid
 //! across worker threads with a shared plan cache and writes a
@@ -48,7 +58,8 @@
 //! Unknown flags or subcommands exit 2; unreadable/unwritable files
 //! and `--jobs 0` exit 1. Nothing panics on bad input.
 
-use mcio_analyze::TraceModel;
+use mcio_analyze::{CriticalPath, RunDiff, TraceModel};
+use mcio_bench::perf::Record;
 use mcio_bench::{format_bytes, improvement_pct};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
@@ -90,9 +101,21 @@ const RUN_OPTS: &[&str] = &[
 /// Boolean flags in run mode.
 const RUN_FLAGS: &[&str] = &["two-level", "help"];
 /// Flags that take a value in analyze mode.
-const ANALYZE_OPTS: &[&str] = &["trace", "report", "top"];
+const ANALYZE_OPTS: &[&str] = &[
+    "trace",
+    "report",
+    "top",
+    "timeline",
+    "timeline-format",
+    "bucket-ns",
+];
 /// Boolean flags in analyze mode.
 const ANALYZE_FLAGS: &[&str] = &["help"];
+/// Flags that take a value in diff mode (none today; inputs are
+/// positional).
+const DIFF_OPTS: &[&str] = &[];
+/// Boolean flags in diff mode.
+const DIFF_FLAGS: &[&str] = &["help"];
 /// Flags that take a value in sweep mode.
 const SWEEP_OPTS: &[&str] = &["jobs", "out", "ranks", "ppn", "seed"];
 /// Boolean flags in sweep mode.
@@ -153,10 +176,14 @@ fn main() {
             args.remove(0);
             run_multitenant_cmd(&args);
         }
+        Some("diff") => {
+            args.remove(0);
+            run_diff(&args);
+        }
         Some(first) if !first.starts_with("--") => {
             eprintln!(
                 "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, \
-                 `multitenant`, or run flags)"
+                 `multitenant`, `diff`, or run flags)"
             );
             exit(2);
         }
@@ -164,11 +191,15 @@ fn main() {
     }
 }
 
-/// `mcio_cli analyze --trace FILE [--report text|json] [--top N]`
+/// `mcio_cli analyze --trace FILE [--report text|json] [--top N]
+/// [--timeline FILE [--timeline-format json|csv] [--bucket-ns N]]`
 fn run_analyze(args: &[String]) {
     let (opts, flags) = parse_args(args, ANALYZE_OPTS, ANALYZE_FLAGS, "analyze");
     if flags.iter().any(|f| f == "help") {
-        println!("usage: mcio_cli analyze --trace FILE [--report text|json] [--top N]");
+        println!(
+            "usage: mcio_cli analyze --trace FILE [--report text|json] [--top N] \
+             [--timeline FILE [--timeline-format json|csv] [--bucket-ns N]]"
+        );
         exit(0);
     }
     let Some(path) = opts.get("trace") else {
@@ -187,6 +218,21 @@ fn run_analyze(args: &[String]) {
         eprintln!("mcio_cli analyze: --report must be text|json, got `{report}`");
         exit(2);
     }
+    let tl_format = opts
+        .get("timeline-format")
+        .map(String::as_str)
+        .unwrap_or("json");
+    if !matches!(tl_format, "json" | "csv") {
+        eprintln!("mcio_cli analyze: --timeline-format must be json|csv, got `{tl_format}`");
+        exit(2);
+    }
+    let bucket_override: Option<u64> = opts.get("bucket-ns").map(|raw| match raw.parse() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("mcio_cli analyze: --bucket-ns must be a positive integer, got `{raw}`");
+            exit(2);
+        }
+    });
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -201,10 +247,187 @@ fn run_analyze(args: &[String]) {
             exit(1);
         }
     };
+    if let Some(tl_path) = opts.get("timeline") {
+        let bucket_ns =
+            bucket_override.unwrap_or_else(|| mcio_analyze::default_bucket_ns(model.makespan_ns()));
+        let tl = mcio_analyze::timeline(&model, bucket_ns);
+        let body = match tl_format {
+            "csv" => tl.to_csv(),
+            _ => tl.to_json(),
+        };
+        if let Err(e) = std::fs::write(tl_path, body) {
+            eprintln!("mcio_cli analyze: cannot write timeline to {tl_path}: {e}");
+            exit(1);
+        }
+        // Status goes to stderr so `--report json` stdout stays a pure
+        // JSON document.
+        eprintln!("mcio_cli analyze: timeline written to {tl_path}");
+    }
     let analysis = mcio_analyze::analyze(&model, top);
     match report {
         "json" => print!("{}", analysis.to_json()),
         _ => print!("{}", analysis.to_text()),
+    }
+}
+
+/// One side of a `mcio_cli diff` comparison: a raw Chrome trace, a
+/// `mcio.perf_suite.v1` document, or a `mcio.analyze.v1` report
+/// (reduced to what it carries — elapsed time and the critical-path
+/// buckets; unknown top-level keys are ignored).
+enum DiffDoc {
+    Trace(Box<TraceModel>),
+    Perf(Vec<Record>),
+    Analyze { elapsed_ns: u64, cp: CriticalPath },
+}
+
+impl DiffDoc {
+    fn kind(&self) -> &'static str {
+        match self {
+            DiffDoc::Trace(_) => "chrome trace",
+            DiffDoc::Perf(_) => "perf_suite document",
+            DiffDoc::Analyze { .. } => "analyze report",
+        }
+    }
+}
+
+/// Read one diff input, sniffing its kind: a JSON array is a Chrome
+/// trace; a JSON object is dispatched on its `schema` stamp. Every
+/// failure is a one-line exit 1.
+fn load_diff_doc(path: &str) -> DiffDoc {
+    use mcio_obs::json::{self, JsonValue};
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli diff: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    if text.trim_start().starts_with('[') {
+        match TraceModel::from_chrome_json(&text) {
+            Ok(m) => return DiffDoc::Trace(Box::new(m)),
+            Err(e) => {
+                eprintln!("mcio_cli diff: {path} is not a chrome trace: {e}");
+                exit(1);
+            }
+        }
+    }
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mcio_cli diff: {path} is not valid JSON: {e}");
+            exit(1);
+        }
+    };
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mcio.perf_suite.v1") => match mcio_bench::perf::parse_records(&text) {
+            Ok(records) => DiffDoc::Perf(records),
+            Err(e) => {
+                eprintln!("mcio_cli diff: {path}: {e}");
+                exit(1);
+            }
+        },
+        Some("mcio.analyze.v1") => {
+            let num = |v: &JsonValue, key: &str| -> u64 {
+                v.get(key).and_then(JsonValue::as_f64).unwrap_or_else(|| {
+                    eprintln!("mcio_cli diff: {path}: analyze report is missing `{key}`");
+                    exit(1);
+                }) as u64
+            };
+            let elapsed_ns = num(&doc, "elapsed_ns");
+            let Some(cp) = doc.get("critical_path") else {
+                eprintln!("mcio_cli diff: {path}: analyze report is missing `critical_path`");
+                exit(1);
+            };
+            DiffDoc::Analyze {
+                elapsed_ns,
+                cp: CriticalPath {
+                    elapsed_ns,
+                    network_shuffle_ns: num(cp, "network_shuffle_ns"),
+                    ost_io_ns: num(cp, "ost_io_ns"),
+                    memory_wait_ns: num(cp, "memory_wait_ns"),
+                    retry_degraded_ns: num(cp, "retry_degraded_ns"),
+                    idle_ns: num(cp, "idle_ns"),
+                },
+            }
+        }
+        Some(other) => {
+            eprintln!(
+                "mcio_cli diff: {path}: unsupported schema `{other}` (expected a chrome trace, \
+                 mcio.perf_suite.v1, or mcio.analyze.v1)"
+            );
+            exit(1);
+        }
+        None => {
+            eprintln!("mcio_cli diff: {path}: not a chrome trace and carries no `schema` stamp");
+            exit(1);
+        }
+    }
+}
+
+/// `mcio_cli diff A B` — differential run attribution.
+///
+/// Compares two runs of the same document kind and prints one line per
+/// change; identical runs print nothing and exit 0. Traces diff
+/// through every lens (critical-path buckets, utilization timelines,
+/// straggler sets); perf_suite documents diff per (scenario, strategy)
+/// cell; analyze reports diff elapsed time and critical-path buckets.
+fn run_diff(args: &[String]) {
+    let (inputs, flag_args): (Vec<String>, Vec<String>) =
+        args.iter().cloned().partition(|a| !a.starts_with("--"));
+    let (_, flags) = parse_args(&flag_args, DIFF_OPTS, DIFF_FLAGS, "diff");
+    if flags.iter().any(|f| f == "help") {
+        println!("usage: mcio_cli diff A B   (two traces, perf_suite, or analyze documents)");
+        exit(0);
+    }
+    let [a_path, b_path] = inputs.as_slice() else {
+        eprintln!(
+            "mcio_cli diff: expected exactly two input files, got {}",
+            inputs.len()
+        );
+        exit(2);
+    };
+    let a = load_diff_doc(a_path);
+    let b = load_diff_doc(b_path);
+    match (&a, &b) {
+        (DiffDoc::Trace(ma), DiffDoc::Trace(mb)) => {
+            print!("{}", mcio_analyze::diff_models(ma, mb).to_text());
+        }
+        (DiffDoc::Perf(ra), DiffDoc::Perf(rb)) => {
+            for line in mcio_bench::perf::diff_records(ra, rb) {
+                println!("{line}");
+            }
+        }
+        (
+            DiffDoc::Analyze {
+                elapsed_ns: ea,
+                cp: cpa,
+            },
+            DiffDoc::Analyze {
+                elapsed_ns: eb,
+                cp: cpb,
+            },
+        ) => {
+            // Reuse the trace diff's rendering for the lenses an
+            // analyze report carries.
+            let d = RunDiff {
+                elapsed_a_ns: *ea,
+                elapsed_b_ns: *eb,
+                bucket_ns: 0,
+                bucket_deltas: mcio_analyze::diff_critical_paths(cpa, cpb),
+                timeline_deltas: Vec::new(),
+                stragglers_added: Vec::new(),
+                stragglers_removed: Vec::new(),
+            };
+            print!("{}", d.to_text());
+        }
+        _ => {
+            eprintln!(
+                "mcio_cli diff: cannot compare {a_path} ({}) against {b_path} ({})",
+                a.kind(),
+                b.kind()
+            );
+            exit(1);
+        }
     }
 }
 

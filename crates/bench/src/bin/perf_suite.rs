@@ -17,11 +17,16 @@
 //! at any thread count. `--check BASELINE.json` additionally gates the
 //! fresh run against a previous document: any (scenario, strategy)
 //! whose elapsed simulated time grew by more than `--tolerance`
-//! (relative, default 0.05) fails the run with exit 1. Unknown flags
-//! exit 2; unreadable baselines, unwritable outputs, or `--jobs 0`
-//! exit 1.
+//! (relative, default 0.05) fails the run with exit 1, naming the
+//! critical-path bucket whose growth explains most of the slowdown
+//! (e.g. `cause: ost_io +1.2 ms (+12.0%)`) and — when the re-traced
+//! cell shows one — the straggling chain/aggregator/OST driving it.
+//! Unknown flags exit 2; unreadable baselines, unwritable outputs, or
+//! `--jobs 0` exit 1.
 
-use mcio_bench::perf::{parse_records, regressions, render_records, run_suite_jobs};
+use mcio_bench::perf::{
+    cell_stragglers, parse_records, regressions_detailed, render_records, run_suite_jobs,
+};
 use std::process::exit;
 
 fn main() {
@@ -109,7 +114,7 @@ fn main() {
     println!("wrote {out_path}");
 
     if let Some(base) = baseline {
-        let bad = regressions(&records, &base, tolerance);
+        let bad = regressions_detailed(&records, &base, tolerance);
         if bad.is_empty() {
             println!(
                 "regression gate: ok ({} records within {:.1}% of baseline)",
@@ -118,7 +123,12 @@ fn main() {
             );
         } else {
             for b in &bad {
-                eprintln!("perf_suite: REGRESSION {b}");
+                eprintln!("perf_suite: REGRESSION {}", b.message);
+                // Name who inflated the bucket: re-run the offending
+                // cell traced and report its top straggler, if any.
+                if let Some(s) = cell_stragglers(&b.scenario, &b.strategy).first() {
+                    eprintln!("perf_suite:   driven by {}", s.describe());
+                }
             }
             exit(1);
         }

@@ -91,10 +91,12 @@ pub struct Record {
 }
 
 /// Run one (scenario, strategy) cell, traced, and reduce it to a
-/// [`Record`]. Every cell is a self-contained simulation — its own DES
-/// instance, workload, and trace — so cells can run on any thread in
-/// any order without changing their results.
-pub fn run_cell(s: &Scenario, strategy: Strategy) -> Record {
+/// [`Record`] plus the trace model it was reduced from (the `--check`
+/// failure path mines the model for stragglers). Every cell is a
+/// self-contained simulation — its own DES instance, workload, and
+/// trace — so cells can run on any thread in any order without
+/// changing their results.
+pub fn run_cell_with_model(s: &Scenario, strategy: Strategy) -> (Record, TraceModel) {
     let (spec, req) = (s.make)();
     let harness = Harness::new(spec, s.ranks, TESTBED_PPN, s.seed);
     let cfg = harness.config_for(&req, s.buffer);
@@ -116,14 +118,38 @@ pub fn run_cell(s: &Scenario, strategy: Strategy) -> Record {
     );
     let model = TraceModel::from_chrome_json(&trace_json.expect("trace requested"))
         .expect("simulator emits a valid chrome trace");
-    Record {
+    let record = Record {
         scenario: s.name.to_string(),
         strategy: strategy.label().to_string(),
         elapsed_ns: timing.elapsed.as_nanos(),
         exchange_fraction: timing.metrics.exchange_fraction,
         io_fraction: timing.metrics.io_fraction,
         critical_path: critical_path(&model),
-    }
+    };
+    (record, model)
+}
+
+/// Run one (scenario, strategy) cell, traced, and reduce it to a
+/// [`Record`].
+pub fn run_cell(s: &Scenario, strategy: Strategy) -> Record {
+    run_cell_with_model(s, strategy).0
+}
+
+/// Re-run one named cell traced and return its straggler findings,
+/// highest score first. Used by the `perf_suite --check` failure path
+/// to name *who* inflated the regressed bucket. Unknown cells yield an
+/// empty list rather than an error — the caller is already reporting a
+/// failure.
+pub fn cell_stragglers(scenario: &str, strategy_label: &str) -> Vec<mcio_analyze::Straggler> {
+    let Some(s) = scenarios().into_iter().find(|s| s.name == scenario) else {
+        return Vec::new();
+    };
+    let strategy = match strategy_label {
+        "two-phase" => Strategy::TwoPhase,
+        _ => Strategy::MemoryConscious,
+    };
+    let (_, model) = run_cell_with_model(&s, strategy);
+    mcio_analyze::stragglers(&model)
 }
 
 /// Run one scenario under both strategies, traced, and reduce each run
@@ -247,11 +273,64 @@ pub fn parse_records(input: &str) -> Result<Vec<Record>, String> {
     Ok(out)
 }
 
-/// Gate `current` against `baseline`: one message per (scenario,
-/// strategy) whose elapsed time grew by more than `tolerance`
-/// (relative). Pairs absent from the baseline are ignored — a new
-/// scenario is not a regression.
-pub fn regressions(current: &[Record], baseline: &[Record], tolerance: f64) -> Vec<String> {
+/// The five critical-path buckets of a record, as `(label, ns)` in
+/// canonical order.
+fn cp_buckets(cp: &CriticalPath) -> [(&'static str, u64); 5] {
+    [
+        ("network_shuffle", cp.network_shuffle_ns),
+        ("ost_io", cp.ost_io_ns),
+        ("memory_wait", cp.memory_wait_ns),
+        ("retry_degraded", cp.retry_degraded_ns),
+        ("idle", cp.idle_ns),
+    ]
+}
+
+/// The bucket whose growth explains most of a slowdown:
+/// `(label, delta_ns, pct_of_base)`. `None` when no bucket grew.
+fn dominant_bucket_growth(
+    cur: &CriticalPath,
+    base: &CriticalPath,
+) -> Option<(&'static str, i64, f64)> {
+    cp_buckets(cur)
+        .into_iter()
+        .zip(cp_buckets(base))
+        .filter_map(|((label, c), (_, b))| {
+            let delta = c as i64 - b as i64;
+            (delta > 0).then(|| {
+                let pct = if b == 0 {
+                    100.0
+                } else {
+                    delta as f64 / b as f64 * 100.0
+                };
+                (label, delta, pct)
+            })
+        })
+        .max_by_key(|&(_, delta, _)| delta)
+}
+
+/// One regressed (scenario, strategy) pair, with the attribution data
+/// the caller needs to explain and investigate it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario key (`fig6`...).
+    pub scenario: String,
+    /// Strategy label (`two-phase` / `memory-conscious`).
+    pub strategy: String,
+    /// The human message, including the bucket-level cause when one
+    /// bucket grew.
+    pub message: String,
+}
+
+/// Gate `current` against `baseline`: one [`Regression`] per
+/// (scenario, strategy) whose elapsed time grew by more than
+/// `tolerance` (relative), each naming the critical-path bucket whose
+/// growth explains most of the slowdown. Pairs absent from the
+/// baseline are ignored — a new scenario is not a regression.
+pub fn regressions_detailed(
+    current: &[Record],
+    baseline: &[Record],
+    tolerance: f64,
+) -> Vec<Regression> {
     let mut out = Vec::new();
     for cur in current {
         let Some(base) = baseline
@@ -265,7 +344,7 @@ pub fn regressions(current: &[Record], baseline: &[Record], tolerance: f64) -> V
         }
         let ratio = cur.elapsed_ns as f64 / base.elapsed_ns as f64;
         if ratio > 1.0 + tolerance {
-            out.push(format!(
+            let mut message = format!(
                 "{}/{}: elapsed {:.3} ms -> {:.3} ms ({:+.1}%, tolerance {:.1}%)",
                 cur.scenario,
                 cur.strategy,
@@ -273,6 +352,105 @@ pub fn regressions(current: &[Record], baseline: &[Record], tolerance: f64) -> V
                 cur.elapsed_ns as f64 / 1e6,
                 (ratio - 1.0) * 100.0,
                 tolerance * 100.0,
+            );
+            if let Some((label, delta, pct)) =
+                dominant_bucket_growth(&cur.critical_path, &base.critical_path)
+            {
+                message.push_str(&format!(
+                    "; cause: {label} {:+.3} ms ({pct:+.1}%)",
+                    delta as f64 / 1e6
+                ));
+            }
+            out.push(Regression {
+                scenario: cur.scenario.clone(),
+                strategy: cur.strategy.clone(),
+                message,
+            });
+        }
+    }
+    out
+}
+
+/// Gate `current` against `baseline`, returning one message per
+/// regressed pair (the flat form of [`regressions_detailed`]).
+pub fn regressions(current: &[Record], baseline: &[Record], tolerance: f64) -> Vec<String> {
+    regressions_detailed(current, baseline, tolerance)
+        .into_iter()
+        .map(|r| r.message)
+        .collect()
+}
+
+/// Diff two perf-suite documents cell by cell: one line per
+/// (scenario, strategy) that differs, empty for identical documents.
+/// Cells present in only one document are reported as such; shared
+/// cells report the elapsed change plus every critical-path bucket
+/// delta. Deterministic: line order follows `a`'s record order, then
+/// `b`-only cells in `b` order.
+pub fn diff_records(a: &[Record], b: &[Record]) -> Vec<String> {
+    let mut out = Vec::new();
+    for ra in a {
+        let Some(rb) = b
+            .iter()
+            .find(|r| r.scenario == ra.scenario && r.strategy == ra.strategy)
+        else {
+            out.push(format!(
+                "{}/{}: only in first document",
+                ra.scenario, ra.strategy
+            ));
+            continue;
+        };
+        if ra == rb {
+            continue;
+        }
+        let mut line = format!("{}/{}:", ra.scenario, ra.strategy);
+        if ra.elapsed_ns != rb.elapsed_ns {
+            let pct = if ra.elapsed_ns == 0 {
+                0.0
+            } else {
+                (rb.elapsed_ns as f64 / ra.elapsed_ns as f64 - 1.0) * 100.0
+            };
+            line.push_str(&format!(
+                " elapsed {:.3} ms -> {:.3} ms ({pct:+.1}%);",
+                ra.elapsed_ns as f64 / 1e6,
+                rb.elapsed_ns as f64 / 1e6
+            ));
+        }
+        let mut deltas = Vec::new();
+        for ((label, va), (_, vb)) in cp_buckets(&ra.critical_path)
+            .into_iter()
+            .zip(cp_buckets(&rb.critical_path))
+        {
+            let delta = vb as i64 - va as i64;
+            if delta != 0 {
+                deltas.push(format!("{label} {:+.3} ms", delta as f64 / 1e6));
+            }
+        }
+        if (ra.exchange_fraction - rb.exchange_fraction).abs() > 0.0 {
+            deltas.push(format!(
+                "exchange_fraction {:.6} -> {:.6}",
+                ra.exchange_fraction, rb.exchange_fraction
+            ));
+        }
+        if (ra.io_fraction - rb.io_fraction).abs() > 0.0 {
+            deltas.push(format!(
+                "io_fraction {:.6} -> {:.6}",
+                ra.io_fraction, rb.io_fraction
+            ));
+        }
+        if !deltas.is_empty() {
+            line.push(' ');
+            line.push_str(&deltas.join(", "));
+        }
+        out.push(line);
+    }
+    for rb in b {
+        if !a
+            .iter()
+            .any(|r| r.scenario == rb.scenario && r.strategy == rb.strategy)
+        {
+            out.push(format!(
+                "{}/{}: only in second document",
+                rb.scenario, rb.strategy
             ));
         }
     }
@@ -366,5 +544,72 @@ mod tests {
     fn scenario_matrix_is_stable() {
         let names: Vec<_> = scenarios().iter().map(|s| s.name).collect();
         assert_eq!(names, ["fig6", "fig7", "fig8"]);
+    }
+
+    #[test]
+    fn regressions_name_the_grown_bucket() {
+        let base = vec![record("fig7", "memory-conscious", 1_000_000)];
+        // record() scales every bucket with elapsed, so ost_io (half of
+        // elapsed) grows the most: +60_000 ns of the +120_000 total.
+        let found = regressions_detailed(
+            &[record("fig7", "memory-conscious", 1_120_000)],
+            &base,
+            0.05,
+        );
+        assert_eq!(found.len(), 1);
+        let r = &found[0];
+        assert_eq!(
+            (r.scenario.as_str(), r.strategy.as_str()),
+            ("fig7", "memory-conscious")
+        );
+        assert!(
+            r.message.contains("cause: ost_io +0.060 ms (+12.0%)"),
+            "{}",
+            r.message
+        );
+        // The flat form carries the same message.
+        assert_eq!(
+            regressions(
+                &[record("fig7", "memory-conscious", 1_120_000)],
+                &base,
+                0.05
+            ),
+            vec![r.message.clone()]
+        );
+    }
+
+    #[test]
+    fn identical_documents_diff_to_nothing() {
+        let recs = vec![
+            record("fig6", "two-phase", 1_000_000),
+            record("fig6", "memory-conscious", 800_000),
+        ];
+        assert!(diff_records(&recs, &recs).is_empty());
+        // And through a render/parse round trip.
+        let parsed = parse_records(&render_records(&recs)).unwrap();
+        assert!(diff_records(&recs, &parsed).is_empty());
+    }
+
+    #[test]
+    fn differing_cells_report_bucket_deltas_and_orphans() {
+        let a = vec![
+            record("fig6", "two-phase", 1_000_000),
+            record("fig7", "two-phase", 2_000_000),
+        ];
+        let b = vec![
+            record("fig6", "two-phase", 1_200_000),
+            record("fig8", "two-phase", 3_000_000),
+        ];
+        let lines = diff_records(&a, &b);
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("fig6/two-phase"), "{}", lines[0]);
+        assert!(
+            lines[0].contains("elapsed 1.000 ms -> 1.200 ms (+20.0%)"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[0].contains("ost_io +0.100 ms"), "{}", lines[0]);
+        assert_eq!(lines[1], "fig7/two-phase: only in first document");
+        assert_eq!(lines[2], "fig8/two-phase: only in second document");
     }
 }

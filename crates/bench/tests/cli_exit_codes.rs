@@ -263,6 +263,251 @@ fn faults_garbage_spec_exits_1_with_one_line_error() {
     assert!(!err.contains("panicked"), "{err}");
 }
 
+#[test]
+fn diff_unknown_flag_exits_2() {
+    let out = run(&["diff", "--verbose", "a.json", "b.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --verbose"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn diff_wrong_arity_exits_2() {
+    for args in [&["diff"][..], &["diff", "only-one.json"][..]] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2));
+        assert!(stderr(&out).contains("exactly two input files"));
+    }
+}
+
+#[test]
+fn diff_unreadable_input_exits_1_with_one_line_error() {
+    let out = run(&["diff", "/no/such/a.json", "/no/such/b.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot read"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn diff_unsupported_schema_exits_1() {
+    let path = tmp("diff_weird.json");
+    std::fs::write(&path, "{\"schema\": \"mcio.mystery.v9\"}\n").unwrap();
+    let path_s = path.to_str().unwrap().to_owned();
+    let out = run(&["diff", &path_s, &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unsupported schema `mcio.mystery.v9`"),
+        "{err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn diff_schemaless_object_exits_1() {
+    let path = tmp("diff_schemaless.json");
+    std::fs::write(&path, "{\"points\": []}\n").unwrap();
+    let path_s = path.to_str().unwrap().to_owned();
+    let out = run(&["diff", &path_s, &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("no `schema` stamp"));
+}
+
+/// Write one tiny trace and return its path (caller removes it).
+fn write_tiny_trace(name: &str, extra: &[&str]) -> PathBuf {
+    let path = tmp(name);
+    let path_s = path.to_str().unwrap().to_owned();
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(extra);
+    args.extend_from_slice(&["--trace", &path_s]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    path
+}
+
+/// The tentpole determinism contract: a run diffed against itself
+/// prints exactly nothing and exits 0.
+#[test]
+fn diff_identical_traces_prints_nothing() {
+    let path = write_tiny_trace("diff_same.json", &[]);
+    let path_s = path.to_str().unwrap().to_owned();
+    let out = run(&["diff", &path_s, &path_s]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        out.stdout.is_empty(),
+        "expected empty diff, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+/// Two different runs diff to attribution lines: elapsed plus at least
+/// one critical_path bucket delta.
+#[test]
+fn diff_differing_traces_names_buckets() {
+    let a = write_tiny_trace("diff_a.json", &[]);
+    let b = write_tiny_trace("diff_b.json", &["--strategy", "two-phase"]);
+    let out = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("elapsed: "), "{text}");
+    assert!(text.contains("critical_path["), "{text}");
+}
+
+#[test]
+fn diff_mismatched_kinds_exits_1() {
+    let trace = write_tiny_trace("diff_kind.json", &[]);
+    let perf = tmp("diff_kind_analyze.json");
+    let trace_s = trace.to_str().unwrap().to_owned();
+    let out = run(&["analyze", "--trace", &trace_s, "--report", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    std::fs::write(&perf, &out.stdout).unwrap();
+    let out = run(&["diff", &trace_s, perf.to_str().unwrap()]);
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&perf).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot compare"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+}
+
+/// Two analyze reports diff through their critical-path buckets, and a
+/// report diffed against itself is empty — even with unknown top-level
+/// keys injected (the re-parser must ignore what it does not know).
+#[test]
+fn diff_analyze_reports_and_ignores_unknown_keys() {
+    let trace = write_tiny_trace("diff_report.json", &[]);
+    let out = run(&[
+        "analyze",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--report",
+        "json",
+    ]);
+    std::fs::remove_file(&trace).ok();
+    assert_eq!(out.status.code(), Some(0));
+    let doc = String::from_utf8_lossy(&out.stdout).into_owned();
+    let doctored = doc.replacen(
+        "\"elapsed_ns\"",
+        "\"future_extension\": {\"nested\": [1, 2]},\n  \"elapsed_ns\"",
+        1,
+    );
+    assert_ne!(doc, doctored, "injection must land");
+    let a = tmp("diff_report_a.json");
+    let b = tmp("diff_report_b.json");
+    std::fs::write(&a, &doc).unwrap();
+    std::fs::write(&b, &doctored).unwrap();
+    let out = run(&["diff", a.to_str().unwrap(), b.to_str().unwrap()]);
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        out.stdout.is_empty(),
+        "unknown keys changed the diff: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn analyze_timeline_writes_schema_stamped_json() {
+    let trace = write_tiny_trace("tl_trace.json", &[]);
+    let tl = tmp("tl_out.json");
+    let out = run(&[
+        "analyze",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--timeline",
+        tl.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let body = std::fs::read_to_string(&tl).unwrap();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&tl).ok();
+    assert!(
+        body.starts_with("{\n  \"schema\": \"mcio.timeline.v1\",\n"),
+        "{body}"
+    );
+    // stdout stays the analysis report; the timeline notice is stderr.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("== critical path =="));
+}
+
+#[test]
+fn analyze_timeline_csv_has_header() {
+    let trace = write_tiny_trace("tl_csv_trace.json", &[]);
+    let tl = tmp("tl_out.csv");
+    let out = run(&[
+        "analyze",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--timeline",
+        tl.to_str().unwrap(),
+        "--timeline-format",
+        "csv",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let body = std::fs::read_to_string(&tl).unwrap();
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&tl).ok();
+    assert!(
+        body.starts_with("series,kind,bucket,start_ns,busy_ns\n"),
+        "{body}"
+    );
+}
+
+#[test]
+fn analyze_bad_timeline_format_exits_2() {
+    let out = run(&[
+        "analyze",
+        "--trace",
+        "x.json",
+        "--timeline",
+        "t.json",
+        "--timeline-format",
+        "xml",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--timeline-format must be json|csv"));
+}
+
+#[test]
+fn analyze_bucket_ns_zero_exits_2() {
+    let out = run(&[
+        "analyze",
+        "--trace",
+        "x.json",
+        "--timeline",
+        "t.json",
+        "--bucket-ns",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--bucket-ns must be a positive integer"));
+}
+
+#[test]
+fn analyze_unwritable_timeline_exits_1() {
+    let trace = write_tiny_trace("tl_unwritable.json", &[]);
+    let out = run(&[
+        "analyze",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--timeline",
+        "/nonexistent-dir/tl.json",
+    ]);
+    std::fs::remove_file(&trace).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write timeline"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
 /// A valid fault plan runs to exit 0 and the summary names the faulted
 /// execution: both strategy outcome lines plus the fault event count.
 #[test]

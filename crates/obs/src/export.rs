@@ -384,6 +384,76 @@ mod tests {
         assert!(line.contains("d\te"), "tab passes through: {line:?}");
     }
 
+    /// The exposition contract for histograms, end to end: `le` bounds
+    /// strictly increase, cumulative `_bucket` counts never decrease,
+    /// the `+Inf` bucket equals `_count`, and `_sum`/`_count` agree
+    /// exactly with the observations that were recorded.
+    #[test]
+    fn prometheus_histogram_sum_count_and_bucket_consistency() {
+        let observations: &[u64] = &[100, 4096, 4096, 65536, 1, 999_999];
+        let r = Registry::new();
+        r.describe("svc.wait.ns", "ns", "service wait");
+        for &v in observations {
+            r.observe("svc.wait.ns", &[("class", "ost")], v);
+        }
+        let prom = to_prometheus(&r.snapshot());
+
+        let mut bounds: Vec<f64> = Vec::new();
+        let mut cumulative: Vec<u64> = Vec::new();
+        for line in prom.lines().filter(|l| l.starts_with("svc_wait_ns_bucket")) {
+            let le_start = line.find("le=\"").unwrap() + 4;
+            let le_end = line[le_start..].find('"').unwrap() + le_start;
+            let le = &line[le_start..le_end];
+            if le != "+Inf" {
+                bounds.push(le.parse().unwrap());
+            }
+            cumulative.push(line.rsplit(' ').next().unwrap().parse().unwrap());
+        }
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "le bounds strictly increase: {bounds:?}"
+        );
+        assert!(
+            cumulative.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative counts non-decreasing: {cumulative:?}"
+        );
+        assert_eq!(
+            *cumulative.last().unwrap(),
+            observations.len() as u64,
+            "+Inf bucket equals the observation count"
+        );
+
+        let scrape = |suffix: &str| -> f64 {
+            prom.lines()
+                .find(|l| l.starts_with(&format!("svc_wait_ns_{suffix}")))
+                .unwrap_or_else(|| panic!("{suffix} series present: {prom}"))
+                .rsplit(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(scrape("count"), observations.len() as f64);
+        assert_eq!(scrape("sum"), observations.iter().sum::<u64>() as f64);
+    }
+
+    /// Each labeled histogram series expands independently: two label
+    /// sets under one metric name share a single TYPE header but keep
+    /// separate `_sum`/`_count`/`_bucket` families.
+    #[test]
+    fn prometheus_histogram_label_sets_stay_separate() {
+        let r = Registry::new();
+        r.observe("m.ns", &[("ost", "0")], 10);
+        r.observe("m.ns", &[("ost", "1")], 20);
+        r.observe("m.ns", &[("ost", "1")], 30);
+        let prom = to_prometheus(&r.snapshot());
+        assert_eq!(prom.matches("# TYPE m_ns histogram").count(), 1);
+        assert!(prom.contains("m_ns_count{ost=\"0\"} 1"), "{prom}");
+        assert!(prom.contains("m_ns_count{ost=\"1\"} 2"), "{prom}");
+        assert!(prom.contains("m_ns_sum{ost=\"0\"} 10"), "{prom}");
+        assert!(prom.contains("m_ns_sum{ost=\"1\"} 50"), "{prom}");
+    }
+
     #[test]
     fn empty_snapshot_exports() {
         let snap = Snapshot::default();

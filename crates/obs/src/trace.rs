@@ -34,6 +34,17 @@ impl Span {
     pub fn end_ns(&self) -> u64 {
         self.start_ns + self.dur_ns
     }
+
+    /// Length of the span's intersection with the half-open window
+    /// `[lo, hi)`, in nanoseconds. Zero for disjoint windows. This is
+    /// the primitive the timeline sweep buckets spans with: summing
+    /// `overlap_ns` over a tiling of `[0, end)` reproduces `dur_ns`
+    /// exactly (integer arithmetic, no rounding).
+    pub fn overlap_ns(&self, lo: u64, hi: u64) -> u64 {
+        let a = self.start_ns.max(lo);
+        let b = self.end_ns().min(hi);
+        b.saturating_sub(a)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -109,6 +120,19 @@ impl TraceCollector {
     /// service interval).
     pub fn visit_spans<R>(&self, f: impl FnOnce(&[Span]) -> R) -> R {
         f(&self.lock().spans)
+    }
+
+    /// Run `f` over every span of one subsystem group (`pid`), without
+    /// cloning the span store. Timeline sweeps iterate a single pid's
+    /// lanes many times; this keeps those passes allocation-free.
+    pub fn visit_pid_spans<R>(
+        &self,
+        pid: u64,
+        f: impl FnOnce(&mut dyn Iterator<Item = &Span>) -> R,
+    ) -> R {
+        let inner = self.lock();
+        let mut it = inner.spans.iter().filter(|s| s.pid == pid);
+        f(&mut it)
     }
 
     /// Registered `(pid, name)` process-name metadata, in registration
@@ -270,6 +294,38 @@ mod tests {
         let t = TraceCollector::new();
         t.span("quo\"ted", "c\\at", 0, 0, 0, 1);
         assert!(crate::json::parse(&t.chrome_trace_json()).is_ok());
+    }
+
+    #[test]
+    fn overlap_is_exact_under_any_tiling() {
+        let s = Span {
+            name: "x".into(),
+            cat: "c".into(),
+            pid: 1,
+            tid: 0,
+            start_ns: 350,
+            dur_ns: 900,
+            args: Vec::new(),
+        };
+        assert_eq!(s.overlap_ns(0, 350), 0, "disjoint left");
+        assert_eq!(s.overlap_ns(1250, 2000), 0, "disjoint right");
+        assert_eq!(s.overlap_ns(0, 10_000), 900, "containment");
+        assert_eq!(s.overlap_ns(400, 500), 100, "interior window");
+        // Tiling [0, 1300) with buckets of 400 reproduces dur exactly.
+        let total: u64 = (0..4).map(|i| s.overlap_ns(i * 400, (i + 1) * 400)).sum();
+        assert_eq!(total, s.dur_ns);
+    }
+
+    #[test]
+    fn visit_pid_spans_filters_one_group() {
+        let t = TraceCollector::new();
+        t.span("a", "c", 1, 0, 0, 10);
+        t.span("b", "c", 2, 0, 0, 10);
+        t.span("c", "c", 1, 1, 20, 5);
+        let names: Vec<String> = t.visit_pid_spans(1, |it| it.map(|s| s.name.clone()).collect());
+        assert_eq!(names, ["a", "c"]);
+        let none: usize = t.visit_pid_spans(9, |it| it.count());
+        assert_eq!(none, 0);
     }
 
     #[test]
