@@ -110,6 +110,7 @@ fn run_cell(tenants: usize, strategy: Strategy, jobs: &[TenantJob]) -> CellOutco
         Observe {
             registry: None,
             trace: false,
+            prof: None,
         },
     );
     let mut errors = Vec::new();

@@ -110,6 +110,7 @@ fn run_cell(
         Observe {
             registry: None,
             trace: want_trace,
+            prof: None,
         },
     );
     let label = strategy.label();
@@ -297,6 +298,7 @@ fn main() {
         Observe {
             registry: None,
             trace: true,
+            prof: None,
         },
     );
     let first = crash_trace.unwrap_or_else(|| fail("agg_crash case produced no trace"));

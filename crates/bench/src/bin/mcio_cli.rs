@@ -55,6 +55,16 @@
 //! slowdown and OST-overlap interference metrics:
 //! `mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]`.
 //!
+//! `run`, `sweep`, and `multitenant` all take `--prof FILE`: profile
+//! the *simulator itself* and write the `mcio.prof.v1` sidecar — the
+//! deterministic section (engine counters per cell) is byte-identical
+//! across runs and `--jobs` values; the host section (wall-clock phase
+//! table, events/sec, plan-cache timing, worker utilization) is not.
+//! The primary output document is byte-identical with or without
+//! `--prof`. The `prof` subcommand pretty-prints a sidecar —
+//! `mcio_cli prof FILE [--top N] [--det]` — where `--det` emits only
+//! the canonical deterministic section (the CI diffing target).
+//!
 //! Unknown flags or subcommands exit 2; unreadable/unwritable files
 //! and `--jobs 0` exit 1. Nothing panics on bad input.
 
@@ -73,6 +83,7 @@ use mcio_core::{
 };
 use mcio_faults::FaultSpec;
 use mcio_obs::{MetricsFormat, Registry};
+use mcio_prof::{DetCell, PlanCacheStats, Prof, ProfReport, WorkerRow};
 use mcio_workloads::{science, CollPerf, Ior};
 use std::collections::HashMap;
 use std::process::exit;
@@ -97,6 +108,7 @@ const RUN_OPTS: &[&str] = &[
     "metrics",
     "metrics-format",
     "faults",
+    "prof",
 ];
 /// Boolean flags in run mode.
 const RUN_FLAGS: &[&str] = &["two-level", "help"];
@@ -117,13 +129,17 @@ const DIFF_OPTS: &[&str] = &[];
 /// Boolean flags in diff mode.
 const DIFF_FLAGS: &[&str] = &["help"];
 /// Flags that take a value in sweep mode.
-const SWEEP_OPTS: &[&str] = &["jobs", "out", "ranks", "ppn", "seed"];
+const SWEEP_OPTS: &[&str] = &["jobs", "out", "ranks", "ppn", "seed", "prof"];
 /// Boolean flags in sweep mode.
 const SWEEP_FLAGS: &[&str] = &["help"];
 /// Flags that take a value in multitenant mode.
-const MT_OPTS: &[&str] = &["spec", "out", "trace"];
+const MT_OPTS: &[&str] = &["spec", "out", "trace", "prof"];
 /// Boolean flags in multitenant mode.
 const MT_FLAGS: &[&str] = &["help"];
+/// Flags that take a value in prof mode (the input file is positional).
+const PROF_OPTS: &[&str] = &["top"];
+/// Boolean flags in prof mode.
+const PROF_FLAGS: &[&str] = &["help", "det"];
 
 /// Parse `--key value` / `--flag` argument lists against an explicit
 /// whitelist. Anything else is a usage error: exit 2.
@@ -180,10 +196,14 @@ fn main() {
             args.remove(0);
             run_diff(&args);
         }
+        Some("prof") => {
+            args.remove(0);
+            run_prof(&args);
+        }
         Some(first) if !first.starts_with("--") => {
             eprintln!(
                 "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, \
-                 `multitenant`, `diff`, or run flags)"
+                 `multitenant`, `diff`, `prof`, or run flags)"
             );
             exit(2);
         }
@@ -431,6 +451,74 @@ fn run_diff(args: &[String]) {
     }
 }
 
+/// `mcio_cli prof FILE [--top N] [--det]` — pretty-print a
+/// `mcio.prof.v1` sidecar written by `run`/`sweep`/`multitenant`
+/// `--prof` or `perf_suite --prof`.
+///
+/// Default output: the deterministic totals, the host headlines
+/// (wall time, events/sec, allocator peak when counted), and the
+/// top-N phases by exclusive wall time. `--det` instead emits only
+/// the canonical deterministic section — byte-identical across runs
+/// and `--jobs` values, so CI can `diff` two invocations directly.
+fn run_prof(args: &[String]) {
+    // Split positional inputs from flags, keeping each value flag's
+    // operand with the flag (`--top 3` is not a positional "3").
+    let mut inputs = Vec::new();
+    let mut flag_args = Vec::new();
+    let mut it = args.iter().cloned().peekable();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            let takes_value = PROF_OPTS.contains(&a.trim_start_matches("--"));
+            flag_args.push(a);
+            if takes_value {
+                if let Some(v) = it.next() {
+                    flag_args.push(v);
+                }
+            }
+        } else {
+            inputs.push(a);
+        }
+    }
+    let (opts, flags) = parse_args(&flag_args, PROF_OPTS, PROF_FLAGS, "prof");
+    if flags.iter().any(|f| f == "help") {
+        println!("usage: mcio_cli prof FILE [--top N] [--det]");
+        exit(0);
+    }
+    let [path] = inputs.as_slice() else {
+        eprintln!(
+            "mcio_cli prof: expected exactly one mcio.prof.v1 file, got {}",
+            inputs.len()
+        );
+        exit(2);
+    };
+    let top: usize = match opts.get("top").map(String::as_str).unwrap_or("10").parse() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("mcio_cli prof: --top: {e}");
+            exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli prof: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    let report = match ProfReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mcio_cli prof: {path}: {e}");
+            exit(1);
+        }
+    };
+    if flags.iter().any(|f| f == "det") {
+        println!("{}", report.deterministic_json());
+    } else {
+        print!("{}", report.render_pretty(top));
+    }
+}
+
 /// `mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N] [--seed N]`
 ///
 /// Fans a fixed buffer × pipeline × strategy grid over an IOR-shaped
@@ -444,7 +532,10 @@ fn run_diff(args: &[String]) {
 fn run_sweep(args: &[String]) {
     let (opts, flags) = parse_args(args, SWEEP_OPTS, SWEEP_FLAGS, "sweep");
     if flags.iter().any(|f| f == "help") {
-        println!("usage: mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N] [--seed N]");
+        println!(
+            "usage: mcio_cli sweep [--jobs N] [--out FILE] [--ranks N] [--ppn N] [--seed N] \
+             [--prof FILE]"
+        );
         exit(0);
     }
     let get = |k: &str, d: &str| opts.get(k).cloned().unwrap_or_else(|| d.to_string());
@@ -486,6 +577,12 @@ fn run_sweep(args: &[String]) {
         spec.nodes = map.nnodes();
     }
     let cache = PlanCache::shared();
+    let want_prof = opts.get("prof");
+    let prof = if want_prof.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::disabled()
+    };
 
     struct SweepRecord {
         key: String,
@@ -493,9 +590,10 @@ fn run_sweep(args: &[String]) {
         bandwidth_mibs: f64,
         naggs: usize,
         rounds: usize,
+        engine: mcio_des::EngineProfile,
     }
 
-    let records = mcio_sweep::sweep(jobs, &points, |point| {
+    let (records, workers) = mcio_sweep::sweep_stats(jobs, &points, |point| {
         let buffer = parse_bytes(point.get("buffer")).expect("grid buffer parses");
         let strategy = match point.get("strategy") {
             "two-phase" => Strategy::TwoPhase,
@@ -507,14 +605,31 @@ fn run_sweep(args: &[String]) {
         };
         let mem = ProcMemory::normal(ranks, buffer, 0.35, seed);
         let cfg = CollectiveConfig::with_buffer(buffer).mem_min(buffer / 2);
+        let plan_scope = prof.scope("plan");
         let plan = cache.get_or_plan(strategy, &req, &map, &mem, &cfg);
-        let report = simulate_opts(&plan, &map, &spec, pipeline);
+        drop(plan_scope);
+        // Same simulation as `simulate_opts`, with the profiler handle
+        // threaded through: identical TimingReport, identical document
+        // bytes, plus the run's engine counters.
+        let (report, _) = simulate_observed(
+            &plan,
+            &map,
+            &spec,
+            pipeline,
+            Exchange::Direct,
+            Observe {
+                registry: None,
+                trace: false,
+                prof: want_prof.map(|_| &prof),
+            },
+        );
         SweepRecord {
             key: point.key.clone(),
             elapsed_ns: report.elapsed.as_nanos(),
             bandwidth_mibs: report.bandwidth_mibs,
             naggs: plan.naggs(),
             rounds: plan.max_rounds(),
+            engine: report.engine,
         }
     });
 
@@ -553,6 +668,43 @@ fn run_sweep(args: &[String]) {
         cache.len(),
     );
     println!("wrote {out_path}");
+
+    if let Some(path) = want_prof {
+        // Cells in grid-point order — the sweep merge already
+        // canonicalized it, so the deterministic section is identical
+        // at any --jobs value.
+        let cells = records
+            .iter()
+            .map(|r| DetCell {
+                label: r.key.clone(),
+                engine: r.engine.clone(),
+            })
+            .collect();
+        let rows = workers
+            .iter()
+            .map(|w| WorkerRow {
+                worker: w.worker as u64,
+                busy_ns: w.busy_ns,
+                tasks: w.tasks,
+            })
+            .collect();
+        let report = ProfReport::build(
+            &prof,
+            cells,
+            Some(PlanCacheStats {
+                hits: cache.hits(),
+                misses: cache.misses(),
+                distinct_plans: cache.len() as u64,
+                plan_wall_ns: cache.plan_wall_ns(),
+            }),
+            rows,
+        );
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("mcio_cli sweep: cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("profile written to {path}");
+    }
 }
 
 /// `mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]`
@@ -566,7 +718,9 @@ fn run_sweep(args: &[String]) {
 fn run_multitenant_cmd(args: &[String]) {
     let (opts, flags) = parse_args(args, MT_OPTS, MT_FLAGS, "multitenant");
     if flags.iter().any(|f| f == "help") {
-        println!("usage: mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]");
+        println!(
+            "usage: mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE] [--prof FILE]"
+        );
         exit(0);
     }
     let Some(spec_path) = opts.get("spec") else {
@@ -589,6 +743,12 @@ fn run_multitenant_cmd(args: &[String]) {
     };
     let jobs = spec.build_jobs();
     let want_trace = opts.get("trace");
+    let want_prof = opts.get("prof");
+    let prof = if want_prof.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::disabled()
+    };
     let mt = mcio_core::run_multitenant(
         &jobs,
         &spec.machine,
@@ -596,8 +756,27 @@ fn run_multitenant_cmd(args: &[String]) {
         Observe {
             registry: None,
             trace: want_trace.is_some(),
+            prof: want_prof.map(|_| &prof),
         },
     );
+    if let Some(path) = want_prof {
+        // One cell: the whole multi-tenant machine is a single shared
+        // DES run.
+        let report = ProfReport::build(
+            &prof,
+            vec![DetCell {
+                label: "multitenant".to_string(),
+                engine: mt.engine.clone(),
+            }],
+            None,
+            Vec::new(),
+        );
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("mcio_cli multitenant: cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("mcio_cli multitenant: profile written to {path}");
+    }
     if let Some(path) = want_trace {
         let json = mt.trace.as_deref().expect("trace was requested");
         if let Err(e) = std::fs::write(path, json) {
@@ -631,7 +810,29 @@ fn run_multitenant_cmd(args: &[String]) {
 fn run_sim(args: &[String]) {
     let (opts, flags) = parse_args(args, RUN_OPTS, RUN_FLAGS, "run");
     if flags.iter().any(|f| f == "help") {
-        eprintln!("see the module docs at the top of crates/bench/src/bin/mcio_cli.rs");
+        // Keep the subcommand list in sync with the README's CLI table
+        // — crates/bench/tests/help_sync.rs diffs the two.
+        println!(
+            "usage: mcio_cli [SUBCOMMAND] [FLAGS]\n\
+             \n\
+             subcommands:\n\
+             \x20 (none)       run one collective, both strategies\n\
+             \x20 analyze      critical-path + straggler report from a trace\n\
+             \x20 diff         differential run attribution between two runs\n\
+             \x20 sweep        parallel deterministic parameter grid\n\
+             \x20 multitenant  N concurrent jobs on one shared machine\n\
+             \x20 prof         pretty-print a mcio.prof.v1 profile sidecar\n\
+             \n\
+             run flags: --workload ior|collperf|checkpoint, --ranks N, --ppn N,\n\
+             \x20 --per-proc BYTES, --segments N, --scale N, --buffer BYTES,\n\
+             \x20 --stddev F, --seed N, --rw read|write, --machine testbed|exascale|small,\n\
+             \x20 --pipeline serial|double, --two-level, --strategy two-phase|mc,\n\
+             \x20 --trace FILE, --metrics FILE, --metrics-format json|csv|prom,\n\
+             \x20 --faults FILE, --prof FILE\n\
+             \n\
+             each subcommand takes --help for its own flags; see the module docs\n\
+             at the top of crates/bench/src/bin/mcio_cli.rs for details"
+        );
         exit(0);
     }
 
@@ -757,8 +958,16 @@ fn run_sim(args: &[String]) {
             simulate_opts(plan, &map, &spec, pipeline)
         }
     };
+    let want_prof = opts.get("prof");
+    let prof = if want_prof.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::disabled()
+    };
+    let plan_scope = prof.scope("plan");
     let tp_plan = twophase::plan(&req, &map, &env, &cfg);
     let mc_plan = mc::plan(&req, &map, &env, &cfg);
+    drop(plan_scope);
     tp_plan.check(&req).expect("two-phase plan sound");
     mc_plan.check(&req).expect("memory-conscious plan sound");
     let mut fault_outcomes: Option<(FaultOutcome, FaultOutcome)> = None;
@@ -822,11 +1031,12 @@ fn run_sim(args: &[String]) {
     }
 
     // Observability exports: one extra observed run of the selected
-    // strategy (--strategy, default memory-conscious) produces both the
-    // metrics registry and the unified Chrome trace.
+    // strategy (--strategy, default memory-conscious) produces the
+    // metrics registry, the unified Chrome trace, and/or the
+    // `mcio.prof.v1` simulator profile.
     let want_metrics = opts.get("metrics");
     let want_trace = opts.get("trace");
-    if want_metrics.is_some() || want_trace.is_some() {
+    if want_metrics.is_some() || want_trace.is_some() || want_prof.is_some() {
         let fmt = match MetricsFormat::parse(&get("metrics-format", "json")) {
             Some(f) => f,
             None => {
@@ -845,15 +1055,16 @@ fn run_sim(args: &[String]) {
         let observe = Observe {
             registry: want_metrics.map(|_| &registry),
             trace: want_trace.is_some(),
+            prof: want_prof.map(|_| &prof),
         };
-        let trace_json = match &fault_spec {
+        let (obs_timing, trace_json) = match &fault_spec {
             Some(fspec) => {
-                simulate_faulted(
+                let outcome = simulate_faulted(
                     obs_plan, &map, &spec, &env, pipeline, exchange, fspec, observe,
-                )
-                .trace
+                );
+                (outcome.report, outcome.trace)
             }
-            None => simulate_observed(obs_plan, &map, &spec, pipeline, exchange, observe).1,
+            None => simulate_observed(obs_plan, &map, &spec, pipeline, exchange, observe),
         };
         if let Some(path) = want_metrics {
             if let Err(e) = std::fs::write(path, fmt.render(&registry.snapshot())) {
@@ -869,6 +1080,22 @@ fn run_sim(args: &[String]) {
                 exit(1);
             }
             println!("{label} timeline written to {path} (open in Perfetto)");
+        }
+        if let Some(path) = want_prof {
+            let report = ProfReport::build(
+                &prof,
+                vec![DetCell {
+                    label: format!("run/{label}"),
+                    engine: obs_timing.engine.clone(),
+                }],
+                None,
+                Vec::new(),
+            );
+            if let Err(e) = std::fs::write(path, report.render()) {
+                eprintln!("mcio_cli: cannot write profile to {path}: {e}");
+                exit(1);
+            }
+            println!("{label} profile written to {path}");
         }
     }
 }

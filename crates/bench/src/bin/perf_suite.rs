@@ -23,16 +23,30 @@
 //! cell shows one — the straggling chain/aggregator/OST driving it.
 //! Unknown flags exit 2; unreadable baselines, unwritable outputs, or
 //! `--jobs 0` exit 1.
+//!
+//! Two host-side sidecars profile the *simulator itself* (neither is
+//! ever `--check`-gated, and `BENCH_perf_suite.json` stays
+//! byte-identical whether or not they are requested):
+//!
+//! * `--prof FILE` writes the `mcio.prof.v1` document — per-cell engine
+//!   counters (deterministic) plus the wall-clock phase table,
+//!   events/sec, allocator stats, and worker utilization (host).
+//! * `--wallclock FILE` writes `mcio.perf_wallclock.v1` — one row per
+//!   cell with elapsed wall time and events per wall second.
 
 use mcio_bench::perf::{
-    cell_stragglers, parse_records, regressions_detailed, render_records, run_suite_jobs,
+    cell_stragglers, parse_records, regressions_detailed, render_records, render_wallclock,
+    run_suite_jobs, run_suite_prof,
 };
+use mcio_prof::{DetCell, Prof, ProfReport, WorkerRow};
 use std::process::exit;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_perf_suite.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut prof_path: Option<String> = None;
+    let mut wallclock_path: Option<String> = None;
     let mut tolerance = 0.05f64;
     let mut jobs = 1usize;
     let mut it = args.iter();
@@ -47,6 +61,8 @@ fn main() {
         match a.as_str() {
             "--out" => out_path = value("--out"),
             "--check" => check_path = Some(value("--check")),
+            "--prof" => prof_path = Some(value("--prof")),
+            "--wallclock" => wallclock_path = Some(value("--wallclock")),
             "--tolerance" => {
                 let raw = value("--tolerance");
                 tolerance = match raw.parse() {
@@ -72,7 +88,7 @@ fn main() {
             "--help" => {
                 println!(
                     "usage: perf_suite [--out FILE] [--jobs N] [--check BASELINE.json] \
-                     [--tolerance FRAC]"
+                     [--tolerance FRAC] [--prof FILE] [--wallclock FILE]"
                 );
                 exit(0);
             }
@@ -94,7 +110,17 @@ fn main() {
         })
     });
 
-    let records = run_suite_jobs(jobs);
+    let want_host_data = prof_path.is_some() || wallclock_path.is_some();
+    let prof = if prof_path.is_some() {
+        Prof::enabled()
+    } else {
+        Prof::disabled()
+    };
+    let (records, cell_profs, workers) = if want_host_data {
+        run_suite_prof(jobs, &prof)
+    } else {
+        (run_suite_jobs(jobs), Vec::new(), Vec::new())
+    };
     for r in &records {
         println!(
             "{:<6} {:<17} elapsed {:>10.3} ms  exchange {:>5.1}%  io {:>5.1}%  bottleneck {}",
@@ -112,6 +138,37 @@ fn main() {
         exit(1);
     }
     println!("wrote {out_path}");
+
+    if let Some(path) = &wallclock_path {
+        if let Err(e) = std::fs::write(path, render_wallclock(&cell_profs)) {
+            eprintln!("perf_suite: cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &prof_path {
+        let cells = cell_profs
+            .iter()
+            .map(|c| DetCell {
+                label: format!("{}/{}", c.scenario, c.strategy),
+                engine: c.engine.clone(),
+            })
+            .collect();
+        let rows = workers
+            .iter()
+            .map(|w| WorkerRow {
+                worker: w.worker as u64,
+                busy_ns: w.busy_ns,
+                tasks: w.tasks,
+            })
+            .collect();
+        let report = ProfReport::build(&prof, cells, None, rows);
+        if let Err(e) = std::fs::write(path, report.render()) {
+            eprintln!("perf_suite: cannot write {path}: {e}");
+            exit(1);
+        }
+        println!("wrote {path}");
+    }
 
     if let Some(base) = baseline {
         let bad = regressions_detailed(&records, &base, tolerance);

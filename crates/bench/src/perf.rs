@@ -90,6 +90,23 @@ pub struct Record {
     pub critical_path: CriticalPath,
 }
 
+/// Host-side profile of one (scenario, strategy) cell: its wall-clock
+/// cost plus the deterministic engine counters of its DES run. Feeds
+/// the `mcio.perf_wallclock.v1` sidecar and the per-cell section of
+/// `mcio.prof.v1`; never part of `BENCH_perf_suite.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellProf {
+    /// Scenario key.
+    pub scenario: String,
+    /// Strategy label.
+    pub strategy: String,
+    /// Wall-clock nanoseconds for the whole cell (plan + simulate +
+    /// trace reduction). Host data — varies run to run.
+    pub wall_ns: u64,
+    /// Deterministic engine counters of the cell's DES run.
+    pub engine: mcio_des::EngineProfile,
+}
+
 /// Run one (scenario, strategy) cell, traced, and reduce it to a
 /// [`Record`] plus the trace model it was reduced from (the `--check`
 /// failure path mines the model for stragglers). Every cell is a
@@ -97,14 +114,45 @@ pub struct Record {
 /// trace — so cells can run on any thread in any order without
 /// changing their results.
 pub fn run_cell_with_model(s: &Scenario, strategy: Strategy) -> (Record, TraceModel) {
+    let (record, model, _) = run_cell_inner(s, strategy, &mcio_prof::Prof::disabled());
+    (record, model)
+}
+
+/// Run one cell with phase profiling: scopes `plan`, the simulator's
+/// `build-activity-graph`/`des-run`/`trace-emit`, and `analyze` land in
+/// `prof`; the returned [`Record`] is byte-identical to the unprofiled
+/// one (profiling never touches simulated time).
+pub fn run_cell_prof(
+    s: &Scenario,
+    strategy: Strategy,
+    prof: &mcio_prof::Prof,
+) -> (Record, CellProf) {
+    let started = std::time::Instant::now();
+    let (record, _, engine) = run_cell_inner(s, strategy, prof);
+    let cell = CellProf {
+        scenario: record.scenario.clone(),
+        strategy: record.strategy.clone(),
+        wall_ns: started.elapsed().as_nanos() as u64,
+        engine,
+    };
+    (record, cell)
+}
+
+fn run_cell_inner(
+    s: &Scenario,
+    strategy: Strategy,
+    prof: &mcio_prof::Prof,
+) -> (Record, TraceModel, mcio_des::EngineProfile) {
     let (spec, req) = (s.make)();
     let harness = Harness::new(spec, s.ranks, TESTBED_PPN, s.seed);
     let cfg = harness.config_for(&req, s.buffer);
     let (_, env) = harness.memories(s.buffer);
+    let plan_scope = prof.scope("plan");
     let plan = match strategy {
         Strategy::TwoPhase => twophase::plan(&req, &harness.map, &env, &cfg),
         Strategy::MemoryConscious => mcio::plan(&req, &harness.map, &env, &cfg),
     };
+    drop(plan_scope);
     let (timing, trace_json) = simulate_observed(
         &plan,
         &harness.map,
@@ -114,8 +162,10 @@ pub fn run_cell_with_model(s: &Scenario, strategy: Strategy) -> (Record, TraceMo
         Observe {
             registry: None,
             trace: true,
+            prof: Some(prof),
         },
     );
+    let _analyze_scope = prof.scope("analyze");
     let model = TraceModel::from_chrome_json(&trace_json.expect("trace requested"))
         .expect("simulator emits a valid chrome trace");
     let record = Record {
@@ -126,7 +176,7 @@ pub fn run_cell_with_model(s: &Scenario, strategy: Strategy) -> (Record, TraceMo
         io_fraction: timing.metrics.io_fraction,
         critical_path: critical_path(&model),
     };
-    (record, model)
+    (record, model, timing.engine)
 }
 
 /// Run one (scenario, strategy) cell, traced, and reduce it to a
@@ -173,6 +223,51 @@ pub fn run_suite_jobs(jobs: usize) -> Vec<Record> {
         .flat_map(|i| [(i, Strategy::TwoPhase), (i, Strategy::MemoryConscious)])
         .collect();
     mcio_sweep::sweep(jobs, &cells, |&(i, strategy)| run_cell(&scens[i], strategy))
+}
+
+/// [`run_suite_jobs`] with profiling: also returns one [`CellProf`]
+/// per cell (in record order) and the sweep pool's per-worker
+/// utilization. The records — and therefore `BENCH_perf_suite.json` —
+/// stay byte-identical to the unprofiled suite at any thread count.
+pub fn run_suite_prof(
+    jobs: usize,
+    prof: &mcio_prof::Prof,
+) -> (Vec<Record>, Vec<CellProf>, Vec<mcio_sweep::WorkerStat>) {
+    let scens = scenarios();
+    let cells: Vec<(usize, Strategy)> = (0..scens.len())
+        .flat_map(|i| [(i, Strategy::TwoPhase), (i, Strategy::MemoryConscious)])
+        .collect();
+    let (pairs, workers) = mcio_sweep::sweep_stats(jobs, &cells, |&(i, strategy)| {
+        run_cell_prof(&scens[i], strategy, prof)
+    });
+    let (records, profs) = pairs.into_iter().unzip();
+    (records, profs, workers)
+}
+
+/// Render per-cell wall-clock rows as the `mcio.perf_wallclock.v1`
+/// sidecar: one row per (scenario, strategy) cell with its elapsed
+/// wall time, deterministic event count, and events per wall second.
+/// Host data — byte-UNSTABLE across runs; never `--check`-gated or
+/// diffed (only `events_fired` is deterministic).
+pub fn render_wallclock(cells: &[CellProf]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mcio.perf_wallclock.v1\",\n  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let eps = if c.wall_ns == 0 {
+            0.0
+        } else {
+            c.engine.events_fired as f64 / (c.wall_ns as f64 / 1e9)
+        };
+        out.push_str(&format!(
+            "\n    {{\"scenario\": \"{}\", \"strategy\": \"{}\", \"wall_ns\": {}, \
+             \"events_fired\": {}, \"events_per_sec\": {:.3}}}",
+            c.scenario, c.strategy, c.wall_ns, c.engine.events_fired, eps,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// Run the whole matrix (scenario-major, two-phase before

@@ -508,6 +508,76 @@ fn analyze_unwritable_timeline_exits_1() {
     assert!(!err.contains("panicked"), "{err}");
 }
 
+#[test]
+fn prof_unknown_flag_exits_2() {
+    let out = run(&["prof", "--verbose", "p.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --verbose"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn prof_wrong_arity_exits_2() {
+    let out = run(&["prof"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("exactly one mcio.prof.v1 file"));
+}
+
+#[test]
+fn prof_missing_file_exits_1_with_one_line_error() {
+    let out = run(&["prof", "/no/such/prof.json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot read"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn prof_garbage_file_exits_1() {
+    let path = tmp("prof_garbage.json");
+    std::fs::write(&path, "{\"schema\": \"mcio.sweep.v1\"}\n").unwrap();
+    let out = run(&["prof", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("mcio.prof.v1"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn run_prof_unwritable_path_exits_1_without_panic() {
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--prof", "/nonexistent-dir/prof.json"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write profile"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn sweep_prof_unwritable_path_exits_1() {
+    let out_doc = tmp("sweep_prof_unwritable_doc.json");
+    let out = run(&[
+        "sweep",
+        "--ranks",
+        "8",
+        "--ppn",
+        "4",
+        "--out",
+        out_doc.to_str().unwrap(),
+        "--prof",
+        "/nonexistent-dir/prof.json",
+    ]);
+    std::fs::remove_file(&out_doc).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
 /// A valid fault plan runs to exit 0 and the summary names the faulted
 /// execution: both strategy outcome lines plus the fault event count.
 #[test]

@@ -684,6 +684,7 @@ mod tests {
                 Observe {
                     registry: None,
                     trace: true,
+                    prof: None,
                 },
             )
         };

@@ -93,6 +93,11 @@ pub struct TimingReport {
     pub ost_busy_total: SimDuration,
     /// Number of DES activities (diagnostic).
     pub activities: usize,
+    /// Deterministic engine-side counters of the run (events, heap and
+    /// ready-set high-water marks, per-class queue depths) — the
+    /// `deterministic` payload of the `mcio.prof.v1` sidecar. In a
+    /// multi-tenant run this is machine-wide, like the busy maxima.
+    pub engine: mcio_des::EngineProfile,
     /// Structured per-round / per-aggregator breakdown.
     pub metrics: RunMetrics,
 }
@@ -222,6 +227,7 @@ pub fn trace_plan(
         Observe {
             registry: None,
             trace: true,
+            prof: None,
         },
         None,
     );
@@ -255,6 +261,10 @@ pub struct Observe<'a> {
     pub registry: Option<&'a Arc<Registry>>,
     /// Capture the unified Chrome-trace timeline (returned as JSON).
     pub trace: bool,
+    /// Record host-side phase timings (`build-activity-graph`,
+    /// `des-run`, `trace-emit`) into this profiler. Wall-clock data:
+    /// never enters the timing report or any byte-diffed document.
+    pub prof: Option<&'a mcio_prof::Prof>,
 }
 
 /// Simulate with metrics recording (and optionally tracing) enabled.
@@ -281,6 +291,7 @@ pub(crate) fn simulate_inner(
     obs: Observe<'_>,
     faults: Option<&FaultInjection<'_>>,
 ) -> SimRun {
+    let build_scope = obs.prof.map(|p| p.scope("build-activity-graph"));
     let mut sim = Simulation::new();
     if obs.trace {
         sim.enable_trace();
@@ -315,7 +326,10 @@ pub(crate) fn simulate_inner(
     );
 
     let activities = sim.activity_count();
+    drop(build_scope);
+    let run_scope = obs.prof.map(|p| p.scope("des-run"));
     let report = sim.run().expect("collective plan DAG is acyclic");
+    drop(run_scope);
     let retry_marks = pfs.take_retry_marks();
 
     let (membus_busy_max, nic_busy_max, ost_busy_max, ost_busy_total) =
@@ -362,6 +376,7 @@ pub(crate) fn simulate_inner(
     // Unified trace: resource service lanes (pid 1) plus the logical
     // round-phase lanes (pid 2), one thread per chain.
     let trace_json = if obs.trace {
+        let _emit_scope = obs.prof.map(|p| p.scope("trace-emit"));
         let tc = TraceCollector::new();
         report.trace_into(&tc, 1);
         tc.name_process(2, "plan.rounds");
@@ -408,6 +423,7 @@ pub(crate) fn simulate_inner(
             ost_busy_max,
             ost_busy_total,
             activities,
+            engine: report.engine_profile(),
             metrics,
         },
         trace: trace_json,

@@ -148,6 +148,9 @@ pub struct MultiTenantReport {
     /// (pid 1), per-job round phases (pid 2, lanes prefixed `j{n}.`),
     /// fault lanes (pid 3) and per-job window lanes ([`PID_TENANTS`]).
     pub trace: Option<String>,
+    /// Deterministic engine counters of the one shared DES run (the
+    /// `mcio.prof.v1` cell a multi-tenant run contributes).
+    pub engine: mcio_des::EngineProfile,
 }
 
 /// Per-job bookkeeping of the shared lowering.
@@ -187,6 +190,7 @@ pub fn run_multitenant(
     );
     let multi = jobs.len() > 1;
 
+    let build_scope = obs.prof.map(|p| p.scope("build-activity-graph"));
     let mut sim = Simulation::new();
     // The OST-overlap metric needs service records, so multi-job runs
     // always trace the DES (the Chrome JSON is still only rendered on
@@ -252,7 +256,10 @@ pub fn run_multitenant(
         shifted_maps.push(tmap);
     }
 
+    drop(build_scope);
+    let run_scope = obs.prof.map(|p| p.scope("des-run"));
     let report = sim.run().expect("multi-tenant DAG is acyclic");
+    drop(run_scope);
     let retry_marks = pfs.take_retry_marks();
     let makespan = report.makespan().saturating_since(SimTime::ZERO);
     let (membus_busy_max, nic_busy_max, ost_busy_max, ost_busy_total) =
@@ -323,6 +330,7 @@ pub fn run_multitenant(
             ost_busy_max,
             ost_busy_total,
             activities: l.act_hi - l.act_lo,
+            engine: report.engine_profile(),
             metrics,
         };
         // Solo baseline: the same job, alone, on the same nodes of the
@@ -421,6 +429,7 @@ pub fn run_multitenant(
     }
 
     let trace = if obs.trace {
+        let _emit_scope = obs.prof.map(|p| p.scope("trace-emit"));
         let tc = TraceCollector::new();
         report.trace_into(&tc, 1);
         tc.name_process(2, "plan.rounds");
@@ -482,6 +491,7 @@ pub fn run_multitenant(
         jobs: outcomes,
         makespan,
         trace,
+        engine: report.engine_profile(),
     }
 }
 

@@ -153,6 +153,7 @@ pub struct PlanCache {
     plans: Mutex<HashMap<u128, Arc<CollectivePlan>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    plan_ns: AtomicU64,
 }
 
 impl PlanCache {
@@ -186,10 +187,13 @@ impl PlanCache {
         }
         // Plan outside the lock: planning is the expensive part and
         // other keys should not serialize behind it.
+        let started = std::time::Instant::now();
         let plan = Arc::new(match strategy {
             Strategy::TwoPhase => twophase::plan(req, map, mem, cfg),
             Strategy::MemoryConscious => mcio::plan(req, map, mem, cfg),
         });
+        self.plan_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
         Arc::clone(self.lock().entry(key).or_insert(plan))
     }
@@ -202,6 +206,14 @@ impl PlanCache {
     /// Lookups that had to plan.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total wall-clock nanoseconds spent inside the planners on cache
+    /// misses. Host-side timing: report it in `mcio.prof.v1`'s host
+    /// section or on stdout, never in a byte-diffed document (the same
+    /// rule as `plan.cache_hit`).
+    pub fn plan_wall_ns(&self) -> u64 {
+        self.plan_ns.load(Ordering::Relaxed)
     }
 
     /// Distinct plans currently cached.

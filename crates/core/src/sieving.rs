@@ -111,6 +111,7 @@ fn simulate_raw(
     }
     TimingReport {
         elapsed,
+        engine: report.engine_profile(),
         exchange_time: SimDuration::ZERO, // no shuffle phase
         io_time: elapsed,
         bytes,

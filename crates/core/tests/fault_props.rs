@@ -52,6 +52,7 @@ fn run_faulted(
         Observe {
             registry: None,
             trace,
+            prof: None,
         },
     )
 }

@@ -57,6 +57,7 @@ fn observed_run(req: &CollectiveRequest, mc: bool) -> (Arc<Registry>, String, u6
         Observe {
             registry: Some(&reg),
             trace: true,
+            prof: None,
         },
     );
     (reg, trace.expect("trace requested"), plan_io_bytes)

@@ -71,17 +71,34 @@ pub struct Simulation {
     trace: Option<Vec<ServiceRecord>>,
     /// Engine health counters (event count, heap depth distribution).
     engine_stats: EngineStats,
+    /// `Ready` events currently pending in the heap (feeds the
+    /// ready-set high-water mark).
+    pending_ready: usize,
 }
 
 /// Health statistics of the event engine itself: how much scheduling
 /// work a run took, independent of simulated time. Queue depth is
-/// sampled once per processed event.
+/// sampled once per processed event. Every field is a pure function of
+/// the activity DAG, so the stats are byte-identical across runs and
+/// across worker-thread counts.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Total events processed by the run loop.
     pub events_processed: u64,
+    /// Total events pushed onto the heap (seed `Ready` events plus every
+    /// `EnterStage`/`StageServed` scheduled while running).
+    pub events_scheduled: u64,
+    /// Events scheduled and then retracted before firing. The FIFO
+    /// engine never cancels (always 0 today); the counter exists so the
+    /// fair-sharing rewrite — which re-predicts completion times on
+    /// every arrival/departure — reports against the same schema.
+    pub events_cancelled: u64,
     /// High-water mark of the pending-event heap.
     pub max_queue_depth: usize,
+    /// High-water mark of pending `Ready` events: how many activities
+    /// were released but not yet started at the worst moment (the
+    /// frontier width of the DAG as the engine saw it).
+    pub max_ready_set: usize,
     /// Distribution of heap depth observed at each event pop.
     pub queue_depth: Histogram,
 }
@@ -169,6 +186,12 @@ impl Simulation {
             Event::EnterStage(_) => 1,
             Event::Ready(_) => 2,
         };
+        self.engine_stats.events_scheduled += 1;
+        if matches!(ev, Event::Ready(_)) {
+            self.pending_ready += 1;
+            self.engine_stats.max_ready_set =
+                self.engine_stats.max_ready_set.max(self.pending_ready);
+        }
         self.events.push(ev);
         self.heap.push(Reverse((t, seq, idx, class)));
     }
@@ -199,6 +222,7 @@ impl Simulation {
             match self.events[idx] {
                 Event::Ready(a) => {
                     debug_assert!(self.activities[a.0].started.is_none());
+                    self.pending_ready -= 1;
                     self.activities[a.0].started = Some(now);
                     self.advance(a, now);
                 }
@@ -375,6 +399,44 @@ impl RunReport {
         &self.engine_stats
     }
 
+    /// Peak FIFO queue length aggregated per resource *class* (the name
+    /// with its node/OST index stripped: `node3.membus` → `membus`,
+    /// `ost17` → `ost`), sorted by class name. Classes that never
+    /// queued a job report 0; resources that never served one are
+    /// skipped entirely, matching [`RunReport::record_into`].
+    pub fn class_max_queues(&self) -> Vec<(String, u64)> {
+        let mut per_class: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
+        for u in &self.usages {
+            if u.jobs_served == 0 {
+                continue;
+            }
+            let entry = per_class.entry(resource_class(&u.name)).or_insert(0);
+            *entry = (*entry).max(u.max_queue_len as u64);
+        }
+        per_class.into_iter().collect()
+    }
+
+    /// The deterministic engine-side profile of this run: event, heap,
+    /// ready-set and per-class queue counters plus the activity and
+    /// resource population. Everything here is a pure function of the
+    /// activity DAG — byte-identical across runs and worker-thread
+    /// counts — so it may enter byte-diffed documents (the
+    /// `deterministic` section of `mcio.prof.v1`), unlike wall-clock
+    /// data.
+    pub fn engine_profile(&self) -> EngineProfile {
+        EngineProfile {
+            events_scheduled: self.engine_stats.events_scheduled,
+            events_fired: self.engine_stats.events_processed,
+            events_cancelled: self.engine_stats.events_cancelled,
+            heap_high_water: self.engine_stats.max_queue_depth as u64,
+            ready_high_water: self.engine_stats.max_ready_set as u64,
+            activities: self.finishes.len() as u64,
+            resources: self.usages.len() as u64,
+            class_max_queue: self.class_max_queues(),
+        }
+    }
+
     /// Record this run's accounting into a metrics [`Registry`]:
     /// per-resource busy time, bytes, jobs, utilization, peak queue
     /// length, and wait-time histograms, plus engine event/heap-depth
@@ -400,6 +462,26 @@ impl RunReport {
             "des.engine.max_queue_depth",
             "1",
             "peak pending-event heap depth",
+        );
+        reg.describe(
+            "des.engine.events_scheduled",
+            "1",
+            "events pushed onto the DES heap",
+        );
+        reg.describe(
+            "des.engine.events_cancelled",
+            "1",
+            "events retracted before firing (0 for the FIFO engine)",
+        );
+        reg.describe(
+            "des.engine.max_ready_set",
+            "1",
+            "peak count of released-but-unstarted activities",
+        );
+        reg.describe(
+            "des.engine.class_max_queue",
+            "1",
+            "peak FIFO queue length per resource class",
         );
         reg.describe(
             "des.resource.busy_ns",
@@ -437,6 +519,28 @@ impl RunReport {
             &[],
             self.engine_stats.max_queue_depth as f64,
         );
+        reg.inc(
+            "des.engine.events_scheduled",
+            &[],
+            self.engine_stats.events_scheduled,
+        );
+        reg.inc(
+            "des.engine.events_cancelled",
+            &[],
+            self.engine_stats.events_cancelled,
+        );
+        reg.set_gauge(
+            "des.engine.max_ready_set",
+            &[],
+            self.engine_stats.max_ready_set as f64,
+        );
+        for (class, depth) in self.class_max_queues() {
+            reg.set_gauge(
+                "des.engine.class_max_queue",
+                &[("class", class.as_str())],
+                depth as f64,
+            );
+        }
         for u in &self.usages {
             // Resources that never served a job (e.g. nodes the process
             // map leaves idle on a large machine spec) would only add
@@ -502,6 +606,69 @@ impl RunReport {
         }
         out.push(']');
         out
+    }
+}
+
+/// Deterministic engine-side profile of one completed run, consumed by
+/// the `deterministic` section of the `mcio.prof.v1` sidecar (see
+/// `mcio-prof`). All counters are pure functions of the activity DAG:
+/// byte-identical across runs and across `--jobs` values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EngineProfile {
+    /// Events pushed onto the heap over the whole run.
+    pub events_scheduled: u64,
+    /// Events popped and processed by the run loop.
+    pub events_fired: u64,
+    /// Events retracted before firing (always 0 for the FIFO engine;
+    /// reserved for the fair-sharing rewrite).
+    pub events_cancelled: u64,
+    /// Peak pending-event heap depth.
+    pub heap_high_water: u64,
+    /// Peak count of released-but-unstarted activities (DAG frontier
+    /// width as the engine saw it).
+    pub ready_high_water: u64,
+    /// Activities in the run.
+    pub activities: u64,
+    /// Resources registered (including ones the process map left idle).
+    pub resources: u64,
+    /// Peak FIFO queue length per resource class, sorted by class name
+    /// ([`resource_class`]); idle resources are skipped.
+    pub class_max_queue: Vec<(String, u64)>,
+}
+
+impl EngineProfile {
+    /// Fold another run's profile into this one: counts and populations
+    /// sum, high-water marks take the maximum, per-class queue depths
+    /// take the per-class maximum. Folding is commutative, so a total
+    /// over cells is identical no matter what order the cells finished
+    /// in — the property the sweep determinism guarantee relies on.
+    pub fn merge(&mut self, other: &EngineProfile) {
+        self.events_scheduled += other.events_scheduled;
+        self.events_fired += other.events_fired;
+        self.events_cancelled += other.events_cancelled;
+        self.heap_high_water = self.heap_high_water.max(other.heap_high_water);
+        self.ready_high_water = self.ready_high_water.max(other.ready_high_water);
+        self.activities += other.activities;
+        self.resources += other.resources;
+        let mut per_class: std::collections::BTreeMap<String, u64> =
+            self.class_max_queue.drain(..).collect();
+        for (class, depth) in &other.class_max_queue {
+            let entry = per_class.entry(class.clone()).or_insert(0);
+            *entry = (*entry).max(*depth);
+        }
+        self.class_max_queue = per_class.into_iter().collect();
+    }
+}
+
+/// The class of a resource name: the suffix after the last `.` when one
+/// exists (`node3.membus` → `membus`, `node0.nic_tx` → `nic_tx`),
+/// otherwise the name with trailing digits stripped (`ost17` → `ost`).
+pub fn resource_class(name: &str) -> String {
+    match name.rsplit_once('.') {
+        Some((_, suffix)) => suffix.to_string(),
+        None => name
+            .trim_end_matches(|c: char| c.is_ascii_digit())
+            .to_string(),
     }
 }
 

@@ -52,7 +52,9 @@ pub mod stats;
 pub mod time;
 
 pub use activity::{Activity, ActivityId, Stage};
-pub use engine::{EngineStats, RunReport, ServiceRecord, SimError, Simulation};
+pub use engine::{
+    resource_class, EngineProfile, EngineStats, RunReport, ServiceRecord, SimError, Simulation,
+};
 pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage, ServiceWindow};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};

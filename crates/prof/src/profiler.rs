@@ -1,0 +1,286 @@
+//! The phase-scoped wall-clock profiler.
+//!
+//! A [`Prof`] is either disabled — the default, a `None` all the way
+//! down, with no timer reads and no synchronization — or enabled, in
+//! which case [`Prof::scope`] guards aggregate wall-clock time into a
+//! path-keyed table. Scopes nest: a scope opened while another is live
+//! *on the same thread* records under `parent/child`, and the parent's
+//! exclusive time excludes it. Worker threads each carry their own
+//! scope stack (thread-local), so a sweep's per-cell scopes aggregate
+//! into the same table without inventing per-thread phases.
+//!
+//! Wall-clock readings are host data: they belong in the `host` section
+//! of `mcio.prof.v1` and must never enter byte-diffed documents.
+
+use crate::alloc::{self, AllocSnapshot};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The canonical phase names the simulator's pipelines report under.
+/// Scopes are free-form strings; these are the ones the workspace
+/// wires: planning, §3 tuning, DAG lowering, the DES run loop, trace
+/// rendering, and post-hoc analysis.
+pub const PHASES: &[&str] = &[
+    "plan",
+    "tune",
+    "build-activity-graph",
+    "des-run",
+    "trace-emit",
+    "analyze",
+];
+
+/// Aggregated timings of one scope path.
+#[derive(Debug, Clone, Default)]
+struct PhaseAgg {
+    count: u64,
+    inclusive_ns: u64,
+    /// Time spent in directly nested scopes (subtracted for exclusive).
+    child_ns: u64,
+    alloc_bytes: u64,
+    allocs: u64,
+}
+
+/// One row of the rendered phase table: a scope path with its call
+/// count, inclusive and exclusive wall time, and allocation deltas
+/// (zeros unless the `count-alloc` feature is on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Slash-joined scope path, e.g. `sweep-cell/des-run`.
+    pub path: String,
+    /// Times the scope was entered.
+    pub count: u64,
+    /// Wall time inside the scope, children included.
+    pub inclusive_ns: u64,
+    /// Wall time inside the scope minus directly nested scopes.
+    pub exclusive_ns: u64,
+    /// Bytes allocated while the scope was open (cumulative-counter
+    /// delta; concurrent threads' allocations land in whichever scopes
+    /// are open, so treat as attribution, not isolation).
+    pub alloc_bytes: u64,
+    /// Allocations while the scope was open (same caveat).
+    pub allocs: u64,
+}
+
+struct Inner {
+    stats: Mutex<BTreeMap<String, PhaseAgg>>,
+    started: Instant,
+}
+
+thread_local! {
+    /// Stack of full paths of the scopes open on this thread.
+    static SCOPE_PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A handle to the profiler: cheap to clone, disabled by default.
+///
+/// ```
+/// let prof = mcio_prof::Prof::enabled();
+/// {
+///     let _outer = prof.scope("plan");
+///     let _inner = prof.scope("des-run"); // records as plan/des-run
+/// }
+/// let rows = prof.phases();
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].path, "plan");
+/// assert_eq!(rows[1].path, "plan/des-run");
+/// assert!(rows[0].inclusive_ns >= rows[1].inclusive_ns);
+/// ```
+#[derive(Clone, Default)]
+pub struct Prof {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Prof {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prof")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Prof {
+    /// A disabled profiler: every operation is a no-op and
+    /// [`Prof::scope`] never reads the clock.
+    pub fn disabled() -> Self {
+        Prof { inner: None }
+    }
+
+    /// An enabled profiler; total wall time counts from here.
+    pub fn enabled() -> Self {
+        Prof {
+            inner: Some(Arc::new(Inner {
+                stats: Mutex::new(BTreeMap::new()),
+                started: Instant::now(),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a named scope; time from now until the returned guard drops
+    /// is attributed to the scope's path (the name nested under any
+    /// scope already open on this thread). Guards must drop in LIFO
+    /// order — let normal block scoping enforce that.
+    pub fn scope(&self, name: &str) -> Scope {
+        let Some(inner) = &self.inner else {
+            return Scope {
+                inner: None,
+                path: String::new(),
+                start: None,
+                alloc0: AllocSnapshot::default(),
+            };
+        };
+        let path = SCOPE_PATH.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let full = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(full.clone());
+            full
+        });
+        Scope {
+            inner: Some(Arc::clone(inner)),
+            path,
+            start: Some(Instant::now()),
+            alloc0: alloc::snapshot(),
+        }
+    }
+
+    /// Wall time since the profiler was enabled (0 when disabled).
+    pub fn wall_ns(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.started.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    /// The aggregated phase table, sorted by path, with exclusive time
+    /// computed as inclusive minus directly nested scopes. Empty when
+    /// disabled.
+    pub fn phases(&self) -> Vec<PhaseRow> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let stats = inner.stats.lock().expect("profiler mutex");
+        stats
+            .iter()
+            .map(|(path, agg)| PhaseRow {
+                path: path.clone(),
+                count: agg.count,
+                inclusive_ns: agg.inclusive_ns,
+                exclusive_ns: agg.inclusive_ns.saturating_sub(agg.child_ns),
+                alloc_bytes: agg.alloc_bytes,
+                allocs: agg.allocs,
+            })
+            .collect()
+    }
+}
+
+/// A live scope guard; records on drop. See [`Prof::scope`].
+#[must_use = "a dropped scope records zero time"]
+pub struct Scope {
+    inner: Option<Arc<Inner>>,
+    path: String,
+    start: Option<Instant>,
+    alloc0: AllocSnapshot,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        let (Some(inner), Some(start)) = (self.inner.take(), self.start.take()) else {
+            return;
+        };
+        let dt = start.elapsed().as_nanos() as u64;
+        let alloc1 = alloc::snapshot();
+        SCOPE_PATH.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut stats = inner.stats.lock().expect("profiler mutex");
+        let agg = stats.entry(self.path.clone()).or_default();
+        agg.count += 1;
+        agg.inclusive_ns += dt;
+        agg.alloc_bytes += alloc1.bytes.saturating_sub(self.alloc0.bytes);
+        agg.allocs += alloc1.allocs.saturating_sub(self.alloc0.allocs);
+        if let Some((parent, _)) = self.path.rsplit_once('/') {
+            stats.entry(parent.to_string()).or_default().child_ns += dt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_prof_records_nothing() {
+        let prof = Prof::disabled();
+        {
+            let _s = prof.scope("plan");
+            let _t = prof.scope("des-run");
+        }
+        assert!(!prof.is_enabled());
+        assert!(prof.phases().is_empty());
+        assert_eq!(prof.wall_ns(), 0);
+    }
+
+    #[test]
+    fn nested_scopes_split_inclusive_and_exclusive() {
+        let prof = Prof::enabled();
+        {
+            let _outer = prof.scope("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = prof.scope("inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let rows = prof.phases();
+        assert_eq!(rows.len(), 2);
+        let outer = &rows[0];
+        let inner = &rows[1];
+        assert_eq!(outer.path, "outer");
+        assert_eq!(inner.path, "outer/inner");
+        assert!(outer.inclusive_ns >= inner.inclusive_ns);
+        assert!(
+            outer.exclusive_ns <= outer.inclusive_ns - inner.inclusive_ns,
+            "outer exclusive excludes the nested scope"
+        );
+        assert_eq!(inner.exclusive_ns, inner.inclusive_ns);
+    }
+
+    #[test]
+    fn sibling_threads_do_not_nest_into_each_other() {
+        let prof = Prof::enabled();
+        let _main = prof.scope("main");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let p = prof.clone();
+                s.spawn(move || {
+                    let _cell = p.scope("cell");
+                });
+            }
+        });
+        drop(_main);
+        let rows = prof.phases();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["cell", "main"], "worker scopes are top-level");
+        assert_eq!(rows[0].count, 4);
+    }
+
+    #[test]
+    fn repeated_scopes_accumulate() {
+        let prof = Prof::enabled();
+        for _ in 0..3 {
+            let _s = prof.scope("plan");
+        }
+        let rows = prof.phases();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].count, 3);
+    }
+}

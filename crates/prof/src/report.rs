@@ -1,0 +1,596 @@
+//! The `mcio.prof.v1` sidecar document.
+//!
+//! One JSON object with a `schema` stamp and two strictly separated
+//! sections:
+//!
+//! * `deterministic` — engine counters only ([`DetCell`] per labelled
+//!   simulation plus a folded `total`). Byte-identical across runs and
+//!   across `--jobs` values; CI diffs this section between invocations.
+//! * `host` — wall-clock phase table, events/sec, allocator stats,
+//!   plan-cache timing, sweep-worker utilization. Varies run to run by
+//!   construction and must never be byte-compared.
+//!
+//! The renderer emits both sections with stable key order so the
+//! *deterministic* bytes — [`ProfReport::deterministic_json`] — are a
+//! well-defined diffing target on their own.
+
+use crate::alloc;
+use crate::profiler::{PhaseRow, Prof};
+use mcio_des::EngineProfile;
+use mcio_obs::json::{self, JsonValue};
+
+/// The schema stamp of the sidecar document.
+pub const PROF_SCHEMA: &str = "mcio.prof.v1";
+
+/// One deterministic cell: the engine profile of one labelled
+/// simulation (a perf-suite cell, a sweep grid point, an observed run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetCell {
+    /// Cell label, e.g. `fig8/memory-conscious` or `run/two-phase`.
+    pub label: String,
+    /// The run's deterministic engine counters.
+    pub engine: EngineProfile,
+}
+
+/// Plan-cache statistics for the host section. Hit/miss totals are not
+/// byte-stable under parallel execution (concurrent first sights can
+/// both miss), which is exactly why they live here and not in the
+/// deterministic section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (planner invocations).
+    pub misses: u64,
+    /// Distinct plans held.
+    pub distinct_plans: u64,
+    /// Wall time spent inside planner calls, nanoseconds.
+    pub plan_wall_ns: u64,
+}
+
+/// Utilization of one sweep worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRow {
+    /// Worker index, `0..jobs`.
+    pub worker: u64,
+    /// Wall time the worker spent inside cells, nanoseconds.
+    pub busy_ns: u64,
+    /// Cells the worker completed.
+    pub tasks: u64,
+}
+
+/// Allocator statistics for the host section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocReport {
+    /// Whether the counting allocator was installed.
+    pub enabled: bool,
+    /// Total allocations.
+    pub total_allocs: u64,
+    /// Total bytes allocated (ignoring frees).
+    pub total_bytes: u64,
+    /// Peak live heap bytes — the RSS proxy.
+    pub peak_bytes: u64,
+}
+
+/// The host (wall-clock) section: everything that may differ between
+/// two runs of the same inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSection {
+    /// Wall time from profiler start to report build, nanoseconds.
+    pub wall_ns: u64,
+    /// Engine events fired per wall-clock second spent in `des-run`
+    /// scopes (0 when no DES time was recorded) — the throughput
+    /// headline the fair-sharing rewrite is measured against.
+    pub events_per_sec: f64,
+    /// The aggregated phase table, sorted by path.
+    pub phases: Vec<PhaseRow>,
+    /// Allocator statistics (zeros unless `count-alloc` was on).
+    pub alloc: AllocReport,
+    /// Plan-cache statistics, when the producer ran a planner cache.
+    pub plan_cache: Option<PlanCacheStats>,
+    /// Per-worker sweep utilization, when the producer ran a pool.
+    pub workers: Vec<WorkerRow>,
+}
+
+/// The `mcio.prof.v1` document. See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfReport {
+    /// Deterministic engine-counter cells, in producer order.
+    pub cells: Vec<DetCell>,
+    /// The host section.
+    pub host: HostSection,
+}
+
+impl ProfReport {
+    /// Assemble the report from a profiler, the deterministic cells,
+    /// and optional plan-cache / worker data. Reads the allocator
+    /// counters and the profiler's phase table at this moment.
+    pub fn build(
+        prof: &Prof,
+        cells: Vec<DetCell>,
+        plan_cache: Option<PlanCacheStats>,
+        workers: Vec<WorkerRow>,
+    ) -> Self {
+        let phases = prof.phases();
+        let total_fired: u64 = cells.iter().map(|c| c.engine.events_fired).sum();
+        // Events/sec against wall time inside `des-run` scopes; cells
+        // run concurrently, so sum of per-scope inclusive time is the
+        // right denominator for per-core throughput.
+        let des_ns: u64 = phases
+            .iter()
+            .filter(|r| r.path.rsplit('/').next() == Some("des-run"))
+            .map(|r| r.inclusive_ns)
+            .sum();
+        let events_per_sec = if des_ns == 0 {
+            0.0
+        } else {
+            total_fired as f64 / (des_ns as f64 / 1e9)
+        };
+        let a = alloc::stats();
+        ProfReport {
+            cells,
+            host: HostSection {
+                wall_ns: prof.wall_ns(),
+                events_per_sec,
+                phases,
+                alloc: AllocReport {
+                    enabled: a.enabled,
+                    total_allocs: a.total_allocs,
+                    total_bytes: a.total_bytes,
+                    peak_bytes: a.peak_bytes,
+                },
+                plan_cache,
+                workers,
+            },
+        }
+    }
+
+    /// The fold of every cell's engine profile (see
+    /// [`EngineProfile::merge`]).
+    pub fn total(&self) -> EngineProfile {
+        let mut total = EngineProfile::default();
+        for c in &self.cells {
+            total.merge(&c.engine);
+        }
+        total
+    }
+
+    /// Render the `deterministic` section alone, canonical bytes — the
+    /// diffing target for CI and the determinism tests.
+    pub fn deterministic_json(&self) -> String {
+        let mut out = String::from("{\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    {\"label\": \"");
+            out.push_str(&escape(&c.label));
+            out.push_str("\", ");
+            render_engine(&mut out, &c.engine);
+            out.push('}');
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"total\": {");
+        render_engine(&mut out, &self.total());
+        out.push_str("}\n}");
+        out
+    }
+
+    /// Render the full document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n\"schema\": \"");
+        out.push_str(PROF_SCHEMA);
+        out.push_str("\",\n\"deterministic\": ");
+        out.push_str(&self.deterministic_json());
+        out.push_str(",\n\"host\": {\n");
+        out.push_str(&format!(
+            "  \"wall_ns\": {},\n  \"events_per_sec\": {:.3},\n",
+            self.host.wall_ns, self.host.events_per_sec
+        ));
+        out.push_str("  \"phases\": [\n");
+        for (i, p) in self.host.phases.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"count\": {}, \"inclusive_ns\": {}, \
+                 \"exclusive_ns\": {}, \"alloc_bytes\": {}, \"allocs\": {}}}{}\n",
+                escape(&p.path),
+                p.count,
+                p.inclusive_ns,
+                p.exclusive_ns,
+                p.alloc_bytes,
+                p.allocs,
+                if i + 1 < self.host.phases.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"alloc\": {{\"enabled\": {}, \"total_allocs\": {}, \"total_bytes\": {}, \
+             \"peak_bytes\": {}}}",
+            self.host.alloc.enabled,
+            self.host.alloc.total_allocs,
+            self.host.alloc.total_bytes,
+            self.host.alloc.peak_bytes,
+        ));
+        if let Some(pc) = &self.host.plan_cache {
+            out.push_str(&format!(
+                ",\n  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"distinct_plans\": {}, \
+                 \"plan_wall_ns\": {}}}",
+                pc.hits, pc.misses, pc.distinct_plans, pc.plan_wall_ns,
+            ));
+        }
+        if !self.host.workers.is_empty() {
+            out.push_str(",\n  \"workers\": [\n");
+            for (i, w) in self.host.workers.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"worker\": {}, \"busy_ns\": {}, \"tasks\": {}}}{}\n",
+                    w.worker,
+                    w.busy_ns,
+                    w.tasks,
+                    if i + 1 < self.host.workers.len() {
+                        ","
+                    } else {
+                        ""
+                    },
+                ));
+            }
+            out.push_str("  ]");
+        }
+        out.push_str("\n}\n}\n");
+        out
+    }
+
+    /// Parse a rendered document back. Errors are one-line reasons.
+    pub fn from_json(text: &str) -> Result<ProfReport, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        match doc.get("schema").and_then(JsonValue::as_str) {
+            Some(PROF_SCHEMA) => {}
+            Some(other) => return Err(format!("expected schema {PROF_SCHEMA}, got `{other}`")),
+            None => return Err("document carries no `schema` stamp".into()),
+        }
+        let det = doc
+            .get("deterministic")
+            .ok_or("missing `deterministic` section")?;
+        let cells = det
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .ok_or("deterministic section has no `cells` array")?
+            .iter()
+            .map(|c| {
+                Ok(DetCell {
+                    label: c
+                        .get("label")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("cell missing `label`")?
+                        .to_string(),
+                    engine: parse_engine(c)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let host = doc.get("host").ok_or("missing `host` section")?;
+        let num = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing numeric `{key}`"))
+        };
+        let phases = host
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or("host section has no `phases` array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseRow {
+                    path: p
+                        .get("path")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("phase missing `path`")?
+                        .to_string(),
+                    count: num(p, "count")?,
+                    inclusive_ns: num(p, "inclusive_ns")?,
+                    exclusive_ns: num(p, "exclusive_ns")?,
+                    alloc_bytes: num(p, "alloc_bytes")?,
+                    allocs: num(p, "allocs")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let alloc_v = host.get("alloc").ok_or("host section has no `alloc`")?;
+        let alloc = AllocReport {
+            enabled: matches!(alloc_v.get("enabled"), Some(JsonValue::Bool(true))),
+            total_allocs: num(alloc_v, "total_allocs")?,
+            total_bytes: num(alloc_v, "total_bytes")?,
+            peak_bytes: num(alloc_v, "peak_bytes")?,
+        };
+        let plan_cache = match host.get("plan_cache") {
+            Some(pc) => Some(PlanCacheStats {
+                hits: num(pc, "hits")?,
+                misses: num(pc, "misses")?,
+                distinct_plans: num(pc, "distinct_plans")?,
+                plan_wall_ns: num(pc, "plan_wall_ns")?,
+            }),
+            None => None,
+        };
+        let workers = match host.get("workers").and_then(JsonValue::as_array) {
+            Some(rows) => rows
+                .iter()
+                .map(|w| {
+                    Ok(WorkerRow {
+                        worker: num(w, "worker")?,
+                        busy_ns: num(w, "busy_ns")?,
+                        tasks: num(w, "tasks")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
+        Ok(ProfReport {
+            cells,
+            host: HostSection {
+                wall_ns: num(host, "wall_ns")?,
+                events_per_sec: host
+                    .get("events_per_sec")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("missing numeric `events_per_sec`")?,
+                phases,
+                alloc,
+                plan_cache,
+                workers,
+            },
+        })
+    }
+
+    /// Human-readable rendering: the deterministic totals, the top-`n`
+    /// phases by exclusive wall time, and the host headlines.
+    pub fn render_pretty(&self, top: usize) -> String {
+        let mut out = String::new();
+        let t = self.total();
+        out.push_str(&format!(
+            "deterministic: {} cell(s), {} events fired / {} scheduled / {} cancelled\n\
+             engine: heap high-water {}, ready high-water {}, {} activities, {} resources\n",
+            self.cells.len(),
+            t.events_fired,
+            t.events_scheduled,
+            t.events_cancelled,
+            t.heap_high_water,
+            t.ready_high_water,
+            t.activities,
+            t.resources,
+        ));
+        if !t.class_max_queue.is_empty() {
+            let depths: Vec<String> = t
+                .class_max_queue
+                .iter()
+                .map(|(c, d)| format!("{c} {d}"))
+                .collect();
+            out.push_str(&format!("class max queue: {}\n", depths.join(", ")));
+        }
+        out.push_str(&format!(
+            "host: wall {:.3} ms, {:.0} events/sec{}\n",
+            self.host.wall_ns as f64 / 1e6,
+            self.host.events_per_sec,
+            if self.host.alloc.enabled {
+                format!(
+                    ", peak heap {:.1} MiB ({} allocs)",
+                    self.host.alloc.peak_bytes as f64 / (1024.0 * 1024.0),
+                    self.host.alloc.total_allocs,
+                )
+            } else {
+                String::new()
+            },
+        ));
+        if let Some(pc) = &self.host.plan_cache {
+            out.push_str(&format!(
+                "plan cache: {} hits, {} misses, {} plans, {:.3} ms planning\n",
+                pc.hits,
+                pc.misses,
+                pc.distinct_plans,
+                pc.plan_wall_ns as f64 / 1e6,
+            ));
+        }
+        if !self.host.workers.is_empty() {
+            let busy: u64 = self.host.workers.iter().map(|w| w.busy_ns).sum();
+            out.push_str(&format!(
+                "workers: {} threads, {:.3} ms busy total\n",
+                self.host.workers.len(),
+                busy as f64 / 1e6,
+            ));
+        }
+        let mut rows: Vec<&PhaseRow> = self.host.phases.iter().collect();
+        rows.sort_by(|a, b| {
+            b.exclusive_ns
+                .cmp(&a.exclusive_ns)
+                .then(a.path.cmp(&b.path))
+        });
+        rows.truncate(top);
+        if !rows.is_empty() {
+            out.push_str(&format!(
+                "\n{:<32} {:>6} {:>14} {:>14}\n",
+                "phase (top by exclusive)", "count", "exclusive ms", "inclusive ms"
+            ));
+            for r in rows {
+                out.push_str(&format!(
+                    "{:<32} {:>6} {:>14.3} {:>14.3}\n",
+                    r.path,
+                    r.count,
+                    r.exclusive_ns as f64 / 1e6,
+                    r.inclusive_ns as f64 / 1e6,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Render the field list of one engine profile (no surrounding braces).
+fn render_engine(out: &mut String, e: &EngineProfile) {
+    out.push_str(&format!(
+        "\"events_scheduled\": {}, \"events_fired\": {}, \"events_cancelled\": {}, \
+         \"heap_high_water\": {}, \"ready_high_water\": {}, \"activities\": {}, \
+         \"resources\": {}, \"class_max_queue\": {{",
+        e.events_scheduled,
+        e.events_fired,
+        e.events_cancelled,
+        e.heap_high_water,
+        e.ready_high_water,
+        e.activities,
+        e.resources,
+    ));
+    for (i, (class, depth)) in e.class_max_queue.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {depth}", escape(class)));
+    }
+    out.push('}');
+}
+
+fn parse_engine(v: &JsonValue) -> Result<EngineProfile, String> {
+    let num = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .map(|f| f as u64)
+            .ok_or_else(|| format!("engine profile missing `{key}`"))
+    };
+    let class_max_queue = match v.get("class_max_queue") {
+        Some(JsonValue::Object(map)) => map
+            .iter()
+            .map(|(k, d)| {
+                d.as_f64()
+                    .map(|f| (k.clone(), f as u64))
+                    .ok_or_else(|| format!("class `{k}` depth is not a number"))
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        _ => return Err("engine profile missing `class_max_queue` object".into()),
+    };
+    Ok(EngineProfile {
+        events_scheduled: num("events_scheduled")?,
+        events_fired: num("events_fired")?,
+        events_cancelled: num("events_cancelled")?,
+        heap_high_water: num("heap_high_water")?,
+        ready_high_water: num("ready_high_water")?,
+        activities: num("activities")?,
+        resources: num("resources")?,
+        class_max_queue,
+    })
+}
+
+/// Minimal JSON string escaping for labels and paths.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProfReport {
+        let prof = Prof::enabled();
+        {
+            let _p = prof.scope("plan");
+            let _d = prof.scope("des-run");
+        }
+        let cells = vec![
+            DetCell {
+                label: "fig6/two-phase".into(),
+                engine: EngineProfile {
+                    events_scheduled: 100,
+                    events_fired: 100,
+                    events_cancelled: 0,
+                    heap_high_water: 12,
+                    ready_high_water: 7,
+                    activities: 40,
+                    resources: 9,
+                    class_max_queue: vec![("membus".into(), 3), ("ost".into(), 17)],
+                },
+            },
+            DetCell {
+                label: "fig6/memory-conscious".into(),
+                engine: EngineProfile {
+                    events_scheduled: 90,
+                    events_fired: 90,
+                    events_cancelled: 0,
+                    heap_high_water: 30,
+                    ready_high_water: 2,
+                    activities: 41,
+                    resources: 9,
+                    class_max_queue: vec![("membus".into(), 5)],
+                },
+            },
+        ];
+        ProfReport::build(
+            &prof,
+            cells,
+            Some(PlanCacheStats {
+                hits: 3,
+                misses: 2,
+                distinct_plans: 2,
+                plan_wall_ns: 1234,
+            }),
+            vec![WorkerRow {
+                worker: 0,
+                busy_ns: 999,
+                tasks: 2,
+            }],
+        )
+    }
+
+    #[test]
+    fn total_folds_cells() {
+        let r = sample();
+        let t = r.total();
+        assert_eq!(t.events_fired, 190);
+        assert_eq!(t.heap_high_water, 30, "high waters take the max");
+        assert_eq!(t.activities, 81);
+        assert_eq!(
+            t.class_max_queue,
+            vec![("membus".to_string(), 5), ("ost".to_string(), 17)]
+        );
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = sample();
+        let text = r.render();
+        let back = ProfReport::from_json(&text).expect("parses");
+        assert_eq!(back.cells, r.cells);
+        assert_eq!(back.host.phases, r.host.phases);
+        assert_eq!(back.host.plan_cache, r.host.plan_cache);
+        assert_eq!(back.host.workers, r.host.workers);
+        assert_eq!(back.render(), text, "render is a fixed point");
+    }
+
+    #[test]
+    fn deterministic_json_ignores_host_data() {
+        let a = sample();
+        let mut b = sample();
+        b.host.wall_ns = 1;
+        b.host.events_per_sec = 0.0;
+        b.host.phases.clear();
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        assert_ne!(a.render(), b.render());
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(ProfReport::from_json("[]").is_err());
+        assert!(ProfReport::from_json("{\"schema\": \"mcio.sweep.v1\"}").is_err());
+        assert!(ProfReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn pretty_lists_top_phases() {
+        let text = sample().render_pretty(5);
+        assert!(text.contains("events fired"));
+        assert!(text.contains("plan/des-run"));
+        assert!(text.contains("plan cache: 3 hits"));
+    }
+}

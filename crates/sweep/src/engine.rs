@@ -9,6 +9,23 @@
 //! into a pre-sized vector — completion order never leaks out.
 
 use crossbeam::channel;
+use std::time::Instant;
+
+/// One worker's utilization over a [`run_indexed_stats`] call.
+///
+/// Host-side wall-clock data: report it on stdout or in the
+/// `mcio.prof.v1` host section, never in a byte-diffed document — task
+/// stealing makes the per-worker split nondeterministic even though the
+/// merged results are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStat {
+    /// Worker index in `0..jobs`.
+    pub worker: usize,
+    /// Wall-clock nanoseconds spent inside the task closure.
+    pub busy_ns: u64,
+    /// Tasks this worker completed.
+    pub tasks: u64,
+}
 
 /// Run `f(i)` for every `i in 0..n` on `jobs` worker threads and return
 /// the results in index order — byte-for-byte the same `Vec` a
@@ -27,9 +44,28 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_stats(jobs, n, f).0
+}
+
+/// [`run_indexed`], also returning one [`WorkerStat`] per worker thread
+/// (a single stat for the inline `jobs <= 1` path). The result `Vec` is
+/// identical to `run_indexed`'s at any thread count; only the stats vary
+/// run to run.
+pub fn run_indexed_stats<T, F>(jobs: usize, n: usize, f: F) -> (Vec<T>, Vec<WorkerStat>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let jobs = jobs.max(1).min(n.max(1));
     if jobs <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let started = Instant::now();
+        let out: Vec<T> = (0..n).map(f).collect();
+        let stat = WorkerStat {
+            worker: 0,
+            busy_ns: started.elapsed().as_nanos() as u64,
+            tasks: n as u64,
+        };
+        return (out, vec![stat]);
     }
 
     let (task_tx, task_rx) = channel::unbounded::<usize>();
@@ -41,21 +77,32 @@ where
     drop(task_tx);
 
     std::thread::scope(|s| {
-        for _ in 0..jobs {
-            let tasks = task_rx.clone();
-            let results = result_tx.clone();
-            let f = &f;
-            s.spawn(move || {
-                while let Ok(i) = tasks.recv() {
-                    // A send failure means the collector is gone (a
-                    // sibling worker panicked and unwound the scope);
-                    // stop quietly and let the scope propagate it.
-                    if results.send((i, f(i))).is_err() {
-                        break;
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let tasks = task_rx.clone();
+                let results = result_tx.clone();
+                let f = &f;
+                s.spawn(move || {
+                    let mut stat = WorkerStat {
+                        worker: w,
+                        ..WorkerStat::default()
+                    };
+                    while let Ok(i) = tasks.recv() {
+                        let started = Instant::now();
+                        let value = f(i);
+                        stat.busy_ns += started.elapsed().as_nanos() as u64;
+                        stat.tasks += 1;
+                        // A send failure means the collector is gone (a
+                        // sibling worker panicked and unwound the scope);
+                        // stop quietly and let the scope propagate it.
+                        if results.send((i, value)).is_err() {
+                            break;
+                        }
                     }
-                }
-            });
-        }
+                    stat
+                })
+            })
+            .collect();
         drop(result_tx);
         drop(task_rx);
 
@@ -72,10 +119,18 @@ where
             // scope joins, whichever unwinds first).
             panic!("sweep incomplete: {filled}/{n} scenarios finished (worker panicked?)");
         }
-        slots
+        let stats: Vec<WorkerStat> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(stat) => stat,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+        let out = slots
             .into_iter()
             .map(|slot| slot.expect("all slots filled"))
-            .collect()
+            .collect();
+        (out, stats)
     })
 }
 
@@ -94,6 +149,16 @@ where
     F: Fn(&I) -> T + Sync,
 {
     run_indexed(jobs, items.len(), |i| f(&items[i]))
+}
+
+/// [`sweep`], also returning the per-worker [`WorkerStat`]s.
+pub fn sweep_stats<I, T, F>(jobs: usize, items: &[I], f: F) -> (Vec<T>, Vec<WorkerStat>)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    run_indexed_stats(jobs, items.len(), |i| f(&items[i]))
 }
 
 #[cfg(test)]
@@ -148,6 +213,22 @@ mod tests {
             vec![1, 2, 3],
             "jobs clamps up"
         );
+    }
+
+    #[test]
+    fn stats_cover_every_task_once() {
+        let (out, stats) = run_indexed_stats(4, 40, |i| i);
+        assert_eq!(out, (0..40).collect::<Vec<_>>());
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.tasks).sum::<u64>(), 40);
+        for (w, s) in stats.iter().enumerate() {
+            assert_eq!(s.worker, w);
+        }
+
+        let (inline, istats) = run_indexed_stats(1, 5, |i| 2 * i);
+        assert_eq!(inline, vec![0, 2, 4, 6, 8]);
+        assert_eq!(istats.len(), 1, "inline path reports one worker");
+        assert_eq!(istats[0].tasks, 5);
     }
 
     #[test]

@@ -28,5 +28,5 @@
 pub mod engine;
 pub mod spec;
 
-pub use engine::{run_indexed, sweep};
+pub use engine::{run_indexed, run_indexed_stats, sweep, sweep_stats, WorkerStat};
 pub use spec::{SweepPoint, SweepSpec};
