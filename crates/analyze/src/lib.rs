@@ -21,6 +21,10 @@
 //! * [`tenants`] — per-job interference attribution for multi-tenant
 //!   traces (pid-4 job lanes): splits each job's window into self /
 //!   cross-tenant / idle time so contention is attributable per job.
+//! * [`replan`] — closed-loop controller attribution for adaptive
+//!   runs (pid-5 replan lanes): what the controller did, when, and
+//!   why (retune / defer / demote / resplit decisions with their
+//!   recorded inputs).
 //!
 //! The `mcio_cli analyze` subcommand and the `perf_suite` benchmark
 //! harness are thin shells over this crate.
@@ -29,6 +33,7 @@
 
 pub mod critical_path;
 pub mod diff;
+pub mod replan;
 pub mod report;
 pub mod stragglers;
 pub mod tenants;
@@ -40,8 +45,11 @@ pub use critical_path::{
     PhaseKind,
 };
 pub use diff::{diff_critical_paths, diff_models, RunDiff, SeriesDelta};
+pub use replan::{replan_actions, ReplanAction};
 pub use report::{analyze, compare, Analysis, ClassStat, Comparison, PhaseTotals};
 pub use stragglers::{format_rounds, stragglers, Straggler, StragglerKind};
 pub use tenants::{tenant_paths, TenantPath};
 pub use timeline::{default_bucket_ns, timeline, Series, SeriesKind, Timeline};
-pub use trace_model::{ResourceClass, TraceModel, PID_RESOURCES, PID_ROUNDS, PID_TENANTS};
+pub use trace_model::{
+    ResourceClass, TraceModel, PID_REPLAN, PID_RESOURCES, PID_ROUNDS, PID_TENANTS,
+};

@@ -9,6 +9,7 @@
 use crate::critical_path::{
     aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
 };
+use crate::replan::{replan_actions, ReplanAction};
 use crate::stragglers::{stragglers, Straggler};
 use crate::tenants::{tenant_paths, TenantPath};
 use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES};
@@ -66,6 +67,10 @@ pub struct Analysis {
     /// score first (empty when nothing straggles, and then omitted
     /// from both renderings).
     pub stragglers: Vec<Straggler>,
+    /// Closed-loop controller decisions from the pid-5 replan lanes
+    /// (empty for non-adaptive runs, and then omitted from both
+    /// renderings).
+    pub replans: Vec<ReplanAction>,
     /// How many chains/aggregators the text report prints.
     pub top_k: usize,
 }
@@ -118,6 +123,7 @@ pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
         class_stats,
         tenants: tenant_paths(model),
         stragglers: stragglers(model),
+        replans: replan_actions(model),
         top_k,
     }
 }
@@ -249,6 +255,29 @@ impl Analysis {
                         .map(|r| r.to_string())
                         .collect::<Vec<_>>()
                         .join(",")
+                );
+            }
+        }
+        if !self.replans.is_empty() {
+            out.push_str("\n  ],\n  \"replans\": [");
+            for (i, r) in self.replans.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let args: Vec<String> = r
+                    .args
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": \"{}\"", escape_json(k), escape_json(v)))
+                    .collect();
+                let _ = write!(
+                    out,
+                    "\n    {{\"actuator\": \"{}\", \"name\": \"{}\", \"start_ns\": {}, \
+                     \"dur_ns\": {}, \"args\": {{{}}}}}",
+                    escape_json(&r.actuator),
+                    escape_json(&r.name),
+                    r.start_ns,
+                    r.dur_ns,
+                    args.join(", ")
                 );
             }
         }
@@ -389,6 +418,13 @@ impl Analysis {
             let _ = writeln!(out, "\n== stragglers ==");
             for s in &self.stragglers {
                 let _ = writeln!(out, "{}", s.describe());
+            }
+        }
+
+        if !self.replans.is_empty() {
+            let _ = writeln!(out, "\n== replan ==");
+            for r in &self.replans {
+                let _ = writeln!(out, "{}", r.describe());
             }
         }
         out
@@ -643,6 +679,55 @@ mod tests {
         let text = loud.to_text();
         assert!(text.contains("== stragglers =="), "{text}");
         assert!(text.contains("ost ost3"), "{text}");
+    }
+
+    #[test]
+    fn replan_sections_appear_only_for_adaptive_traces() {
+        // Non-adaptive trace: no replans key, no replan text section,
+        // so static-run reports are byte-identical to before.
+        let quiet = analyze(&model(), 5);
+        assert!(quiet.replans.is_empty());
+        assert!(!quiet.to_json().contains("\"replans\""));
+        assert!(!quiet.to_text().contains("== replan =="));
+
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "ost0");
+        tc.span("io.rank0", "ost0", PID_RESOURCES, 0, 0, 1000);
+        tc.name_process(crate::trace_model::PID_REPLAN, "replan");
+        tc.name_thread(crate::trace_model::PID_REPLAN, 1, "defer");
+        tc.span_with_args(
+            "defer.g0.r2",
+            "defer",
+            crate::trace_model::PID_REPLAN,
+            1,
+            400,
+            600,
+            &[("stretch", "2.10")],
+        );
+        let adaptive = analyze(&TraceModel::from_collector(&tc), 5);
+        assert_eq!(adaptive.replans.len(), 1);
+
+        let doc = json::parse(&adaptive.to_json()).expect("replan report is valid JSON");
+        let replans = doc.get("replans").unwrap().as_array().unwrap();
+        assert_eq!(replans.len(), 1);
+        let r = &replans[0];
+        assert_eq!(r.get("actuator").and_then(JsonValue::as_str), Some("defer"));
+        assert_eq!(
+            r.get("name").and_then(JsonValue::as_str),
+            Some("defer.g0.r2")
+        );
+        assert_eq!(r.get("start_ns").and_then(JsonValue::as_f64), Some(400.0));
+        assert_eq!(
+            r.get("args")
+                .and_then(|a| a.get("stretch"))
+                .and_then(JsonValue::as_str),
+            Some("2.10")
+        );
+
+        let text = adaptive.to_text();
+        assert!(text.contains("== replan =="), "{text}");
+        assert!(text.contains("defer defer.g0.r2"), "{text}");
+        assert!(text.contains("stretch 2.10"), "{text}");
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub const PID_FAULTS: u64 = 3;
 /// slowdown and OST-overlap fraction. Solo runs emit no pid-4 lanes.
 pub const PID_TENANTS: u64 = 4;
 
+/// Chrome-trace `pid` of the closed-loop replan lanes emitted by
+/// adaptive runs: one `tid` per actuator (`retune`, `defer`, `demote`,
+/// `resplit`), one span per controller decision with its inputs as
+/// span args. Static (`AdaptivePolicy::Off`) runs emit no pid-5 lanes.
+pub const PID_REPLAN: u64 = 5;
+
 /// Coarse class of a machine resource, keyed off its lane name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ResourceClass {

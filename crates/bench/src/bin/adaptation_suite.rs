@@ -1,0 +1,550 @@
+//! Closed-loop adaptation gate: fault matrix × tenant count × policy.
+//!
+//! Three sections exercise `mcio_core::adaptive` end to end:
+//!
+//! * **solo** — a degraded-OST fault matrix (clean, one slow OST, two
+//!   slow OSTs, two slow OSTs plus a memory shock) crossed with every
+//!   [`AdaptivePolicy`] on the memory-conscious plan. Every cell must
+//!   terminate with an executed plan that still passes `check()`, and a
+//!   completed cell must write the fault-free golden bytes — the
+//!   controller re-plans *time*, never *data*.
+//! * **tenants** — the contention-suite roster (1, 2, 4, 8 IOR tenants
+//!   on a shared 32-node machine) under the degraded-OST row, crossed
+//!   with every policy. The headline gate lives here: at 8 tenants the
+//!   adaptive controller's mean slowdown must be *strictly below* the
+//!   static run's — closing the loop has to pay for itself on the
+//!   contended, degraded machine.
+//! * **overlap** — the shared-node tenancy exhibit
+//!   (`tests/fixtures/overlap.mtspec`), where two tenants' node
+//!   partitions intersect, run under every policy.
+//!
+//! Cells fan across `--jobs N` workers via the sweep engine; validation
+//! and output follow canonical cell order, so the `mcio.adaptation.v1`
+//! document written to `--out FILE` (default
+//! `BENCH_adaptation_suite.json`) is identical at any `--jobs` value.
+//! One traced re-run of the 8-tenant aggressive cell writes its replan
+//! lanes (pid 5) to `--trace FILE` (default
+//! `BENCH_adaptation_trace.json`) for `mcio-analyze` attribution, and
+//! an untraced re-run pins byte-determinism of the document fragment.
+//!
+//! Violated assertions print one line and exit 1; unknown flags exit
+//! 2; `--jobs 0` exits 1.
+
+use mcio_bench::mtspec::{self, JobSpec, MtSpec};
+use mcio_cluster::spec::ClusterSpec;
+use mcio_cluster::ProcessMap;
+use mcio_core::exec_sim::{Exchange, Observe, Pipeline};
+use mcio_core::{
+    exec_fn, mcio, run_multitenant_adaptive, simulate_adaptive, AdaptivePolicy, CollectiveConfig,
+    CollectivePlan, CollectiveRequest, Extent, MultiTenantReport, ProcMemory, Rw, Strategy,
+    TenantJob,
+};
+use mcio_des::SimDuration;
+use mcio_faults::FaultSpec;
+use mcio_pfs::SparseFile;
+use mcio_workloads::Ior;
+use std::fmt::Write as _;
+use std::process::exit;
+
+const POLICIES: [AdaptivePolicy; 3] = [
+    AdaptivePolicy::Off,
+    AdaptivePolicy::Conservative,
+    AdaptivePolicy::Aggressive,
+];
+/// Tenant counts of the shared-machine section.
+const TENANTS: [usize; 4] = [1, 2, 4, 8];
+/// Nodes per tenant partition (matches the contention suite).
+const NODES_PER_JOB: usize = 4;
+const KIB: u64 = 1024;
+const MIB: u64 = 1 << 20;
+
+/// The degraded-OST row the tenant and overlap sections run under: two
+/// of the machine's four OSTs serve at 1/40 rate while the tenants are
+/// in flight — a sharp brown-out. Rounds issued inside the window
+/// crawl far past its end, so deferring past the exit and running at
+/// nominal rate wins decisively; the static run pays the full crawl.
+const DEGRADED_ROW: &str =
+    "seed 11\nost_slow(0, 40.0, 0ns..400ms)\nost_slow(1, 40.0, 0ns..400ms)\n";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("adaptation_suite: FAILED: {msg}");
+    exit(1);
+}
+
+/// The solo fault matrix: progressively degraded rows on one machine.
+fn solo_matrix() -> Vec<(&'static str, String)> {
+    vec![
+        ("clean", "seed 11\n".into()),
+        (
+            "degraded-1ost",
+            "seed 11\nost_slow(0, 40.0, 0ns..400ms)\n".into(),
+        ),
+        ("degraded-2ost", DEGRADED_ROW.into()),
+        (
+            "degraded+shock",
+            format!("{DEGRADED_ROW}mem_shock(0, 0.50, 1ms)\n"),
+        ),
+    ]
+}
+
+/// The solo workload: 16 ranks on 4 nodes, 4 MiB per rank, disjoint
+/// contiguous chunks so the written file is exactly the concatenation
+/// of rank payloads.
+struct SoloCase {
+    req: CollectiveRequest,
+    map: ProcessMap,
+    mem: ProcMemory,
+    spec: ClusterSpec,
+    plan: CollectivePlan,
+    golden: Vec<u8>,
+    len: u64,
+}
+
+fn solo_case() -> SoloCase {
+    let ranks = 16usize;
+    let chunk = 4 * MIB;
+    let req = CollectiveRequest::new(
+        Rw::Write,
+        (0..ranks as u64)
+            .map(|r| vec![Extent::new(r * chunk, chunk)])
+            .collect(),
+    );
+    let map = ProcessMap::block_ppn(ranks, 4);
+    let mem = ProcMemory::normal(ranks, chunk, 0.35, 7);
+    let cfg = CollectiveConfig::with_buffer(chunk).mem_min(chunk / 4);
+    let spec = ClusterSpec::small(map.nnodes(), 4);
+    let plan = mcio::plan(&req, &map, &mem, &cfg);
+    let golden = written(&plan, ranks as u64 * chunk);
+    SoloCase {
+        req,
+        map,
+        mem,
+        spec,
+        plan,
+        golden,
+        len: ranks as u64 * chunk,
+    }
+}
+
+fn written(plan: &CollectivePlan, len: u64) -> Vec<u8> {
+    let mut file = SparseFile::new();
+    exec_fn::execute_write(plan, &mut file).expect("executed plan delivers its bytes");
+    file.read_vec(0, len as usize)
+}
+
+/// One cell's contribution to the canonical-order loop.
+struct CellOutcome {
+    fragment: String,
+    line: String,
+    errors: Vec<String>,
+    mean_slowdown: f64,
+}
+
+fn run_solo_cell(case: &SoloCase, fault: &str, text: &str, policy: AdaptivePolicy) -> CellOutcome {
+    let fspec = FaultSpec::parse(text).unwrap_or_else(|e| fail(&format!("fault row {fault}: {e}")));
+    if let Err(e) = fspec.validate_osts(case.spec.io_servers) {
+        fail(&format!("fault row {fault}: {e}"));
+    }
+    let out = simulate_adaptive(
+        &case.plan,
+        &case.map,
+        &case.spec,
+        &case.mem,
+        Pipeline::Serial,
+        Exchange::Direct,
+        &fspec,
+        policy,
+        Observe {
+            registry: None,
+            trace: false,
+            prof: None,
+        },
+    );
+    let mut errors = Vec::new();
+    if let Err(e) = out.executed_plan.check(&case.req) {
+        errors.push(format!(
+            "{fault}/{}: executed plan violates the plan contract: {e:?}",
+            policy.label()
+        ));
+    }
+    if out.completed && written(&out.executed_plan, case.len) != case.golden {
+        errors.push(format!(
+            "{fault}/{}: completed run wrote bytes that differ from the fault-free image",
+            policy.label()
+        ));
+    }
+    if !out.completed {
+        errors.push(format!(
+            "{fault}/{}: degraded-OST rows have no structural faults, the run must complete",
+            policy.label()
+        ));
+    }
+    let a = &out.adaptive;
+    let retuned = match a.retuned {
+        Some((old, new)) => format!("[{old}, {new}]"),
+        None => "null".into(),
+    };
+    let fragment = format!(
+        "    {{\"fault\": \"{fault}\", \"policy\": \"{}\", \"elapsed_ns\": {}, \
+         \"completed\": {}, \"severity\": {:.6}, \"deferrals\": {}, \"demotions\": {}, \
+         \"resplits\": {}, \"msg_group\": {retuned}}}",
+        policy.label(),
+        out.report.elapsed.as_nanos(),
+        out.completed,
+        a.severity,
+        a.deferrals,
+        a.demotions,
+        a.resplits,
+    );
+    let line = format!(
+        "solo {fault:<15} {:<12} elapsed {:>10.3} ms  severity {:>5.3}  \
+         defer {} demote {} resplit {}{}",
+        policy.label(),
+        out.report.elapsed.as_nanos() as f64 / 1e6,
+        a.severity,
+        a.deferrals,
+        a.demotions,
+        a.resplits,
+        match a.retuned {
+            Some((old, new)) => format!("  msg_group {old} -> {new}"),
+            None => String::new(),
+        },
+    );
+    CellOutcome {
+        fragment,
+        line,
+        errors,
+        mean_slowdown: 0.0,
+    }
+}
+
+/// The 8-job roster and its specs: the contention-suite shape, all
+/// memory-conscious. A cell with T tenants runs the first T jobs.
+fn roster_specs() -> Vec<JobSpec> {
+    (0..8u64)
+        .map(|ji| JobSpec {
+            name: format!("job{ji}"),
+            ranks: 8,
+            ppn: 2,
+            node_offset: ji as usize * NODES_PER_JOB,
+            start: SimDuration::from_micros(ji * 250),
+            per_proc: 2048 * KIB,
+            segments: 2,
+            buffer: 32 * KIB,
+            stddev: 0.5,
+            seed: 0xC0DE + ji,
+            strategy: Strategy::MemoryConscious,
+            base: ji * (1 << 30),
+            ..JobSpec::default()
+        })
+        .collect()
+}
+
+/// Rebuild a roster job's request (shifted onto its file region) so
+/// the written bytes can be checked against the workload oracle.
+fn request_of(job: &JobSpec) -> CollectiveRequest {
+    let req = Ior::paper(job.ranks, job.per_proc, job.segments).request(Rw::Write);
+    CollectiveRequest::new(
+        req.rw,
+        req.ranks
+            .iter()
+            .map(|r| {
+                r.extents
+                    .iter()
+                    .map(|e| Extent::new(e.offset + job.base, e.len))
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn mean_slowdown(mt: &MultiTenantReport) -> f64 {
+    mt.jobs.iter().map(|j| j.slowdown).sum::<f64>() / mt.jobs.len().max(1) as f64
+}
+
+fn deferrals(mt: &MultiTenantReport) -> usize {
+    mt.jobs.iter().map(|j| j.adaptive.deferrals).sum()
+}
+
+fn run_tenant_cell(
+    tenants: usize,
+    policy: AdaptivePolicy,
+    specs: &[JobSpec],
+    jobs: &[TenantJob],
+    fspec: &FaultSpec,
+    trace: bool,
+) -> (CellOutcome, Option<String>) {
+    let mt = run_multitenant_adaptive(
+        &jobs[..tenants],
+        &ClusterSpec::small(32, 2),
+        Some(fspec),
+        policy,
+        Observe {
+            registry: None,
+            trace,
+            prof: None,
+        },
+    );
+    let mut errors = Vec::new();
+    for (ji, j) in mt.jobs.iter().enumerate() {
+        // Byte-correctness, every cell: the machine state and the
+        // controller perturb time, never the bytes a job's plan writes.
+        let req = request_of(&specs[ji]);
+        let mut file = SparseFile::new();
+        if exec_fn::execute_write(&jobs[ji].plan, &mut file).is_err()
+            || exec_fn::verify_write(&req, &file).is_err()
+        {
+            errors.push(format!(
+                "{tenants} tenants/{}: job {} bytes differ from the workload oracle",
+                policy.label(),
+                j.label
+            ));
+        }
+        if j.slowdown < 1.0 - 1e-9 {
+            errors.push(format!(
+                "{tenants} tenants/{}: job {} finished faster than its fault-free solo run \
+                 (slowdown {:.6})",
+                policy.label(),
+                j.label,
+                j.slowdown
+            ));
+        }
+        if !(0.0..=1.0).contains(&j.ost_overlap) {
+            errors.push(format!(
+                "{tenants} tenants/{}: job {} OST overlap {} outside [0, 1]",
+                policy.label(),
+                j.label,
+                j.ost_overlap
+            ));
+        }
+    }
+    let mut fragment = format!(
+        "    {{\"tenants\": {tenants}, \"policy\": \"{}\", \"makespan_ns\": {}, \
+         \"mean_slowdown\": {:.6}, \"deferrals\": {}, \"jobs\": [\n",
+        policy.label(),
+        mt.makespan.as_nanos(),
+        mean_slowdown(&mt),
+        deferrals(&mt),
+    );
+    for (i, job) in mt.jobs.iter().enumerate() {
+        let _ = write!(fragment, "      {}", mtspec::render_job(job));
+        fragment.push_str(if i + 1 < mt.jobs.len() { ",\n" } else { "\n" });
+    }
+    fragment.push_str("    ]}");
+    let line = format!(
+        "tenants {tenants}  {:<12} makespan {:>10.3} ms  mean slowdown {:>7.3}x  deferrals {}",
+        policy.label(),
+        mt.makespan.as_nanos() as f64 / 1e6,
+        mean_slowdown(&mt),
+        deferrals(&mt),
+    );
+    (
+        CellOutcome {
+            fragment,
+            line,
+            errors,
+            mean_slowdown: mean_slowdown(&mt),
+        },
+        mt.trace,
+    )
+}
+
+fn run_overlap_cell(spec: &MtSpec, jobs: &[TenantJob], policy: AdaptivePolicy) -> CellOutcome {
+    let mt = run_multitenant_adaptive(
+        jobs,
+        &spec.machine,
+        spec.faults.as_ref(),
+        policy,
+        Observe {
+            registry: None,
+            trace: false,
+            prof: None,
+        },
+    );
+    let mut errors = Vec::new();
+    for j in &mt.jobs {
+        if j.slowdown < 1.0 - 1e-9 {
+            errors.push(format!(
+                "overlap/{}: job {} finished faster than its fault-free solo run ({:.6})",
+                policy.label(),
+                j.label,
+                j.slowdown
+            ));
+        }
+    }
+    let fragment = format!(
+        "    {{\"policy\": \"{}\", \"makespan_ns\": {}, \"mean_slowdown\": {:.6}, \
+         \"deferrals\": {}}}",
+        policy.label(),
+        mt.makespan.as_nanos(),
+        mean_slowdown(&mt),
+        deferrals(&mt),
+    );
+    let line = format!(
+        "overlap    {:<12} makespan {:>10.3} ms  mean slowdown {:>7.3}x  deferrals {}",
+        policy.label(),
+        mt.makespan.as_nanos() as f64 / 1e6,
+        mean_slowdown(&mt),
+        deferrals(&mt),
+    );
+    CellOutcome {
+        fragment,
+        line,
+        errors,
+        mean_slowdown: mean_slowdown(&mt),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_adaptation_suite.json".to_string();
+    let mut trace_path = "BENCH_adaptation_trace.json".to_string();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("adaptation_suite: flag {flag} needs a value");
+                exit(2);
+            }
+        };
+        match a.as_str() {
+            "--out" => out_path = value("--out"),
+            "--trace" => trace_path = value("--trace"),
+            "--jobs" => {
+                let raw = value("--jobs");
+                jobs = match raw.parse() {
+                    Ok(j) if j >= 1 => j,
+                    _ => {
+                        eprintln!(
+                            "adaptation_suite: --jobs must be a positive integer, got `{raw}`"
+                        );
+                        exit(1);
+                    }
+                }
+            }
+            "--help" => {
+                println!(
+                    "usage: adaptation_suite [--out REPORT.json] [--trace TRACE.json] [--jobs N]"
+                );
+                exit(0);
+            }
+            other => {
+                eprintln!("adaptation_suite: unknown argument `{other}`");
+                exit(2);
+            }
+        }
+    }
+
+    // --- solo section -------------------------------------------------
+    let case = solo_case();
+    let matrix = solo_matrix();
+    let solo_cells: Vec<(usize, AdaptivePolicy)> = (0..matrix.len())
+        .flat_map(|f| POLICIES.into_iter().map(move |p| (f, p)))
+        .collect();
+    let solo = mcio_sweep::sweep(jobs, &solo_cells, |&(f, policy)| {
+        run_solo_cell(&case, matrix[f].0, &matrix[f].1, policy)
+    });
+
+    // --- tenant section -----------------------------------------------
+    let specs = roster_specs();
+    let roster: Vec<TenantJob> = specs.iter().map(mtspec::build_tenant).collect();
+    let fspec = FaultSpec::parse(DEGRADED_ROW).unwrap_or_else(|e| fail(&format!("row: {e}")));
+    if let Err(e) = fspec.validate_osts(ClusterSpec::small(32, 2).io_servers) {
+        fail(&format!("row: {e}"));
+    }
+    let tenant_cells: Vec<(usize, AdaptivePolicy)> = TENANTS
+        .iter()
+        .flat_map(|&t| POLICIES.into_iter().map(move |p| (t, p)))
+        .collect();
+    let tenant = mcio_sweep::sweep(jobs, &tenant_cells, |&(t, policy)| {
+        run_tenant_cell(t, policy, &specs, &roster, &fspec, false).0
+    });
+
+    // --- overlap section ----------------------------------------------
+    let overlap_spec = MtSpec::parse(include_str!("../../tests/fixtures/overlap.mtspec"))
+        .unwrap_or_else(|e| fail(&format!("overlap fixture: {e}")));
+    let overlap_jobs = overlap_spec.build_jobs();
+    let overlap = mcio_sweep::sweep(jobs, &POLICIES, |&policy| {
+        run_overlap_cell(&overlap_spec, &overlap_jobs, policy)
+    });
+
+    // --- canonical-order validation + document ------------------------
+    let mut doc = String::from("{\n  \"schema\": \"mcio.adaptation.v1\",\n");
+    doc.push_str("  \"machine\": \"small-32x2\",\n  \"solo\": [\n");
+    let mut sections = [("solo", &solo), ("tenants", &tenant), ("overlap", &overlap)];
+    for (si, (name, outcomes)) in sections.iter_mut().enumerate() {
+        if si > 0 {
+            let _ = write!(doc, "  ],\n  \"{name}\": [\n");
+        }
+        for (i, outcome) in outcomes.iter().enumerate() {
+            println!("{}", outcome.line);
+            if let Some(e) = outcome.errors.first() {
+                fail(e);
+            }
+            doc.push_str(&outcome.fragment);
+            doc.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+        }
+    }
+    doc.push_str("  ]\n}\n");
+
+    // --- the headline gate --------------------------------------------
+    // At every tenant count the controller must never degrade the mean
+    // slowdown, and on the full, degraded machine (8 tenants, two OSTs
+    // at 1/8 rate) closing the loop must pay for itself: strictly lower
+    // mean slowdown than the static run.
+    println!();
+    for (t_idx, &t) in TENANTS.iter().enumerate() {
+        let off = tenant[3 * t_idx].mean_slowdown;
+        let cons = tenant[3 * t_idx + 1].mean_slowdown;
+        let aggr = tenant[3 * t_idx + 2].mean_slowdown;
+        println!(
+            "{t} tenant(s): mean slowdown off {off:.3}x, conservative {cons:.3}x, \
+             aggressive {aggr:.3}x",
+        );
+        if cons > off + 1e-9 || aggr > off + 1e-9 {
+            fail(&format!(
+                "at {t} tenants an adaptive policy degrades mean slowdown \
+                 (off {off:.3}x, conservative {cons:.3}x, aggressive {aggr:.3}x)"
+            ));
+        }
+    }
+    let full = tenant.len() - 3;
+    if tenant[full + 2].mean_slowdown >= tenant[full].mean_slowdown {
+        fail(&format!(
+            "on the full degraded machine the aggressive controller must beat the static \
+             run strictly ({:.3}x vs {:.3}x)",
+            tenant[full + 2].mean_slowdown,
+            tenant[full].mean_slowdown,
+        ));
+    }
+
+    // --- determinism + replan trace artifact --------------------------
+    let (rerun, _) = run_tenant_cell(
+        8,
+        AdaptivePolicy::Aggressive,
+        &specs,
+        &roster,
+        &fspec,
+        false,
+    );
+    if rerun.fragment != tenant[full + 2].fragment {
+        fail("adaptive multi-tenant run is not deterministic: re-run fragment differs");
+    }
+    let (_, trace) = run_tenant_cell(8, AdaptivePolicy::Aggressive, &specs, &roster, &fspec, true);
+    let trace = trace.expect("traced run yields a trace");
+    if !trace.contains("\"replan\"") {
+        fail("traced 8-tenant aggressive cell carries no replan lanes");
+    }
+    if let Err(e) = std::fs::write(&trace_path, &trace) {
+        eprintln!("adaptation_suite: cannot write {trace_path}: {e}");
+        exit(1);
+    }
+
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("adaptation_suite: cannot write {out_path}: {e}");
+        exit(1);
+    }
+    println!("\nadaptation matrix ok; wrote {out_path} and {trace_path}");
+}

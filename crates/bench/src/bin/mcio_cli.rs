@@ -25,7 +25,11 @@
 //! `--metrics-format json|csv|prom` (json), `--faults FILE` (inject a
 //! deterministic fault plan — see `docs/robustness.md` for the DSL —
 //! and run both strategies through the resilient executor; the trace
-//! gains the pid-3 fault lanes and the report a completion verdict).
+//! gains the pid-3 fault lanes and the report a completion verdict),
+//! `--adaptive off|conservative|aggressive` (off; with `--faults`,
+//! run the closed-loop controller that re-tunes, defers, and
+//! re-places between rounds — the trace gains the pid-5 replan lanes
+//! and `analyze` a replan-attribution section).
 //!
 //! The `analyze` subcommand consumes a `--trace` file and reports the
 //! critical path (network-shuffle / OST-I/O / memory-wait / idle),
@@ -78,8 +82,8 @@ use mcio_core::exec_sim::{
 };
 use mcio_core::hints::parse_bytes;
 use mcio_core::{
-    mcio as mc, simulate_faulted, twophase, CollectiveConfig, CollectiveRequest, FaultOutcome,
-    PlanCache, ProcMemory, Rw, Strategy,
+    mcio as mc, simulate_adaptive, twophase, AdaptivePolicy, CollectiveConfig, CollectiveRequest,
+    FaultOutcome, PlanCache, ProcMemory, Rw, Strategy,
 };
 use mcio_faults::FaultSpec;
 use mcio_obs::{MetricsFormat, Registry};
@@ -108,6 +112,7 @@ const RUN_OPTS: &[&str] = &[
     "metrics",
     "metrics-format",
     "faults",
+    "adaptive",
     "prof",
 ];
 /// Boolean flags in run mode.
@@ -828,7 +833,7 @@ fn run_sim(args: &[String]) {
              \x20 --stddev F, --seed N, --rw read|write, --machine testbed|exascale|small,\n\
              \x20 --pipeline serial|double, --two-level, --strategy two-phase|mc,\n\
              \x20 --trace FILE, --metrics FILE, --metrics-format json|csv|prom,\n\
-             \x20 --faults FILE, --prof FILE\n\
+             \x20 --faults FILE, --adaptive off|conservative|aggressive, --prof FILE\n\
              \n\
              each subcommand takes --help for its own flags; see the module docs\n\
              at the top of crates/bench/src/bin/mcio_cli.rs for details"
@@ -933,17 +938,32 @@ fn run_sim(args: &[String]) {
     );
 
     // Fault plan, validated before any simulation runs: unreadable or
-    // malformed specs exit 1 with a one-line reason.
+    // malformed specs exit 1 with a one-line reason. The parser can't
+    // know the machine, so OST targets are checked here against the
+    // resolved spec.
     let fault_spec: Option<FaultSpec> = opts.get("faults").map(|path| {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("mcio_cli: cannot read faults {path}: {e}");
             exit(1);
         });
-        FaultSpec::parse(&text).unwrap_or_else(|e| {
+        let fspec = FaultSpec::parse(&text).unwrap_or_else(|e| {
             eprintln!("mcio_cli: faults {path}: {e}");
             exit(1);
-        })
+        });
+        if let Err(e) = fspec.validate_osts(spec.io_servers) {
+            eprintln!("mcio_cli: faults {path}: {e}");
+            exit(1);
+        }
+        fspec
     });
+
+    let policy = {
+        let raw = get("adaptive", "off");
+        AdaptivePolicy::parse(&raw).unwrap_or_else(|| {
+            eprintln!("--adaptive must be off|conservative|aggressive, got `{raw}`");
+            exit(2);
+        })
+    };
 
     let two_level = flags.iter().any(|f| f == "two-level");
     let exchange = if two_level {
@@ -974,7 +994,7 @@ fn run_sim(args: &[String]) {
     let (tp, mcr) = match &fault_spec {
         Some(fspec) => {
             let faulted = |plan: &mcio_core::CollectivePlan| {
-                simulate_faulted(
+                simulate_adaptive(
                     plan,
                     &map,
                     &spec,
@@ -982,6 +1002,7 @@ fn run_sim(args: &[String]) {
                     pipeline,
                     exchange,
                     fspec,
+                    policy,
                     Observe::default(),
                 )
             };
@@ -1028,6 +1049,22 @@ fn run_sim(args: &[String]) {
                 o.retry_exhausted,
             );
         }
+        if !policy.is_off() {
+            let a = &mco.adaptive;
+            println!(
+                "adaptive        : policy {} (severity {:.3}, deferrals {}, demotions {}, \
+                 resplits {}{})",
+                policy.label(),
+                a.severity,
+                a.deferrals,
+                a.demotions,
+                a.resplits,
+                match a.retuned {
+                    Some((old, new)) => format!(", msg_group {old} -> {new}"),
+                    None => String::new(),
+                },
+            );
+        }
     }
 
     // Observability exports: one extra observed run of the selected
@@ -1059,8 +1096,8 @@ fn run_sim(args: &[String]) {
         };
         let (obs_timing, trace_json) = match &fault_spec {
             Some(fspec) => {
-                let outcome = simulate_faulted(
-                    obs_plan, &map, &spec, &env, pipeline, exchange, fspec, observe,
+                let outcome = simulate_adaptive(
+                    obs_plan, &map, &spec, &env, pipeline, exchange, fspec, policy, observe,
                 );
                 (outcome.report, outcome.trace)
             }

@@ -283,7 +283,13 @@ impl MtSpec {
         let faults = if fault_lines.is_empty() {
             None
         } else {
-            Some(FaultSpec::parse(&fault_lines.join("\n")).map_err(|e| format!("faults: {e}"))?)
+            let f =
+                FaultSpec::parse(&fault_lines.join("\n")).map_err(|e| format!("faults: {e}"))?;
+            // The parser can't know the machine; with it resolved,
+            // reject fault targets that don't exist on it.
+            f.validate_osts(machine.io_servers)
+                .map_err(|e| format!("faults: {e}"))?;
+            Some(f)
         };
         let spec = MtSpec {
             machine,

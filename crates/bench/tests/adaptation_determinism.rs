@@ -1,0 +1,123 @@
+//! Determinism and exit-code contracts for `adaptation_suite`.
+//!
+//! The suite's promise mirrors the other benchmark gates: worker count
+//! is invisible in the output (`--jobs 1` and `--jobs 2` write
+//! byte-identical `mcio.adaptation.v1` documents and replan traces),
+//! the headline gate holds (adaptive mean slowdown strictly below
+//! static on the full degraded machine), and flag hygiene matches the
+//! sibling suites (unknown flag exit 2, `--jobs 0` exit 1).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn suite(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_adaptation_suite"))
+        .args(args)
+        .output()
+        .expect("spawn adaptation_suite")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "adaptation_suite_test_{}_{name}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn jobs_1_and_2_write_identical_documents_and_gate_passes() {
+    let out1 = tmp("jobs1.json");
+    let tr1 = tmp("jobs1_trace.json");
+    let out2 = tmp("jobs2.json");
+    let tr2 = tmp("jobs2_trace.json");
+    let r1 = suite(&[
+        "--jobs",
+        "1",
+        "--out",
+        out1.to_str().unwrap(),
+        "--trace",
+        tr1.to_str().unwrap(),
+    ]);
+    let r2 = suite(&[
+        "--jobs",
+        "2",
+        "--out",
+        out2.to_str().unwrap(),
+        "--trace",
+        tr2.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        r1.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&r1.stderr)
+    );
+    assert_eq!(
+        r2.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&r2.stderr)
+    );
+    let doc1 = std::fs::read(&out1).expect("jobs=1 document");
+    let doc2 = std::fs::read(&out2).expect("jobs=2 document");
+    let trace1 = std::fs::read(&tr1).expect("jobs=1 trace");
+    let trace2 = std::fs::read(&tr2).expect("jobs=2 trace");
+    for p in [&out1, &tr1, &out2, &tr2] {
+        std::fs::remove_file(p).ok();
+    }
+    assert!(!doc1.is_empty());
+    assert_eq!(
+        doc1, doc2,
+        "adaptation document differs between --jobs 1 and --jobs 2"
+    );
+    assert_eq!(trace1, trace2, "replan trace differs between worker counts");
+
+    let doc = String::from_utf8(doc1).expect("document is UTF-8");
+    assert!(doc.contains("\"schema\": \"mcio.adaptation.v1\""), "{doc}");
+    for section in ["\"solo\": [", "\"tenants\": [", "\"overlap\": ["] {
+        assert!(doc.contains(section), "missing {section} in: {doc}");
+    }
+    let trace = String::from_utf8(trace1).expect("trace is UTF-8");
+    assert!(
+        trace.contains("\"replan\"") && trace.contains("defer."),
+        "replan trace must carry pid-5 defer lanes"
+    );
+    // The per-cell stdout lines are canonical too.
+    let lines = |o: &Output| -> Vec<String> {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .filter(|l| !l.starts_with("wrote ") && !l.contains("; wrote "))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(lines(&r1), lines(&r2), "per-cell stdout lines differ");
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = suite(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+}
+
+#[test]
+fn jobs_zero_exits_1() {
+    let out = suite(&["--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--jobs"),
+        "error names the flag"
+    );
+}
+
+#[test]
+fn help_exits_0_and_names_all_flags() {
+    let out = suite(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--out", "--trace", "--jobs"] {
+        assert!(text.contains(flag), "help must name {flag}: {text}");
+    }
+}

@@ -578,6 +578,92 @@ fn sweep_prof_unwritable_path_exits_1() {
     assert!(!err.contains("panicked"), "{err}");
 }
 
+#[test]
+fn faults_reversed_window_exits_1_with_one_line_error() {
+    let path = tmp("faults_reversed.txt");
+    std::fs::write(&path, "seed 1\nost_slow(0, 2.0, 5ms..2ms)\n").unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("empty or reversed"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn faults_overlapping_stalls_exit_1_with_one_line_error() {
+    let path = tmp("faults_overlap.txt");
+    std::fs::write(
+        &path,
+        "seed 1\nost_stall(0, 0ms..4ms)\nost_stall(0, 2ms..6ms)\n",
+    )
+    .unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(
+        err.contains("overlapping ost_stall windows on ost 0"),
+        "{err}"
+    );
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn faults_unknown_ost_exits_1_with_one_line_error() {
+    let path = tmp("faults_unknown_ost.txt");
+    std::fs::write(&path, "seed 1\nost_slow(99, 2.0, 0ms..5ms)\n").unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("ost 99 out of range"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn bad_adaptive_policy_exits_2() {
+    let mut args = TINY.to_vec();
+    args.extend_from_slice(&["--adaptive", "turbo"]);
+    let out = run(&args);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--adaptive must be off|conservative|aggressive"),
+        "{err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+/// `--adaptive` with a fault plan runs the controller and reports its
+/// decisions on an `adaptive` summary line.
+#[test]
+fn adaptive_run_reports_policy_line() {
+    let path = tmp("faults_adaptive.txt");
+    std::fs::write(&path, "seed 3\nost_slow(0, 4.0, 0ns..5ms)\n").unwrap();
+    let mut args = TINY.to_vec();
+    let path_s = path.to_str().unwrap().to_owned();
+    args.extend_from_slice(&["--faults", &path_s, "--adaptive", "aggressive"]);
+    let out = run(&args);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("adaptive"), "{text}");
+    assert!(text.contains("policy aggressive"), "{text}");
+}
+
 /// A valid fault plan runs to exit 0 and the summary names the faulted
 /// execution: both strategy outcome lines plus the fault event count.
 #[test]

@@ -1,0 +1,695 @@
+//! Closed-loop adaptive re-planning: feed observed fault and
+//! contention signals back into the plan *between* collective rounds.
+//!
+//! The §3 tuner calibrates `Msg_group`/`Msg_ind` once per machine, and
+//! aggregator placement ignores what the machine looks like while the
+//! collective actually runs. This module closes the loop with a
+//! deterministic feedback controller:
+//!
+//! 1. **Sample** — a [`SignalSnapshot`] summarizes the observed
+//!    machine state: per-OST service rate vs nominal (from the same
+//!    [`ServiceWindow`](mcio_des::ServiceWindow)s the injector arms),
+//!    node memory shocks, and the tenant cross-job interference
+//!    fraction. Every input is already deterministic and replayable
+//!    from the fault-plan seed, so the controller is too.
+//! 2. **Re-tune** — [`crate::tuner::retune_from_signals`] re-solves
+//!    `Msg_group`/`Msg_ind` incrementally with a hysteresis dead band:
+//!    mild degradation changes nothing (no oscillation), severe
+//!    degradation shrinks the group granularity monotonically.
+//! 3. **Re-place** — aggregators sitting on memory-shocked nodes are
+//!    demoted through the same three-tier failover machinery a crash
+//!    uses, but scored with a contention-aware budget
+//!    ([`select_contended_replacement`]): shocked nodes lose budget,
+//!    crowded nodes are penalized.
+//! 4. **Re-split / defer** — remaining rounds are re-split at exact
+//!    chunk boundaries (plan `check()` preserved), and rounds whose
+//!    probe window sits inside a severe slow-OST window are deferred
+//!    past the window exit when the probe says waiting is cheaper than
+//!    crawling ([`plan_deferrals`]).
+//!
+//! The controller runs between rounds *of the probe pass*: like the
+//! failover transform in [`crate::exec_faults`], decisions come from a
+//! deterministic probe simulation and are actuated as plan transforms
+//! plus release gates on the final pass, so the adapted run is still
+//! one byte-reproducible DES execution. [`AdaptivePolicy::Off`] takes
+//! exactly the static code path — outputs are byte-identical to
+//! pre-adaptive builds.
+
+use crate::exec_sim::RoundWindow;
+use crate::memory::ProcMemory;
+use crate::plan::{CollectivePlan, GroupPlan};
+use mcio_cluster::{NodeId, ProcessMap, Rank};
+use mcio_faults::FaultSpec;
+
+/// How eagerly the controller re-plans. The knob trades reaction speed
+/// against stability: `Conservative` waits for strong, sustained
+/// degradation; `Aggressive` reacts to smaller signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptivePolicy {
+    /// No adaptation: the static plan runs unchanged (byte-identical
+    /// to builds without the adaptive module).
+    #[default]
+    Off,
+    /// Wide dead band, high actuation thresholds.
+    Conservative,
+    /// Narrow dead band, low actuation thresholds.
+    Aggressive,
+}
+
+impl AdaptivePolicy {
+    /// Parse a CLI policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(AdaptivePolicy::Off),
+            "conservative" => Some(AdaptivePolicy::Conservative),
+            "aggressive" => Some(AdaptivePolicy::Aggressive),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase label (metrics, trace args, documents).
+    pub fn label(self) -> &'static str {
+        match self {
+            AdaptivePolicy::Off => "off",
+            AdaptivePolicy::Conservative => "conservative",
+            AdaptivePolicy::Aggressive => "aggressive",
+        }
+    }
+
+    /// True when the controller is disabled.
+    pub fn is_off(self) -> bool {
+        self == AdaptivePolicy::Off
+    }
+
+    /// Hysteresis dead band on [`SignalSnapshot::severity`]: at or
+    /// below this, the controller is a guaranteed no-op. `Off` returns
+    /// an unreachable band (severity is capped at 1).
+    pub fn dead_band(self) -> f64 {
+        match self {
+            AdaptivePolicy::Off => f64::INFINITY,
+            AdaptivePolicy::Conservative => 0.25,
+            AdaptivePolicy::Aggressive => 0.10,
+        }
+    }
+
+    /// Minimum probe-observed round stretch (degraded duration over
+    /// nominal duration) before a deferral is considered.
+    pub fn stretch_threshold(self) -> f64 {
+        match self {
+            AdaptivePolicy::Off => f64::INFINITY,
+            AdaptivePolicy::Conservative => 1.5,
+            AdaptivePolicy::Aggressive => 1.15,
+        }
+    }
+
+    /// Safety margin on the defer-vs-crawl comparison, as a fraction
+    /// of the nominal round duration.
+    pub fn defer_margin(self) -> f64 {
+        match self {
+            AdaptivePolicy::Off => f64::INFINITY,
+            AdaptivePolicy::Conservative => 0.10,
+            AdaptivePolicy::Aggressive => 0.0,
+        }
+    }
+
+    /// Gain of the incremental re-tune: how fast `Msg_group` shrinks
+    /// per unit of severity beyond the dead band.
+    pub fn retune_gain(self) -> f64 {
+        match self {
+            AdaptivePolicy::Off => 0.0,
+            AdaptivePolicy::Conservative => 1.0,
+            AdaptivePolicy::Aggressive => 2.0,
+        }
+    }
+}
+
+/// Observed state of one OST over the sampling horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OstSignal {
+    /// OST index.
+    pub ost: usize,
+    /// Time-weighted service deficit over the horizon, in `[0, 1]`:
+    /// `0` = nominal rate throughout, `1` = stalled for the whole
+    /// horizon.
+    pub degradation: f64,
+    /// Worst instantaneous deficit of any window touching the horizon
+    /// (`1 - min rate`).
+    pub worst: f64,
+    /// Latest end of any degraded window touching the horizon,
+    /// nanoseconds (uncapped — may exceed the horizon).
+    pub degraded_until_ns: u64,
+}
+
+/// A deterministic sample of every signal the controller feeds on.
+/// Derived purely from the seeded fault plan and the probe run, so two
+/// samples of the same run are identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalSnapshot {
+    /// Sampling horizon (the nominal run length), nanoseconds.
+    pub horizon_ns: u64,
+    /// Per-OST signals, ascending OST index; only OSTs with at least
+    /// one perturbation window appear.
+    pub osts: Vec<OstSignal>,
+    /// Memory shocks `(node, drop_frac)` in spec order.
+    pub shocks: Vec<(usize, f64)>,
+    /// Cross-job OST interference fraction in `[0, 1]` (zero for solo
+    /// runs; the probe's `ost_overlap` for tenants).
+    pub interference: f64,
+}
+
+impl SignalSnapshot {
+    /// Sample the signals of `fspec` over `[0, horizon_ns)` on a
+    /// machine with `nosts` OSTs.
+    pub fn sample(fspec: &FaultSpec, nosts: usize, horizon_ns: u64, interference: f64) -> Self {
+        let horizon = horizon_ns.max(1);
+        let mut osts = Vec::new();
+        for ost in 0..nosts {
+            let windows = fspec.ost_windows(ost);
+            if windows.is_empty() {
+                continue;
+            }
+            let mut deficit_ns = 0.0f64;
+            let mut worst = 0.0f64;
+            let mut until = 0u64;
+            for w in &windows {
+                let start = w.start.as_nanos();
+                let end = w.end.as_nanos();
+                let lo = start.min(horizon);
+                let hi = end.min(horizon);
+                if hi <= lo || w.rate >= 1.0 {
+                    continue;
+                }
+                deficit_ns += (hi - lo) as f64 * (1.0 - w.rate);
+                worst = worst.max(1.0 - w.rate);
+                until = until.max(end);
+            }
+            if worst > 0.0 {
+                osts.push(OstSignal {
+                    ost,
+                    degradation: (deficit_ns / horizon as f64).clamp(0.0, 1.0),
+                    worst,
+                    degraded_until_ns: until,
+                });
+            }
+        }
+        SignalSnapshot {
+            horizon_ns: horizon,
+            osts,
+            shocks: fspec
+                .mem_shocks()
+                .iter()
+                .map(|&(node, frac, _)| (node, frac))
+                .collect(),
+            interference: interference.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Scalar severity in `[0, 1]` the hysteresis bands compare
+    /// against: the worst of (time-weighted OST deficit, shock
+    /// fraction, interference fraction).
+    pub fn severity(&self) -> f64 {
+        let ost = self
+            .osts
+            .iter()
+            .map(|o| o.degradation)
+            .fold(0.0f64, f64::max);
+        let shock = self.shocks.iter().map(|&(_, f)| f).fold(0.0f64, f64::max);
+        ost.max(shock).max(self.interference).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of the shock budget lost on `node` (0 when unshocked;
+    /// multiple shocks compose by keeping the worst).
+    pub fn shock_frac(&self, node: usize) -> f64 {
+        self.shocks
+            .iter()
+            .filter(|&&(n, _)| n == node)
+            .map(|&(_, f)| f)
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// One deferral decision: hold round `round` of `group` behind a gate
+/// releasing at `release_ns`, because the probe says the round would
+/// otherwise crawl through a degraded OST window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct DeferDecision {
+    /// Plan group key (`None` = the global chain).
+    pub group: Option<usize>,
+    /// Round index the gate holds back.
+    pub round: usize,
+    /// Decision instant: the degraded slot's probed start.
+    pub from_ns: u64,
+    /// Gate release: the degraded window's exit.
+    pub release_ns: u64,
+    /// Probe-observed stretch (degraded duration / nominal duration).
+    pub stretch: f64,
+}
+
+/// Estimate how much tenancy alone stretches a job's rounds: the
+/// median faulted-over-nominal duration ratio across probe rounds that
+/// never overlap a degraded OST window — their stretch is pure
+/// contention, so it calibrates what "nominal" means on the shared
+/// machine. Returns 1.0 (no correction) when every round touches a
+/// window, which is also the solo-probe case where faulted and clean
+/// share a timeline.
+pub(crate) fn contention_stretch(
+    fspec: &FaultSpec,
+    nosts: usize,
+    clean: &[RoundWindow],
+    faulted: &[RoundWindow],
+    offset_ns: u64,
+) -> f64 {
+    let mut degraded_windows: Vec<(u64, u64)> = Vec::new();
+    for ost in 0..nosts {
+        for w in fspec.ost_windows(ost) {
+            if w.rate < 1.0 {
+                degraded_windows.push((w.start.as_nanos(), w.end.as_nanos()));
+            }
+        }
+    }
+    let mut ratios: Vec<f64> = Vec::new();
+    for fw in faulted {
+        let Some(cw) = clean
+            .iter()
+            .find(|c| c.group == fw.group && c.round == fw.round)
+        else {
+            continue;
+        };
+        let cdur = cw.end_ns.saturating_sub(cw.start_ns);
+        let fdur = fw.end_ns.saturating_sub(fw.start_ns);
+        if cdur == 0 || fdur == 0 {
+            continue;
+        }
+        let (fstart, fend) = (fw.start_ns + offset_ns, fw.end_ns + offset_ns);
+        if degraded_windows
+            .iter()
+            .any(|&(s, e)| s < fend && e > fstart)
+        {
+            continue;
+        }
+        ratios.push(fdur as f64 / cdur as f64);
+    }
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("duration ratios are finite"));
+    ratios[ratios.len() / 2].max(1.0)
+}
+
+/// Decide which round slots to defer past a degraded OST window.
+///
+/// For each slot, compare its nominal probe window (`clean`) against
+/// its degraded probe window (`faulted`, shifted by `offset_ns` when
+/// the job arrives late). A slot is deferred only when the probe says
+/// waiting wins: the degraded windows it overlaps end early enough
+/// that `window_exit + nominal_duration (+ margin)` beats the observed
+/// degraded finish. `dur_scale` re-bases "nominal" for contended
+/// machines (see [`contention_stretch`]); solo callers pass 1.0. Stall
+/// windows never qualify (the un-deferred run already waits at full
+/// stop and loses nothing), which keeps the controller naturally
+/// conservative.
+pub(crate) fn plan_deferrals(
+    fspec: &FaultSpec,
+    policy: AdaptivePolicy,
+    nosts: usize,
+    clean: &[RoundWindow],
+    faulted: &[RoundWindow],
+    offset_ns: u64,
+    dur_scale: f64,
+) -> Vec<DeferDecision> {
+    let mut degraded_windows: Vec<(u64, u64)> = Vec::new();
+    for ost in 0..nosts {
+        for w in fspec.ost_windows(ost) {
+            if w.rate < 1.0 {
+                degraded_windows.push((w.start.as_nanos(), w.end.as_nanos()));
+            }
+        }
+    }
+    if degraded_windows.is_empty() {
+        return Vec::new();
+    }
+    degraded_windows.sort_unstable();
+
+    let mut out = Vec::new();
+    for fw in faulted {
+        let Some(cw) = clean
+            .iter()
+            .find(|c| c.group == fw.group && c.round == fw.round)
+        else {
+            continue;
+        };
+        let raw_cdur = cw.end_ns.saturating_sub(cw.start_ns);
+        let fdur = fw.end_ns.saturating_sub(fw.start_ns);
+        if raw_cdur == 0 || fdur == 0 {
+            continue;
+        }
+        // The contended-but-clean estimate of the slot's duration.
+        let cdur = (raw_cdur as f64 * dur_scale.max(1.0)) as u64;
+        let stretch = fdur as f64 / cdur.max(1) as f64;
+        if stretch < policy.stretch_threshold() {
+            continue;
+        }
+        let (fstart, fend) = (fw.start_ns + offset_ns, fw.end_ns + offset_ns);
+        // Latest exit among degraded windows the stretched slot overlaps.
+        let exit = degraded_windows
+            .iter()
+            .filter(|&&(s, e)| s < fend && e > fstart)
+            .map(|&(_, e)| e)
+            .max();
+        let Some(exit) = exit else { continue };
+        if exit <= fstart {
+            continue;
+        }
+        // Defer only when waiting beats crawling, with the policy margin.
+        let margin = (cdur as f64 * policy.defer_margin()) as u64;
+        if exit.saturating_add(cdur).saturating_add(margin) >= fend {
+            continue;
+        }
+        out.push(DeferDecision {
+            group: fw.group,
+            round: fw.round,
+            from_ns: fstart,
+            release_ns: exit,
+            stretch,
+        });
+    }
+    out.sort_by_key(|d| (d.group, d.round));
+    out
+}
+
+/// Contention-aware replacement selection for an adaptive demotion:
+/// the three-tier search of [`crate::exec_faults`]'s failover path,
+/// but scored with an *effective* budget — shocked nodes lose the
+/// shocked fraction, and nodes already hosting aggregators of the
+/// group are penalized so demotions spread instead of piling up.
+/// Integer scoring keeps the choice byte-deterministic.
+pub(crate) fn select_contended_replacement(
+    g: &GroupPlan,
+    map: &ProcessMap,
+    mem: &ProcMemory,
+    down: NodeId,
+    signals: &SignalSnapshot,
+) -> Option<(Rank, u64)> {
+    let aggs_on = |node: NodeId| {
+        g.aggregators
+            .iter()
+            .filter(|a| map.node_of(a.rank) == node)
+            .count() as u64
+    };
+    let effective = |r: Rank, budget: u64| {
+        let node = map.node_of(r);
+        let keep = 1.0 - signals.shock_frac(node.0).clamp(0.0, 1.0);
+        let kept = (budget as f64 * keep) as u64;
+        kept / (1 + aggs_on(node))
+    };
+    let fresh = g
+        .ranks
+        .iter()
+        .copied()
+        .filter(|&r| map.node_of(r) != down)
+        .filter(|&r| !g.aggregators.iter().any(|a| a.rank == r))
+        .max_by_key(|&r| (effective(r, mem.budget(r)), std::cmp::Reverse(r.0)));
+    if let Some(r) = fresh {
+        return Some((r, mem.budget(r).max(1)));
+    }
+    if let Some(a) = g
+        .aggregators
+        .iter()
+        .filter(|a| map.node_of(a.rank) != down)
+        .max_by_key(|a| (effective(a.rank, a.buffer), std::cmp::Reverse(a.rank.0)))
+    {
+        return Some((a.rank, a.buffer));
+    }
+    (0..map.nranks())
+        .map(Rank)
+        .filter(|&r| map.node_of(r) != down)
+        .max_by_key(|&r| (effective(r, mem.budget(r)), std::cmp::Reverse(r.0)))
+        .map(|r| (r, mem.budget(r).max(1)))
+}
+
+/// The coarsest I/O granularity the plan actually uses: the largest
+/// per-aggregator window of any round. This is the incremental
+/// re-tune's `Msg_group` baseline — the observed round granularity —
+/// and [`crate::tuner::retune_from_signals`] shrinks it from here.
+pub fn observed_granularity(plan: &CollectivePlan) -> u64 {
+    plan.groups
+        .iter()
+        .flat_map(|g| g.rounds.iter())
+        .flat_map(|r| r.ios.iter())
+        .map(|io| io.window.len)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// What the controller did to one run (surfaced on the outcome and the
+/// `adaptive.*` metrics).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdaptiveOutcome {
+    /// The policy that ran.
+    pub policy: AdaptivePolicy,
+    /// Sampled severity in `[0, 1]` (0 when the controller never
+    /// sampled — policy off or an empty fault plan).
+    pub severity: f64,
+    /// Rounds deferred past a degraded OST window.
+    pub deferrals: usize,
+    /// Aggregators demoted off shocked nodes.
+    pub demotions: usize,
+    /// Extra rounds created by adaptive re-splitting.
+    pub resplits: usize,
+    /// `(old, new)` group granularity when the re-tune moved it.
+    pub retuned: Option<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slow_spec(factor: f64, from_ms: u64, until_ms: u64) -> FaultSpec {
+        FaultSpec::parse(&format!(
+            "seed 1\nost_slow(0, {factor}, {from_ms}ms..{until_ms}ms)"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_weights_deficit_by_time() {
+        // Quarter speed for half the horizon: deficit 0.75 * 0.5.
+        let spec = slow_spec(4.0, 0, 5);
+        let snap = SignalSnapshot::sample(&spec, 2, 10_000_000, 0.0);
+        assert_eq!(snap.osts.len(), 1);
+        let o = &snap.osts[0];
+        assert_eq!(o.ost, 0);
+        assert!((o.degradation - 0.375).abs() < 1e-9, "{}", o.degradation);
+        assert!((o.worst - 0.75).abs() < 1e-9);
+        assert_eq!(o.degraded_until_ns, 5_000_000);
+        assert!((snap.severity() - 0.375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_ignores_windows_past_horizon() {
+        let spec = slow_spec(8.0, 20, 30);
+        let snap = SignalSnapshot::sample(&spec, 1, 10_000_000, 0.0);
+        assert!(snap.osts.is_empty(), "window outside horizon: {snap:?}");
+        assert_eq!(snap.severity(), 0.0);
+    }
+
+    #[test]
+    fn severity_takes_the_worst_signal() {
+        let spec = FaultSpec::parse("seed 1\nost_slow(0, 2.0, 0ms..10ms)\nmem_shock(3, 0.9, 1ms)")
+            .unwrap();
+        let snap = SignalSnapshot::sample(&spec, 1, 10_000_000, 0.3);
+        assert!((snap.severity() - 0.9).abs() < 1e-9, "{}", snap.severity());
+        assert!((snap.shock_frac(3) - 0.9).abs() < 1e-9);
+        assert_eq!(snap.shock_frac(0), 0.0);
+        let calm = SignalSnapshot::sample(&FaultSpec::none(), 1, 1_000, 0.3);
+        assert!((calm.severity() - 0.3).abs() < 1e-9, "interference counts");
+    }
+
+    #[test]
+    fn deferral_requires_waiting_to_win() {
+        let w = |group, round, start_ns: u64, end_ns: u64| RoundWindow {
+            group,
+            round,
+            start_ns,
+            end_ns,
+        };
+        // Nominal 1 ms round, crawling to 8 ms inside a slow window that
+        // ends at 2 ms: waiting (2 ms + 1 ms) beats crawling (8 ms).
+        let spec = slow_spec(8.0, 0, 2);
+        let clean = [w(None, 0, 0, 1_000_000)];
+        let faulted = [w(None, 0, 0, 8_000_000)];
+        let d = plan_deferrals(
+            &spec,
+            AdaptivePolicy::Conservative,
+            1,
+            &clean,
+            &faulted,
+            0,
+            1.0,
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].group, d[0].round), (None, 0));
+        assert_eq!(d[0].release_ns, 2_000_000);
+        assert!(d[0].stretch > 7.0);
+
+        // Same stretch but the window outlives the crawl: no deferral.
+        let long = slow_spec(8.0, 0, 50);
+        assert!(plan_deferrals(
+            &long,
+            AdaptivePolicy::Conservative,
+            1,
+            &clean,
+            &faulted,
+            0,
+            1.0,
+        )
+        .is_empty());
+
+        // Below the stretch threshold: no deferral.
+        let mild = [w(None, 0, 0, 1_200_000)];
+        assert!(plan_deferrals(
+            &spec,
+            AdaptivePolicy::Conservative,
+            1,
+            &clean,
+            &mild,
+            0,
+            1.0,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn deferrals_are_deterministic_and_sorted() {
+        let spec = slow_spec(8.0, 0, 2);
+        let w = |group, round, start_ns: u64, end_ns: u64| RoundWindow {
+            group,
+            round,
+            start_ns,
+            end_ns,
+        };
+        let clean = [w(Some(1), 0, 0, 1_000_000), w(Some(0), 0, 0, 1_000_000)];
+        let faulted = [w(Some(1), 0, 0, 8_000_000), w(Some(0), 0, 0, 8_000_000)];
+        let a = plan_deferrals(
+            &spec,
+            AdaptivePolicy::Aggressive,
+            1,
+            &clean,
+            &faulted,
+            0,
+            1.0,
+        );
+        let b = plan_deferrals(
+            &spec,
+            AdaptivePolicy::Aggressive,
+            1,
+            &clean,
+            &faulted,
+            0,
+            1.0,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a[0].group < a[1].group, "sorted by (group, round)");
+    }
+
+    #[test]
+    fn contention_stretch_calibrates_from_unwindowed_rounds() {
+        let w = |round, start_ns: u64, end_ns: u64| RoundWindow {
+            group: None,
+            round,
+            start_ns,
+            end_ns,
+        };
+        // Slow window 0..2 ms. Rounds 1 and 2 run after it and stretch
+        // 3x — pure contention. Round 0 crawls inside it and must not
+        // pollute the estimate.
+        let spec = slow_spec(8.0, 0, 2);
+        let clean = [
+            w(0, 0, 1_000_000),
+            w(1, 1_000_000, 2_000_000),
+            w(2, 2_000_000, 3_000_000),
+        ];
+        let faulted = [
+            w(0, 0, 8_000_000),
+            w(1, 8_000_000, 11_000_000),
+            w(2, 11_000_000, 14_000_000),
+        ];
+        let s = contention_stretch(&spec, 1, &clean, &faulted, 0);
+        assert!((s - 3.0).abs() < 1e-9, "median pure-contention ratio: {s}");
+        // Every round inside the window: no calibration signal.
+        let all_in = slow_spec(8.0, 0, 50);
+        assert_eq!(contention_stretch(&all_in, 1, &clean, &faulted, 0), 1.0);
+
+        // The scale dampens marginal deferrals: a round crawling to
+        // 8 ms against a 1 ms nominal defers at scale 1, but if pure
+        // contention already explains 6x of it, waiting no longer wins
+        // (2 ms exit + 6 ms contended-clean ≥ 8 ms observed finish).
+        let one_clean = [w(0, 0, 1_000_000)];
+        let one_faulted = [w(0, 0, 8_000_000)];
+        let d1 = plan_deferrals(
+            &spec,
+            AdaptivePolicy::Aggressive,
+            1,
+            &one_clean,
+            &one_faulted,
+            0,
+            1.0,
+        );
+        assert_eq!(d1.len(), 1);
+        let d6 = plan_deferrals(
+            &spec,
+            AdaptivePolicy::Aggressive,
+            1,
+            &one_clean,
+            &one_faulted,
+            0,
+            6.0,
+        );
+        assert!(d6.is_empty(), "contention-aware scale culls the deferral");
+    }
+
+    #[test]
+    fn policy_parse_and_labels_round_trip() {
+        for p in [
+            AdaptivePolicy::Off,
+            AdaptivePolicy::Conservative,
+            AdaptivePolicy::Aggressive,
+        ] {
+            assert_eq!(AdaptivePolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(AdaptivePolicy::parse("bogus"), None);
+        assert!(AdaptivePolicy::Off.is_off());
+        assert!(AdaptivePolicy::Conservative.dead_band() > AdaptivePolicy::Aggressive.dead_band());
+    }
+
+    #[test]
+    fn observed_granularity_is_the_largest_window() {
+        use crate::config::CollectiveConfig;
+        use crate::request::CollectiveRequest;
+        use mcio_cluster::{Placement, ProcessMap};
+        use mcio_pfs::Extent;
+        let chunk = 1u64 << 20;
+        let req = CollectiveRequest::new(
+            mcio_pfs::Rw::Write,
+            (0..4u64)
+                .map(|r| vec![Extent::new(r * chunk, chunk)])
+                .collect(),
+        );
+        let map = ProcessMap::new(4, 2, Placement::Block);
+        let mem = ProcMemory::uniform(4, chunk);
+        let plan = crate::mcio::plan(&req, &map, &mem, &CollectiveConfig::with_buffer(chunk));
+        let gran = observed_granularity(&plan);
+        let max_win = plan
+            .groups
+            .iter()
+            .flat_map(|g| g.rounds.iter())
+            .flat_map(|r| r.ios.iter())
+            .map(|io| io.window.len)
+            .max()
+            .unwrap();
+        assert_eq!(gran, max_win);
+        assert!(gran >= 1);
+    }
+}

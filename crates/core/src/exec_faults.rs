@@ -45,13 +45,18 @@
 //! [`mcio_faults::FaultSpec::seed`]. Two runs with identical inputs
 //! produce byte-identical traces and reports.
 
+use crate::adaptive::{
+    observed_granularity, plan_deferrals, select_contended_replacement, AdaptiveOutcome,
+    AdaptivePolicy, SignalSnapshot,
+};
 use crate::config::Strategy;
 use crate::exec_sim::{
-    simulate_inner, Exchange, FaultGate, FaultInjection, Observe, Pipeline, RoundWindow, SimRun,
-    TimingReport,
+    simulate_inner, Exchange, FaultGate, FaultInjection, Observe, Pipeline, ReplanMark,
+    RoundWindow, SimRun, TimingReport,
 };
 use crate::memory::ProcMemory;
 use crate::plan::{AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Round, SyncMode};
+use crate::tuner::{retune_from_signals, TunedParams};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{NodeId, ProcessMap, Rank};
 use mcio_des::{SimDuration, SimTime};
@@ -89,11 +94,15 @@ pub struct FaultOutcome {
     /// [`crate::exec_fn::execute_write`] yields bytes identical to the
     /// fault-free plan whenever `completed` is true.
     pub executed_plan: CollectivePlan,
+    /// What the closed-loop controller did (all-zero under
+    /// [`AdaptivePolicy::Off`]).
+    pub adaptive: AdaptiveOutcome,
 }
 
 /// Simulate `plan` under the fault plan `fspec`, surviving what can be
 /// survived. `mem` drives replacement-aggregator selection (same budget
-/// data the planner used).
+/// data the planner used). Equivalent to [`simulate_adaptive`] with
+/// [`AdaptivePolicy::Off`]: the static resilience paths only.
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_faulted(
     plan: &CollectivePlan,
@@ -105,27 +114,68 @@ pub fn simulate_faulted(
     fspec: &FaultSpec,
     obs: Observe<'_>,
 ) -> FaultOutcome {
+    simulate_adaptive(
+        plan,
+        map,
+        spec,
+        mem,
+        pipeline,
+        exchange,
+        fspec,
+        AdaptivePolicy::Off,
+        obs,
+    )
+}
+
+/// [`simulate_faulted`] with the closed-loop controller enabled: between
+/// the probe pass and the final pass, [`SignalSnapshot`]-driven
+/// decisions re-tune the round granularity, demote aggregators off
+/// memory-shocked nodes (contention-aware three-tier re-selection), and
+/// defer rounds past degraded OST windows when the probe says waiting
+/// beats crawling. The controller only acts on the MC-CIO strategy —
+/// the two-phase baseline stays static by design, mirroring its lack of
+/// a failover path — and only when `fspec` is non-empty, so
+/// [`AdaptivePolicy::Off`] (and any run the controller skips) is
+/// byte-identical to the static path.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_adaptive(
+    plan: &CollectivePlan,
+    map: &ProcessMap,
+    spec: &ClusterSpec,
+    mem: &ProcMemory,
+    pipeline: Pipeline,
+    exchange: Exchange,
+    fspec: &FaultSpec,
+    policy: AdaptivePolicy,
+    obs: Observe<'_>,
+) -> FaultOutcome {
     let structural = fspec
         .events
         .iter()
         .any(|e| matches!(e, FaultEvent::AggCrash { .. } | FaultEvent::MemShock { .. }));
+    let adaptive = !policy.is_off() && !fspec.is_empty() && plan.strategy != Strategy::TwoPhase;
 
     let mut xplan = plan.clone();
     let mut gates: Vec<FaultGate> = Vec::new();
     let mut degraded: Vec<(Option<usize>, usize)> = Vec::new();
+    let mut replans: Vec<ReplanMark> = Vec::new();
     let mut completed = true;
     let mut failovers = 0usize;
+    let mut adaptive_out = AdaptiveOutcome {
+        policy,
+        ..AdaptiveOutcome::default()
+    };
 
-    if structural {
-        // Pass 1: OST + transient faults only, no recovery — yields the
-        // absolute windows of every round slot, i.e. which rounds were
-        // still in flight when each structural event struck.
+    // Pass 1: OST + transient faults only, no recovery — yields the
+    // absolute windows of every round slot, i.e. which rounds were
+    // still in flight when each structural event struck, and the
+    // degraded timeline the controller compares against nominal.
+    let pass1 = (structural || adaptive).then(|| {
         let probe = FaultInjection {
             spec: Some(fspec),
-            gates: Vec::new(),
-            degraded: Vec::new(),
+            ..FaultInjection::default()
         };
-        let pass1 = simulate_inner(
+        simulate_inner(
             plan,
             map,
             spec,
@@ -133,7 +183,11 @@ pub fn simulate_faulted(
             exchange,
             Observe::default(),
             Some(&probe),
-        );
+        )
+    });
+
+    if structural {
+        let pass1 = pass1.as_ref().expect("probe ran");
 
         for &(host, at) in &fspec.agg_crashes() {
             let at_ns = at.saturating_since(SimTime::ZERO).as_nanos();
@@ -184,6 +238,7 @@ pub fn simulate_faulted(
                             from: at,
                             release: at + FAILOVER_LATENCY,
                             label: format!("failover.g{gi}.r{first}"),
+                            adaptive: false,
                         });
                     }
                     for r in affected {
@@ -195,6 +250,189 @@ pub fn simulate_faulted(
                 }
             }
         }
+    }
+
+    // Closed-loop adaptation: sample the degradation signals, decide
+    // behind the hysteresis band, actuate as plan transforms + gates.
+    // Runs between the crash-failover transform above and the
+    // structural mem-shock re-rounding below: an aggregator this block
+    // demotes off a shocked node no longer needs its future rounds
+    // split at the shrunken buffer.
+    if adaptive {
+        let pass1 = pass1.as_ref().expect("probe ran");
+        // Nominal timeline of the same plan: the deferral comparator
+        // and the sampling horizon.
+        let clean = simulate_inner(
+            plan,
+            map,
+            spec,
+            pipeline,
+            exchange,
+            Observe::default(),
+            None,
+        );
+        let horizon = clean.report.elapsed.as_nanos();
+        let signals = SignalSnapshot::sample(fspec, spec.io_servers, horizon, 0.0);
+        adaptive_out.severity = signals.severity();
+        if adaptive_out.severity > policy.dead_band() {
+            // (1) Re-tune the observed round granularity. The tuned
+            // group size caps how coarse adaptively re-split rounds may
+            // be (split boundaries stay exact chunk boundaries).
+            let gran = observed_granularity(&xplan);
+            let base = TunedParams {
+                msg_ind: (gran / 8).max(1),
+                nah: 1,
+                msg_group: gran,
+            };
+            let tuned = retune_from_signals(base, &signals, policy);
+            if tuned.msg_group < base.msg_group {
+                adaptive_out.retuned = Some((base.msg_group, tuned.msg_group));
+                replans.push(ReplanMark {
+                    name: "retune.msg_group".into(),
+                    cat: "retune",
+                    start_ns: 0,
+                    dur_ns: 1,
+                    slot: None,
+                    args: vec![
+                        ("severity".into(), format!("{:.6}", adaptive_out.severity)),
+                        ("old".into(), base.msg_group.to_string()),
+                        ("new".into(), tuned.msg_group.to_string()),
+                    ],
+                });
+            }
+            let split_cap = tuned.msg_group.max(1);
+
+            // (2) Demote aggregators off memory-shocked nodes for
+            // rounds that have not started yet; in-flight rounds stay
+            // with the shocked aggregator and are re-rounded by the
+            // structural path below.
+            for &(node, drop_frac, at) in &fspec.mem_shocks() {
+                if drop_frac <= policy.dead_band() {
+                    continue;
+                }
+                let at_ns = at.saturating_since(SimTime::ZERO).as_nanos();
+                for (gi, g) in xplan.groups.iter_mut().enumerate() {
+                    let shocked: Vec<Rank> = g
+                        .aggregators
+                        .iter()
+                        .map(|a| a.rank)
+                        .filter(|&r| map.node_of(r) == NodeId(node))
+                        .collect();
+                    for agg in shocked {
+                        let affected =
+                            future_rounds(g, plan.rw, agg, &pass1.windows, plan.sync, gi, at_ns);
+                        if affected.is_empty() {
+                            continue;
+                        }
+                        let Some((repl, repl_buffer)) =
+                            select_contended_replacement(g, map, mem, NodeId(node), &signals)
+                        else {
+                            continue;
+                        };
+                        if repl == agg {
+                            continue;
+                        }
+                        if !g.aggregators.iter().any(|a| a.rank == repl) {
+                            let (fd, data_bytes) = g
+                                .aggregators
+                                .iter()
+                                .find(|a| a.rank == agg)
+                                .map(|a| (a.fd, a.data_bytes))
+                                .unwrap_or((Extent::EMPTY, 0));
+                            g.aggregators.push(AggregatorAssignment {
+                                rank: repl,
+                                fd,
+                                buffer: repl_buffer,
+                                data_bytes,
+                            });
+                        }
+                        adaptive_out.demotions += 1;
+                        let gkey = group_key(plan.sync, gi);
+                        let first = *affected.first().expect("non-empty");
+                        if !gates.iter().any(|gt| gt.group == gkey && gt.round == first) {
+                            gates.push(FaultGate {
+                                group: gkey,
+                                round: first,
+                                from: at,
+                                release: at + FAILOVER_LATENCY,
+                                label: format!("replan.g{gi}.r{first}"),
+                                adaptive: true,
+                            });
+                        }
+                        replans.push(ReplanMark {
+                            name: format!("demote.g{gi}.r{first}"),
+                            cat: "demote",
+                            start_ns: at_ns,
+                            dur_ns: FAILOVER_LATENCY.as_nanos().max(1),
+                            slot: None,
+                            args: vec![
+                                ("node".into(), node.to_string()),
+                                ("drop_frac".into(), format!("{drop_frac:.6}")),
+                                ("from".into(), format!("r{}", agg.0)),
+                                ("to".into(), format!("r{}", repl.0)),
+                            ],
+                        });
+                        let limit = repl_buffer.min(split_cap).max(1);
+                        for r in affected {
+                            retarget_round(&mut g.rounds[r], plan.rw, agg, repl);
+                            for appended in split_oversized(g, r, repl, limit, plan.rw) {
+                                adaptive_out.resplits += 1;
+                                replans.push(ReplanMark {
+                                    name: format!("resplit.g{gi}.r{appended}"),
+                                    cat: "resplit",
+                                    start_ns: 0,
+                                    dur_ns: 1,
+                                    slot: Some((gkey, appended)),
+                                    args: vec![("limit".into(), limit.to_string())],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // (3) Defer rounds past degraded OST windows when the probe
+            // says waiting beats crawling (timing-only: no plan bytes
+            // change).
+            for d in plan_deferrals(
+                fspec,
+                policy,
+                spec.io_servers,
+                &clean.windows,
+                &pass1.windows,
+                0,
+                1.0,
+            ) {
+                if gates
+                    .iter()
+                    .any(|gt| gt.group == d.group && gt.round == d.round)
+                {
+                    continue;
+                }
+                let gname = d.group.map_or_else(|| "all".into(), |g| g.to_string());
+                gates.push(FaultGate {
+                    group: d.group,
+                    round: d.round,
+                    from: SimTime::from_nanos(d.from_ns),
+                    release: SimTime::from_nanos(d.release_ns),
+                    label: format!("defer.g{gname}.r{}", d.round),
+                    adaptive: true,
+                });
+                adaptive_out.deferrals += 1;
+                replans.push(ReplanMark {
+                    name: format!("defer.g{gname}.r{}", d.round),
+                    cat: "defer",
+                    start_ns: d.from_ns,
+                    dur_ns: d.release_ns.saturating_sub(d.from_ns).max(1),
+                    slot: None,
+                    args: vec![("stretch".into(), format!("{:.6}", d.stretch))],
+                });
+            }
+        }
+    }
+
+    if structural {
+        let pass1 = pass1.as_ref().expect("probe ran");
 
         for &(node, drop_frac, at) in &fspec.mem_shocks() {
             if plan.strategy == Strategy::TwoPhase {
@@ -233,6 +471,7 @@ pub fn simulate_faulted(
         spec: Some(fspec),
         gates,
         degraded,
+        replans,
     };
     let run: SimRun = simulate_inner(&xplan, map, spec, pipeline, exchange, obs, Some(&injection));
     let retries: u64 = run
@@ -273,6 +512,48 @@ pub fn simulate_faulted(
             &strat,
             if completed { 1.0 } else { 0.0 },
         );
+        // adaptive.* appears only when the controller ran, so an Off
+        // run's metrics document is byte-identical to the static path.
+        if adaptive {
+            let lab = [
+                ("strategy", plan.strategy.label()),
+                ("policy", policy.label()),
+            ];
+            reg.describe(
+                "adaptive.severity",
+                "fraction",
+                "Sampled degradation severity the controller saw",
+            );
+            reg.describe(
+                "adaptive.deferrals",
+                "count",
+                "Rounds deferred past a degraded OST window",
+            );
+            reg.describe(
+                "adaptive.demotions",
+                "count",
+                "Aggregators demoted off shocked nodes",
+            );
+            reg.describe(
+                "adaptive.resplits",
+                "count",
+                "Extra rounds created by adaptive re-splitting",
+            );
+            reg.describe(
+                "adaptive.retunes",
+                "count",
+                "Msg_group re-tunes applied by the controller",
+            );
+            reg.set_gauge("adaptive.severity", &lab, adaptive_out.severity);
+            reg.inc("adaptive.deferrals", &lab, adaptive_out.deferrals as u64);
+            reg.inc("adaptive.demotions", &lab, adaptive_out.demotions as u64);
+            reg.inc("adaptive.resplits", &lab, adaptive_out.resplits as u64);
+            reg.inc(
+                "adaptive.retunes",
+                &lab,
+                u64::from(adaptive_out.retuned.is_some()),
+            );
+        }
     }
 
     FaultOutcome {
@@ -284,6 +565,7 @@ pub fn simulate_faulted(
         retries,
         retry_exhausted,
         executed_plan: xplan,
+        adaptive: adaptive_out,
     }
 }
 
@@ -328,6 +610,43 @@ fn affected_rounds(
                 .max()
                 .unwrap_or(u64::MAX);
             end > at_ns
+        })
+        .collect()
+}
+
+/// Rounds of `g` that involve aggregator `agg` and had not *started*
+/// yet at `at_ns`, per the pass-1 windows — the adaptive demotion path
+/// only re-targets rounds that can still change aggregator cleanly.
+/// Rounds with no recorded window (created by an earlier transform,
+/// executed at the end of the chain) count as future.
+fn future_rounds(
+    g: &GroupPlan,
+    rw: Rw,
+    agg: Rank,
+    windows: &[RoundWindow],
+    sync: SyncMode,
+    gi: usize,
+    at_ns: u64,
+) -> Vec<usize> {
+    let gkey = group_key(sync, gi);
+    (0..g.rounds.len())
+        .filter(|&r| {
+            let round = &g.rounds[r];
+            let involves = round.ios.iter().any(|io| io.agg == agg)
+                || round.messages.iter().any(|m| match rw {
+                    Rw::Write => m.dst == agg,
+                    Rw::Read => m.src == agg,
+                });
+            if !involves {
+                return false;
+            }
+            let start = windows
+                .iter()
+                .filter(|w| w.round == r && (w.group == gkey || w.group.is_none()))
+                .map(|w| w.start_ns)
+                .min()
+                .unwrap_or(u64::MAX);
+            start > at_ns
         })
         .collect()
 }

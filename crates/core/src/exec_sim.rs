@@ -157,6 +157,30 @@ pub(crate) struct FaultGate {
     pub release: SimTime,
     /// Trace label, e.g. `failover.g0.r2`.
     pub label: String,
+    /// True for closed-loop controller gates (defer/demote): they ride
+    /// the pid-5 replan lanes instead of the pid-3 failover lane.
+    pub adaptive: bool,
+}
+
+/// One decision of the closed-loop controller, destined for the pid-5
+/// "replan" trace lanes. `cat` selects the lane: `retune` (tid 0),
+/// `defer` (tid 1), `demote` (tid 2), `resplit` (tid 3). When `slot`
+/// is set the span snaps to that executed round window; otherwise
+/// `start_ns`/`dur_ns` place it directly.
+#[derive(Debug, Clone)]
+pub(crate) struct ReplanMark {
+    /// Span name, e.g. `defer.g0.r2`.
+    pub name: String,
+    /// Lane category: `retune` | `defer` | `demote` | `resplit`.
+    pub cat: &'static str,
+    /// Span start (ignored when `slot` resolves), nanoseconds.
+    pub start_ns: u64,
+    /// Span duration (ignored when `slot` resolves), nanoseconds.
+    pub dur_ns: u64,
+    /// Executed round slot to snap to, if any.
+    pub slot: Option<(Option<usize>, usize)>,
+    /// Chrome-trace args (decision inputs, stringified).
+    pub args: Vec<(String, String)>,
 }
 
 /// Everything `simulate_inner` needs to inject a fault plan: the spec
@@ -170,6 +194,8 @@ pub(crate) struct FaultInjection<'f> {
     pub gates: Vec<FaultGate>,
     /// (group, round) slots produced by degradation re-rounding.
     pub degraded: Vec<(Option<usize>, usize)>,
+    /// Closed-loop controller decisions (pid-5 "replan" lanes).
+    pub replans: Vec<ReplanMark>,
 }
 
 /// Internal result of one lowered-and-run simulation.
@@ -405,6 +431,12 @@ pub(crate) fn simulate_inner(
                 || !retry_marks.is_empty()
         }) {
             trace_faults(&tc, f, &report, &windows, &retry_marks, elapsed.as_nanos());
+        }
+        // Replan lanes (pid 5): closed-loop controller decisions.
+        // Emitted only when the controller actually acted, so an
+        // `AdaptivePolicy::Off` run stays byte-identical.
+        if let Some(f) = faults.filter(|f| !f.replans.is_empty()) {
+            trace_replan(&tc, &f.replans, &windows, elapsed.as_nanos());
         }
         Some(tc.chrome_trace_json())
     } else {
@@ -948,7 +980,7 @@ pub(crate) fn trace_faults(
             }
         }
     }
-    for gate in &f.gates {
+    for gate in f.gates.iter().filter(|g| !g.adaptive) {
         let start = gate.from.saturating_since(SimTime::ZERO).as_nanos();
         let end = gate
             .release
@@ -1006,6 +1038,61 @@ pub(crate) fn trace_faults(
                 }
             }
         }
+    }
+}
+
+/// Emit the pid-5 "replan" lanes: one thread per controller actuator
+/// (`retune` 0, `defer` 1, `demote` 2, `resplit` 3), one span per
+/// decision. Slot-anchored marks snap to the executed round window so
+/// the span shows when the re-planned round actually ran; marks whose
+/// slot never executed are dropped (nothing to attribute).
+pub(crate) fn trace_replan(
+    tc: &TraceCollector,
+    replans: &[ReplanMark],
+    windows: &[RoundWindow],
+    elapsed_ns: u64,
+) {
+    tc.name_process(5, "replan");
+    let mut named = std::collections::BTreeSet::new();
+    for mark in replans {
+        let tid = match mark.cat {
+            "retune" => 0,
+            "defer" => 1,
+            "demote" => 2,
+            _ => 3,
+        };
+        if named.insert(tid) {
+            tc.name_thread(
+                5,
+                tid,
+                match tid {
+                    0 => "retune",
+                    1 => "defer",
+                    2 => "demote",
+                    _ => "resplit",
+                },
+            );
+        }
+        let (start, dur) = match mark.slot {
+            Some((group, round)) => {
+                let Some(w) = windows
+                    .iter()
+                    .find(|w| w.group == group && w.round == round)
+                else {
+                    continue;
+                };
+                (w.start_ns, w.end_ns.saturating_sub(w.start_ns))
+            }
+            None => (mark.start_ns, mark.dur_ns),
+        };
+        let start = start.min(elapsed_ns);
+        let dur = dur.min(elapsed_ns - start).max(1);
+        let args: Vec<(&str, &str)> = mark
+            .args
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        tc.span_with_args(&mark.name, mark.cat, 5, tid, start, dur, &args);
     }
 }
 

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod config;
 pub mod exec_faults;
 pub mod exec_fn;
@@ -54,15 +55,18 @@ pub mod sieving;
 pub mod tuner;
 pub mod twophase;
 
+pub use adaptive::{AdaptiveOutcome, AdaptivePolicy, OstSignal, SignalSnapshot};
 pub use config::{CollectiveConfig, PlacementPolicy, Strategy};
-pub use exec_faults::{simulate_faulted, FaultOutcome, FAILOVER_LATENCY};
+pub use exec_faults::{simulate_adaptive, simulate_faulted, FaultOutcome, FAILOVER_LATENCY};
 pub use exec_fn::FunctionalReport;
 pub use exec_sim::{
     simulate, simulate_observed, simulate_opts, simulate_two_level, trace_plan, Exchange, Observe,
     Pipeline, RoundPhase, RunMetrics, TimingReport,
 };
 pub use memory::ProcMemory;
-pub use multitenant::{run_multitenant, JobOutcome, MultiTenantReport, TenantJob};
+pub use multitenant::{
+    run_multitenant, run_multitenant_adaptive, JobOutcome, MultiTenantReport, TenantJob,
+};
 pub use placement::PlacementDiag;
 pub use plan::{
     AggregatorAssignment, CollectivePlan, GroupPlan, IoOp, Message, PlanDiag, Round, SyncMode,

@@ -28,11 +28,12 @@
 //!   during which at least one *other* job was also being served by
 //!   some OST (how much of its storage work was contended).
 
+use crate::adaptive::{plan_deferrals, AdaptiveOutcome, AdaptivePolicy, SignalSnapshot};
 use crate::config::Strategy;
 use crate::exec_sim::{
     attribute_phases, busy_maxima, emit_round_spans, lower_plan, phase_fractions, record_run,
-    simulate_inner, trace_faults, Attribution, Exchange, FaultInjection, Observe, Pipeline,
-    RunMetrics, TimingReport,
+    simulate_inner, trace_faults, trace_replan, Attribution, Exchange, FaultInjection, Observe,
+    Pipeline, ReplanMark, RoundWindow, RunMetrics, TimingReport,
 };
 use crate::plan::CollectivePlan;
 use mcio_cluster::spec::ClusterSpec;
@@ -134,6 +135,9 @@ pub struct JobOutcome {
     /// Fraction of this job's OST service time overlapping some other
     /// job's OST service time, in `[0, 1]`. Zero for a single job.
     pub ost_overlap: f64,
+    /// What the closed-loop controller did for this job (all-zero under
+    /// [`AdaptivePolicy::Off`]).
+    pub adaptive: AdaptiveOutcome,
 }
 
 /// Result of [`run_multitenant`]: per-job outcomes in job order plus
@@ -184,11 +188,87 @@ pub fn run_multitenant(
     faults: Option<&FaultSpec>,
     obs: Observe<'_>,
 ) -> MultiTenantReport {
+    run_multitenant_adaptive(jobs, spec, faults, AdaptivePolicy::Off, obs)
+}
+
+/// Probe pass of the closed-loop multi-tenant controller: lower every
+/// job into a shared DES exactly as the static runner would — faults
+/// armed, no gates, no trace — run it, and return each job's absolute
+/// round windows. Feeding the deferral planner *shared* windows rather
+/// than solo-probe windows is what makes it contention-aware: on a
+/// busy machine a round starts far later than its solo probe predicts,
+/// and a gate computed from solo times would release before the round
+/// was ever going to run.
+fn probe_shared_windows(
+    jobs: &[TenantJob],
+    spec: &ClusterSpec,
+    faults: &FaultSpec,
+) -> Vec<Vec<RoundWindow>> {
+    let mut sim = Simulation::new();
+    let fabric = Fabric::build(&mut sim, spec);
+    let mut pfs = Pfs::build(&mut sim, spec);
+    pfs.apply_faults(&mut sim, faults);
+    let no_gates: HashMap<(Option<usize>, usize), mcio_des::ActivityId> = HashMap::new();
+    let mut lowered: Vec<(Vec<crate::exec_sim::SlotMeta>, Vec<Option<usize>>)> =
+        Vec::with_capacity(jobs.len());
+    for (ji, job) in jobs.iter().enumerate() {
+        let tmap = job.map.with_node_offset(job.node_offset);
+        let prefix = format!("j{ji}.");
+        let start_gate = if job.start.is_zero() {
+            None
+        } else {
+            Some(sim.add_activity(
+                Activity::new(format!("{prefix}start")).release_at(SimTime::ZERO + job.start),
+            ))
+        };
+        lowered.push(lower_plan(
+            &mut sim,
+            &fabric,
+            &pfs,
+            &job.plan,
+            &tmap,
+            job.pipeline,
+            job.exchange,
+            &no_gates,
+            start_gate,
+            &prefix,
+        ));
+    }
+    let report = sim.run().expect("multi-tenant DAG is acyclic");
+    jobs.iter()
+        .zip(&lowered)
+        .map(|(job, (meta, groups))| attribute_phases(job.plan.rw, &report, meta, groups).windows)
+        .collect()
+}
+
+/// [`run_multitenant`] with the closed-loop controller enabled for the
+/// MC-CIO jobs of the run. On a shared machine the controller's lever
+/// is *deferral*: a probe of the whole shared, degraded run
+/// ([`probe_shared_windows`]) decides which of each MC job's rounds
+/// should wait out a degraded OST window instead of crawling through
+/// it, and those rounds are release-gated in the shared DES. The
+/// job's solo clean run supplies the nominal round durations the
+/// defer-vs-crawl comparison needs. Structural re-planning (crash
+/// failover, shock demotion) stays a per-job concern via
+/// [`simulate_adaptive`](crate::simulate_adaptive) — exactly as
+/// structural faults already do for [`run_multitenant`]. Two-phase
+/// jobs and [`AdaptivePolicy::Off`] take the static path
+/// byte-for-byte.
+pub fn run_multitenant_adaptive(
+    jobs: &[TenantJob],
+    spec: &ClusterSpec,
+    faults: Option<&FaultSpec>,
+    policy: AdaptivePolicy,
+    obs: Observe<'_>,
+) -> MultiTenantReport {
     assert!(
         !jobs.is_empty(),
         "a multi-tenant run needs at least one job"
     );
     let multi = jobs.len() > 1;
+    let controller_ran = |strategy: Strategy| {
+        !policy.is_off() && faults.is_some_and(|f| !f.is_empty()) && strategy != Strategy::TwoPhase
+    };
 
     let build_scope = obs.prof.map(|p| p.scope("build-activity-graph"));
     let mut sim = Simulation::new();
@@ -207,11 +287,22 @@ pub fn run_multitenant(
         pfs.apply_faults(&mut sim, fspec);
     }
 
+    // Closed-loop probe: when any job's controller will act, run the
+    // whole shared, degraded machine once without gates to learn where
+    // every round actually lands under contention.
+    let shared_probe: Vec<Vec<RoundWindow>> =
+        if jobs.iter().any(|j| controller_ran(j.plan.strategy)) {
+            probe_shared_windows(jobs, spec, faults.expect("controller_ran implies faults"))
+        } else {
+            Vec::new()
+        };
+
     // Lower every job behind its arrival gate, remembering which
     // activity-id range it created.
-    let no_gates: HashMap<(Option<usize>, usize), mcio_des::ActivityId> = HashMap::new();
     let mut lowered: Vec<JobLowered> = Vec::with_capacity(jobs.len());
     let mut shifted_maps: Vec<ProcessMap> = Vec::with_capacity(jobs.len());
+    let mut job_adaptive: Vec<AdaptiveOutcome> = Vec::with_capacity(jobs.len());
+    let mut all_replans: Vec<ReplanMark> = Vec::new();
     for (ji, job) in jobs.iter().enumerate() {
         let tmap = job.map.with_node_offset(job.node_offset);
         assert!(
@@ -235,6 +326,74 @@ pub fn run_multitenant(
                 Activity::new(format!("{prefix}start")).release_at(SimTime::ZERO + job.start),
             ))
         };
+        // Closed-loop deferral: the shared probe says where this job's
+        // rounds land on the live, degraded, contended machine; the
+        // solo clean run says how long each round takes at nominal
+        // rate. Rounds the comparison condemns to crawling through a
+        // degraded OST window are held behind a release gate in the
+        // shared DES. The probe ignores the gates it motivates — a
+        // mistimed gate only costs idle time, never correctness.
+        let mut gate_acts: HashMap<(Option<usize>, usize), mcio_des::ActivityId> = HashMap::new();
+        let mut adapt = AdaptiveOutcome {
+            policy,
+            ..AdaptiveOutcome::default()
+        };
+        if controller_ran(job.plan.strategy) {
+            let fspec = faults.expect("controller_ran implies faults");
+            let clean = simulate_inner(
+                &job.plan,
+                &tmap,
+                spec,
+                job.pipeline,
+                job.exchange,
+                Observe::default(),
+                None,
+            );
+            let horizon = clean.report.elapsed.as_nanos();
+            let signals = SignalSnapshot::sample(fspec, spec.io_servers, horizon, 0.0);
+            adapt.severity = signals.severity();
+            if adapt.severity > policy.dead_band() {
+                // The shared-probe windows are already absolute (the
+                // job's arrival gate is inside the probe), so no
+                // offset; tenancy queueing is factored out of the
+                // defer-vs-crawl comparison by the contention scale.
+                let scale = crate::adaptive::contention_stretch(
+                    fspec,
+                    spec.io_servers,
+                    &clean.windows,
+                    &shared_probe[ji],
+                    0,
+                );
+                for d in plan_deferrals(
+                    fspec,
+                    policy,
+                    spec.io_servers,
+                    &clean.windows,
+                    &shared_probe[ji],
+                    0,
+                    scale,
+                ) {
+                    let gname = d.group.map_or_else(|| "all".into(), |g| g.to_string());
+                    let label = format!("{prefix}defer.g{gname}.r{}", d.round);
+                    let act = sim.add_activity(
+                        Activity::new(label.clone()).release_at(SimTime::from_nanos(d.release_ns)),
+                    );
+                    gate_acts.insert((d.group, d.round), act);
+                    adapt.deferrals += 1;
+                    all_replans.push(ReplanMark {
+                        name: label,
+                        cat: "defer",
+                        start_ns: d.from_ns,
+                        dur_ns: d.release_ns.saturating_sub(d.from_ns).max(1),
+                        slot: None,
+                        args: vec![
+                            ("job".into(), job.label.clone()),
+                            ("stretch".into(), format!("{:.6}", d.stretch)),
+                        ],
+                    });
+                }
+            }
+        }
         let (meta, groups) = lower_plan(
             &mut sim,
             &fabric,
@@ -243,10 +402,11 @@ pub fn run_multitenant(
             &tmap,
             job.pipeline,
             job.exchange,
-            &no_gates,
+            &gate_acts,
             start_gate,
             &prefix,
         );
+        job_adaptive.push(adapt);
         lowered.push(JobLowered {
             meta,
             groups,
@@ -375,6 +535,7 @@ pub fn run_multitenant(
             solo_elapsed,
             slowdown,
             ost_overlap,
+            adaptive: job_adaptive[ji].clone(),
         });
     }
 
@@ -426,6 +587,36 @@ pub fn run_multitenant(
                 outcome.solo_elapsed.as_nanos() as f64,
             );
         }
+        // adaptive.* appears only for jobs the controller actually
+        // handled, so Off (and all-static) runs keep their documents
+        // byte-identical.
+        let mut described = false;
+        for outcome in outcomes.iter().filter(|o| controller_ran(o.strategy)) {
+            if !described {
+                reg.describe(
+                    "adaptive.severity",
+                    "fraction",
+                    "Sampled degradation severity the controller saw",
+                );
+                reg.describe(
+                    "adaptive.deferrals",
+                    "count",
+                    "Rounds deferred past a degraded OST window",
+                );
+                described = true;
+            }
+            let labels = [
+                ("job", outcome.label.as_str()),
+                ("strategy", outcome.strategy.label()),
+                ("policy", policy.label()),
+            ];
+            reg.set_gauge("adaptive.severity", &labels, outcome.adaptive.severity);
+            reg.inc(
+                "adaptive.deferrals",
+                &labels,
+                outcome.adaptive.deferrals as u64,
+            );
+        }
     }
 
     let trace = if obs.trace {
@@ -455,10 +646,12 @@ pub fn run_multitenant(
         if faults.is_some_and(|s| !s.is_empty()) || !retry_marks.is_empty() {
             let inj = FaultInjection {
                 spec: faults,
-                gates: Vec::new(),
-                degraded: Vec::new(),
+                ..FaultInjection::default()
             };
             trace_faults(&tc, &inj, &report, &[], &retry_marks, makespan.as_nanos());
+        }
+        if !all_replans.is_empty() {
+            trace_replan(&tc, &all_replans, &[], makespan.as_nanos());
         }
         if multi {
             tc.name_process(PID_TENANTS, "tenants");

@@ -108,6 +108,45 @@ pub fn tune_msg_group(spec: &ClusterSpec, msg_ind: u64, nah: usize, rw: Rw, min_
     naggs as u64 * msg_ind
 }
 
+/// Incrementally re-solve the §3 knobs from live degradation signals
+/// instead of re-running the probe sweep mid-collective.
+///
+/// The controller calls this between rounds with the current
+/// [`SignalSnapshot`](crate::adaptive::SignalSnapshot) severity. Two
+/// properties make it safe to run in a loop:
+///
+/// * **Hysteresis** — at or below the policy's dead band the output is
+///   exactly `base`, so a mildly-degraded machine never oscillates
+///   between plans.
+/// * **Monotonicity** — beyond the band, `msg_group` shrinks
+///   monotonically (non-increasing) in severity: a sicker machine gets
+///   finer-grained rounds, never coarser, and repeated re-tunes at the
+///   same severity are idempotent.
+///
+/// The result stays quantized: `msg_group` is a positive multiple of
+/// `msg_ind` (clamped down to `msg_group` itself when one quantum
+/// would exceed it), so re-split chunk boundaries remain exact.
+pub fn retune_from_signals(
+    base: TunedParams,
+    signals: &crate::adaptive::SignalSnapshot,
+    policy: crate::adaptive::AdaptivePolicy,
+) -> TunedParams {
+    let band = policy.dead_band();
+    let sev = signals.severity();
+    if policy.is_off() || sev <= band {
+        return base;
+    }
+    let scale = 1.0 / (1.0 + policy.retune_gain() * (sev - band));
+    let quantum = base.msg_ind.min(base.msg_group).max(1);
+    let scaled = (base.msg_group as f64 * scale) as u64;
+    let msg_group = (scaled / quantum).max(1) * quantum;
+    TunedParams {
+        msg_ind: base.msg_ind.min(msg_group),
+        nah: base.nah,
+        msg_group,
+    }
+}
+
 /// Run the full §3 calibration for a machine.
 pub fn tune(spec: &ClusterSpec, rw: Rw) -> TunedParams {
     let msg_ind = tune_msg_ind(spec, rw, 0.9);
@@ -241,6 +280,70 @@ mod tests {
             groups.last() > groups.first(),
             "msg_group never responded to 16x more servers: {groups:?}"
         );
+    }
+
+    #[test]
+    fn retune_noop_inside_dead_band() {
+        use crate::adaptive::{AdaptivePolicy, SignalSnapshot};
+        use mcio_faults::FaultSpec;
+        let base = TunedParams {
+            msg_ind: 16 * MIB,
+            nah: 2,
+            msg_group: 256 * MIB,
+        };
+        // 20% time-weighted deficit: inside the conservative band
+        // (0.25), outside the aggressive one (0.10).
+        let spec = FaultSpec::parse("seed 1\nost_slow(0, 5.0, 0ms..10ms)").unwrap();
+        let snap = SignalSnapshot::sample(&spec, 1, 40_000_000, 0.0);
+        assert!((snap.severity() - 0.2).abs() < 1e-9, "{}", snap.severity());
+        assert_eq!(
+            retune_from_signals(base, &snap, AdaptivePolicy::Conservative),
+            base,
+            "dead band must be an exact no-op"
+        );
+        assert_eq!(retune_from_signals(base, &snap, AdaptivePolicy::Off), base);
+        let tuned = retune_from_signals(base, &snap, AdaptivePolicy::Aggressive);
+        assert!(tuned.msg_group < base.msg_group);
+        assert_eq!(tuned.msg_group % tuned.msg_ind, 0, "quantized");
+    }
+
+    #[test]
+    fn retune_monotone_in_severity() {
+        use crate::adaptive::{AdaptivePolicy, SignalSnapshot};
+        use mcio_faults::FaultSpec;
+        let base = TunedParams {
+            msg_ind: 4 * MIB,
+            nah: 2,
+            msg_group: 512 * MIB,
+        };
+        for policy in [AdaptivePolicy::Conservative, AdaptivePolicy::Aggressive] {
+            let mut prev = u64::MAX;
+            for tenths in 1..=9u64 {
+                // Stall for `tenths`/10 of the horizon: severity rises
+                // in exact 0.1 steps.
+                let spec =
+                    FaultSpec::parse(&format!("seed 1\nost_stall(0, 0ms..{}ms)", tenths * 10))
+                        .unwrap();
+                let snap = SignalSnapshot::sample(&spec, 1, 100_000_000, 0.0);
+                let tuned = retune_from_signals(base, &snap, policy);
+                assert!(
+                    tuned.msg_group <= prev,
+                    "{policy:?}: msg_group grew with severity: {} > {prev}",
+                    tuned.msg_group
+                );
+                assert!(tuned.msg_group >= 1);
+                assert_eq!(tuned.msg_group % tuned.msg_ind, 0);
+                assert!(tuned.msg_ind <= base.msg_ind);
+                assert_eq!(tuned.nah, base.nah);
+                // Idempotent at fixed severity.
+                assert_eq!(retune_from_signals(base, &snap, policy), tuned);
+                prev = tuned.msg_group;
+            }
+            assert!(
+                prev < base.msg_group,
+                "{policy:?} never shrank the group size"
+            );
+        }
     }
 
     #[test]

@@ -174,7 +174,44 @@ impl FaultSpec {
             }
             parse_line(line, &mut spec).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         }
+        // Cross-line validation: overlapping stall windows on one OST
+        // are ambiguous (the engine applies windows in order, and a
+        // stalled OST cannot stall "more") — reject them outright.
+        let stalls: Vec<(usize, SimTime, SimTime)> = spec
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                FaultEvent::OstStall { ost, from, until } => Some((ost, from, until)),
+                _ => None,
+            })
+            .collect();
+        for (i, &(ost, from, until)) in stalls.iter().enumerate() {
+            for &(o2, f2, u2) in &stalls[i + 1..] {
+                if ost == o2 && from < u2 && f2 < until {
+                    return Err(format!("overlapping ost_stall windows on ost {ost}"));
+                }
+            }
+        }
         Ok(spec)
+    }
+
+    /// Validate the spec against a machine with `nosts` OSTs: every
+    /// `ost_slow`/`ost_stall` target must exist. The parser cannot know
+    /// the machine, so callers that do (the CLI, the mtspec loader) run
+    /// this once the cluster spec is fixed.
+    pub fn validate_osts(&self, nosts: usize) -> Result<(), String> {
+        for e in &self.events {
+            let target = match *e {
+                FaultEvent::OstSlow { ost, .. } | FaultEvent::OstStall { ost, .. } => Some(ost),
+                _ => None,
+            };
+            if let Some(ost) = target {
+                if ost >= nosts {
+                    return Err(format!("ost {ost} out of range: machine has {nosts} OSTs"));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Service perturbation windows for OST `ost`, sorted by start, in
@@ -564,6 +601,30 @@ agg_crash(1, 6ms)
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "accepted `{bad}`");
         }
+    }
+
+    #[test]
+    fn rejects_overlapping_stalls_on_one_ost() {
+        let err = FaultSpec::parse("ost_stall(1, 0ms..5ms)\nost_stall(1, 3ms..8ms)").unwrap_err();
+        assert_eq!(err, "overlapping ost_stall windows on ost 1");
+        // Distinct OSTs, or disjoint (even touching) windows, are fine;
+        // a stall overlapping a *slowdown* is allowed (stall wins).
+        FaultSpec::parse("ost_stall(1, 0ms..5ms)\nost_stall(2, 3ms..8ms)").unwrap();
+        FaultSpec::parse("ost_stall(1, 0ms..5ms)\nost_stall(1, 5ms..8ms)").unwrap();
+        FaultSpec::parse("ost_slow(1, 2.0, 0ms..5ms)\nost_stall(1, 3ms..8ms)").unwrap();
+    }
+
+    #[test]
+    fn validate_osts_checks_targets_against_the_machine() {
+        let spec = FaultSpec::parse("ost_slow(3, 2.0, 0ms..5ms)\nmem_shock(9, 0.5, 1ms)").unwrap();
+        spec.validate_osts(4).unwrap();
+        let err = spec.validate_osts(2).unwrap_err();
+        assert_eq!(err, "ost 3 out of range: machine has 2 OSTs");
+        // Node-level events are not OST-checked.
+        FaultSpec::parse("agg_crash(7, 1ms)")
+            .unwrap()
+            .validate_osts(1)
+            .unwrap();
     }
 
     #[test]
