@@ -158,6 +158,7 @@ fn run_solo_cell(case: &SoloCase, fault: &str, text: &str, policy: AdaptivePolic
             registry: None,
             trace: false,
             prof: None,
+            ..Observe::default()
         },
     );
     let mut errors = Vec::new();
@@ -283,6 +284,7 @@ fn run_tenant_cell(
             registry: None,
             trace,
             prof: None,
+            ..Observe::default()
         },
     );
     let mut errors = Vec::new();
@@ -359,6 +361,7 @@ fn run_overlap_cell(spec: &MtSpec, jobs: &[TenantJob], policy: AdaptivePolicy) -
             registry: None,
             trace: false,
             prof: None,
+            ..Observe::default()
         },
     );
     let mut errors = Vec::new();

@@ -111,6 +111,7 @@ fn run_cell(tenants: usize, strategy: Strategy, jobs: &[TenantJob]) -> CellOutco
             registry: None,
             trace: false,
             prof: None,
+            ..Observe::default()
         },
     );
     let mut errors = Vec::new();

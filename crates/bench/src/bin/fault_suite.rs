@@ -111,6 +111,7 @@ fn run_cell(
             registry: None,
             trace: want_trace,
             prof: None,
+            ..Observe::default()
         },
     );
     let label = strategy.label();
@@ -299,6 +300,7 @@ fn main() {
             registry: None,
             trace: true,
             prof: None,
+            ..Observe::default()
         },
     );
     let first = crash_trace.unwrap_or_else(|| fail("agg_crash case produced no trace"));

@@ -17,6 +17,9 @@
 //! `--machine testbed|exascale|small` (testbed),
 //! `--pipeline serial|double` (serial), `--two-level`,
 //! `--strategy two-phase|mc` (mc) which plan the observed run executes,
+//! `--engine fifo|fair` (fifo) which DES resource discipline serves
+//! shared resources (fixed service slots vs amortized processor
+//! sharing — byte-identical whenever nothing is shared),
 //! `--trace FILE` (write a unified Chrome-trace JSON of the observed
 //! run: resource service lanes plus logical round phases; open in
 //! Perfetto), `--metrics FILE` (export the run's metric registry —
@@ -77,9 +80,7 @@ use mcio_bench::perf::Record;
 use mcio_bench::{format_bytes, improvement_pct};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::ProcessMap;
-use mcio_core::exec_sim::{
-    simulate_observed, simulate_opts, simulate_two_level, Exchange, Observe, Pipeline,
-};
+use mcio_core::exec_sim::{simulate_observed, Exchange, Observe, Pipeline};
 use mcio_core::hints::parse_bytes;
 use mcio_core::{
     mcio as mc, simulate_adaptive, twophase, AdaptivePolicy, CollectiveConfig, CollectiveRequest,
@@ -114,6 +115,7 @@ const RUN_OPTS: &[&str] = &[
     "faults",
     "adaptive",
     "prof",
+    "engine",
 ];
 /// Boolean flags in run mode.
 const RUN_FLAGS: &[&str] = &["two-level", "help"];
@@ -626,6 +628,7 @@ fn run_sweep(args: &[String]) {
                 registry: None,
                 trace: false,
                 prof: want_prof.map(|_| &prof),
+                ..Observe::default()
             },
         );
         SweepRecord {
@@ -762,6 +765,7 @@ fn run_multitenant_cmd(args: &[String]) {
             registry: None,
             trace: want_trace.is_some(),
             prof: want_prof.map(|_| &prof),
+            ..Observe::default()
         },
     );
     if let Some(path) = want_prof {
@@ -833,7 +837,8 @@ fn run_sim(args: &[String]) {
              \x20 --stddev F, --seed N, --rw read|write, --machine testbed|exascale|small,\n\
              \x20 --pipeline serial|double, --two-level, --strategy two-phase|mc,\n\
              \x20 --trace FILE, --metrics FILE, --metrics-format json|csv|prom,\n\
-             \x20 --faults FILE, --adaptive off|conservative|aggressive, --prof FILE\n\
+             \x20 --faults FILE, --adaptive off|conservative|aggressive, --prof FILE,\n\
+             \x20 --engine fifo|fair\n\
              \n\
              each subcommand takes --help for its own flags; see the module docs\n\
              at the top of crates/bench/src/bin/mcio_cli.rs for details"
@@ -965,6 +970,14 @@ fn run_sim(args: &[String]) {
         })
     };
 
+    let engine = {
+        let raw = get("engine", "fifo");
+        mcio_des::SharePolicy::parse(&raw).unwrap_or_else(|| {
+            eprintln!("--engine must be fifo|fair, got `{raw}`");
+            exit(2);
+        })
+    };
+
     let two_level = flags.iter().any(|f| f == "two-level");
     let exchange = if two_level {
         Exchange::TwoLevel
@@ -972,11 +985,25 @@ fn run_sim(args: &[String]) {
         Exchange::Direct
     };
     let run = |plan: &mcio_core::CollectivePlan| {
-        if two_level {
-            simulate_two_level(plan, &map, &spec)
+        // Same (pipeline, exchange) pairing as simulate_two_level /
+        // simulate_opts, with the selected DES engine threaded through.
+        let (pl, ex) = if two_level {
+            (Pipeline::Serial, Exchange::TwoLevel)
         } else {
-            simulate_opts(plan, &map, &spec, pipeline)
-        }
+            (pipeline, Exchange::Direct)
+        };
+        simulate_observed(
+            plan,
+            &map,
+            &spec,
+            pl,
+            ex,
+            Observe {
+                engine,
+                ..Observe::default()
+            },
+        )
+        .0
     };
     let want_prof = opts.get("prof");
     let prof = if want_prof.is_some() {
@@ -1003,7 +1030,10 @@ fn run_sim(args: &[String]) {
                     exchange,
                     fspec,
                     policy,
-                    Observe::default(),
+                    Observe {
+                        engine,
+                        ..Observe::default()
+                    },
                 )
             };
             let tpo = faulted(&tp_plan);
@@ -1093,6 +1123,7 @@ fn run_sim(args: &[String]) {
             registry: want_metrics.map(|_| &registry),
             trace: want_trace.is_some(),
             prof: want_prof.map(|_| &prof),
+            engine,
         };
         let (obs_timing, trace_json) = match &fault_spec {
             Some(fspec) => {

@@ -33,10 +33,17 @@
 //!   events/sec, allocator stats, and worker utilization (host).
 //! * `--wallclock FILE` writes `mcio.perf_wallclock.v1` — one row per
 //!   cell with elapsed wall time and events per wall second.
+//!
+//! `--exascale` runs the standing full-machine scenario instead of the
+//! matrix: the Table-1 `exascale_2018` design with one rank on every
+//! node (1 M ranks), memory-conscious under both resource engines plus
+//! two-phase under fair sharing, untraced. It prints one row per cell
+//! and the `mcio.exascale.v1` document (to `--out` when given); the
+//! document carries host wall-clock data, so it is never `--check`-gated.
 
 use mcio_bench::perf::{
-    cell_stragglers, parse_records, regressions_detailed, render_records, render_wallclock,
-    run_suite_jobs, run_suite_prof,
+    cell_stragglers, parse_records, regressions_detailed, render_exascale, render_records,
+    render_wallclock, run_exascale, run_suite_jobs, run_suite_prof,
 };
 use mcio_prof::{DetCell, Prof, ProfReport, WorkerRow};
 use std::process::exit;
@@ -44,11 +51,13 @@ use std::process::exit;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_perf_suite.json".to_string();
+    let mut out_given = false;
     let mut check_path: Option<String> = None;
     let mut prof_path: Option<String> = None;
     let mut wallclock_path: Option<String> = None;
     let mut tolerance = 0.05f64;
     let mut jobs = 1usize;
+    let mut exascale = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| match it.next() {
@@ -59,7 +68,11 @@ fn main() {
             }
         };
         match a.as_str() {
-            "--out" => out_path = value("--out"),
+            "--out" => {
+                out_path = value("--out");
+                out_given = true;
+            }
+            "--exascale" => exascale = true,
             "--check" => check_path = Some(value("--check")),
             "--prof" => prof_path = Some(value("--prof")),
             "--wallclock" => wallclock_path = Some(value("--wallclock")),
@@ -88,7 +101,8 @@ fn main() {
             "--help" => {
                 println!(
                     "usage: perf_suite [--out FILE] [--jobs N] [--check BASELINE.json] \
-                     [--tolerance FRAC] [--prof FILE] [--wallclock FILE]"
+                     [--tolerance FRAC] [--prof FILE] [--wallclock FILE]\n       \
+                     perf_suite --exascale [--out FILE]"
                 );
                 exit(0);
             }
@@ -97,6 +111,41 @@ fn main() {
                 exit(2);
             }
         }
+    }
+
+    if exascale {
+        // The exascale scenario is its own mode: untraced, never
+        // `--check`-gated (its document is host data), never mixed
+        // into `BENCH_perf_suite.json`.
+        if check_path.is_some() || prof_path.is_some() || wallclock_path.is_some() {
+            eprintln!("perf_suite: --exascale does not combine with --check/--prof/--wallclock");
+            exit(2);
+        }
+        let cells = run_exascale();
+        for c in &cells {
+            println!(
+                "exascale {:<17} [{}] elapsed {:>12.3} ms  {:>11} events  \
+                 {:>9.0} ev/s  plan {:>7.1} s  sim {:>6.1} s",
+                c.strategy,
+                c.engine,
+                c.elapsed_ns as f64 / 1e6,
+                c.prof.events_fired,
+                c.prof.events_fired as f64 / (c.sim_wall_ns.max(1) as f64 / 1e9),
+                c.plan_wall_ns as f64 / 1e9,
+                c.sim_wall_ns as f64 / 1e9,
+            );
+        }
+        let doc = render_exascale(&cells);
+        if out_given {
+            if let Err(e) = std::fs::write(&out_path, &doc) {
+                eprintln!("perf_suite: cannot write {out_path}: {e}");
+                exit(1);
+            }
+            println!("wrote {out_path}");
+        } else {
+            print!("{doc}");
+        }
+        return;
     }
 
     let baseline = check_path.as_ref().map(|path| {

@@ -505,6 +505,7 @@ job b ranks=8 ppn=2 node_offset=4 start=250us per_proc=256K segments=2 buffer=25
                         registry: None,
                         trace: false,
                         prof: None,
+                        ..Observe::default()
                     },
                 ),
             )

@@ -14,6 +14,7 @@ use mcio_analyze::{critical_path, CriticalPath, TraceModel};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_core::exec_sim::{simulate_observed, Exchange, Observe, Pipeline};
 use mcio_core::{mcio, twophase, CollectiveRequest, Rw, Strategy};
+use mcio_des::SharePolicy;
 use mcio_obs::json::{self, JsonValue};
 
 const MIB: u64 = 1 << 20;
@@ -29,6 +30,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Total ranks.
     pub ranks: usize,
+    /// Resource engine the cell simulates under. The committed matrix
+    /// stays [`SharePolicy::Fifo`] so `BENCH_perf_suite.json` keeps its
+    /// bytes; the exascale scenario exercises fair sharing.
+    pub engine: SharePolicy,
     make: fn() -> (ClusterSpec, CollectiveRequest),
 }
 
@@ -44,6 +49,7 @@ pub fn scenarios() -> Vec<Scenario> {
             buffer: 16 * MIB,
             seed: 0xF166,
             ranks: 120,
+            engine: SharePolicy::Fifo,
             make: || {
                 let cp = mcio_workloads::CollPerf::paper(120, 2);
                 (ClusterSpec::testbed_120(), cp.request(Rw::Write))
@@ -54,6 +60,7 @@ pub fn scenarios() -> Vec<Scenario> {
             buffer: 16 * MIB,
             seed: 0xF167,
             ranks: 120,
+            engine: SharePolicy::Fifo,
             make: || {
                 let ior = mcio_workloads::Ior::paper(120, 32 * MIB, 8);
                 (ClusterSpec::testbed_120(), ior.request(Rw::Write))
@@ -64,12 +71,168 @@ pub fn scenarios() -> Vec<Scenario> {
             buffer: 16 * MIB,
             seed: 0xF168,
             ranks: 1080,
+            engine: SharePolicy::Fifo,
             make: || {
                 let ior = mcio_workloads::Ior::paper(1080, 8 * MIB, 8);
                 (ClusterSpec::testbed_1080(), ior.request(Rw::Write))
             },
         },
     ]
+}
+
+/// Ranks simulated by the standing exascale scenario: one rank per
+/// node of the full Table-1 `exascale_2018` machine (1 M nodes). The
+/// machine's 10^9 *cores* are out of reach for a single-process DES —
+/// one rank per node is the "every rank" reading this suite stands
+/// behind, and it already exercises every fabric and PFS resource of
+/// the full machine (3 M node resources + 1024 OSTs).
+pub const EXASCALE_RANKS: usize = 1_000_000;
+
+/// One cell of the exascale scenario. Untraced — a chrome trace at
+/// this scale is gigabytes — so there is no critical-path attribution;
+/// the record is the simulated elapsed time plus the deterministic
+/// engine counters and the host-side wall-clock split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExaCell {
+    /// Strategy label (`two-phase` / `memory-conscious`).
+    pub strategy: String,
+    /// Resource engine label (`fifo` / `fair`).
+    pub engine: &'static str,
+    /// Simulated elapsed nanoseconds — deterministic.
+    pub elapsed_ns: u64,
+    /// Host wall-clock nanoseconds spent planning. Varies run to run.
+    pub plan_wall_ns: u64,
+    /// Host wall-clock nanoseconds spent simulating. Varies run to run.
+    pub sim_wall_ns: u64,
+    /// Deterministic engine counters of the cell's DES run.
+    pub prof: mcio_des::EngineProfile,
+}
+
+/// Run one exascale cell: the full `exascale_2018` machine, one rank
+/// per node, 1 MiB per rank of interleaved IOR. Deterministic in its
+/// simulated outputs (`elapsed_ns`, `prof`) for a fixed `(strategy,
+/// engine)` pair; the wall-clock fields are host data.
+pub fn run_exascale_cell(strategy: Strategy, engine: SharePolicy) -> ExaCell {
+    let (plan, harness, plan_wall_ns) = exascale_plan(strategy);
+    exascale_sim(&plan, &harness, strategy, engine, plan_wall_ns)
+}
+
+/// Plan the exascale workload once for `strategy`. The plan is
+/// engine-independent, so [`run_exascale`] reuses one plan across both
+/// engine cells — at a million ranks planning dominates the wall
+/// clock.
+fn exascale_plan(strategy: Strategy) -> (mcio_core::plan::CollectivePlan, Harness, u64) {
+    let spec = ClusterSpec::exascale_2018();
+    let harness = Harness::new(spec, EXASCALE_RANKS, 1, 0xE2018);
+    let ior = mcio_workloads::Ior::paper(EXASCALE_RANKS, MIB, 1);
+    let req = ior.request(Rw::Write);
+    let buffer = 16 * MIB;
+    let cfg = harness.config_for(&req, buffer);
+    let (_, env) = harness.memories(buffer);
+    let started = std::time::Instant::now();
+    let plan = match strategy {
+        Strategy::TwoPhase => twophase::plan(&req, &harness.map, &env, &cfg),
+        Strategy::MemoryConscious => mcio::plan(&req, &harness.map, &env, &cfg),
+    };
+    (plan, harness, started.elapsed().as_nanos() as u64)
+}
+
+fn exascale_sim(
+    plan: &mcio_core::plan::CollectivePlan,
+    harness: &Harness,
+    strategy: Strategy,
+    engine: SharePolicy,
+    plan_wall_ns: u64,
+) -> ExaCell {
+    let sim_started = std::time::Instant::now();
+    let (timing, _) = simulate_observed(
+        plan,
+        &harness.map,
+        &harness.spec,
+        Pipeline::Serial,
+        Exchange::Direct,
+        Observe {
+            engine,
+            ..Observe::default()
+        },
+    );
+    ExaCell {
+        strategy: strategy.label().to_string(),
+        engine: engine.label(),
+        elapsed_ns: timing.elapsed.as_nanos(),
+        plan_wall_ns,
+        sim_wall_ns: sim_started.elapsed().as_nanos() as u64,
+        prof: timing.engine,
+    }
+}
+
+/// The standing exascale matrix: memory-conscious under both engines
+/// (the FIFO cell is the wall-clock reference the fair-share rewrite
+/// is measured against) plus two-phase under fair sharing. Each
+/// strategy is planned once; the plan is shared across its engine
+/// cells (planning a million ranks dominates the wall clock).
+pub fn run_exascale() -> Vec<ExaCell> {
+    let (mc_plan, mc_harness, mc_plan_ns) = exascale_plan(Strategy::MemoryConscious);
+    let mut cells = vec![
+        exascale_sim(
+            &mc_plan,
+            &mc_harness,
+            Strategy::MemoryConscious,
+            SharePolicy::Fifo,
+            mc_plan_ns,
+        ),
+        exascale_sim(
+            &mc_plan,
+            &mc_harness,
+            Strategy::MemoryConscious,
+            SharePolicy::FairShare,
+            0,
+        ),
+    ];
+    drop(mc_plan);
+    let (tp_plan, tp_harness, tp_plan_ns) = exascale_plan(Strategy::TwoPhase);
+    cells.push(exascale_sim(
+        &tp_plan,
+        &tp_harness,
+        Strategy::TwoPhase,
+        SharePolicy::FairShare,
+        tp_plan_ns,
+    ));
+    cells
+}
+
+/// Render exascale cells as the `mcio.exascale.v1` document. The
+/// `elapsed_ns`, `events_fired`, and `heap_high_water` fields are
+/// deterministic; the wall-clock fields (and therefore the whole
+/// document) are host data — print, don't diff.
+pub fn render_exascale(cells: &[ExaCell]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mcio.exascale.v1\",\n  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let eps = if c.sim_wall_ns == 0 {
+            0.0
+        } else {
+            c.prof.events_fired as f64 / (c.sim_wall_ns as f64 / 1e9)
+        };
+        out.push_str(&format!(
+            "\n    {{\"strategy\": \"{}\", \"engine\": \"{}\", \"elapsed_ns\": {}, \
+             \"events_fired\": {}, \"events_cancelled\": {}, \"heap_high_water\": {}, \
+             \"plan_wall_ns\": {}, \"sim_wall_ns\": {}, \"events_per_sec\": {:.3}}}",
+            c.strategy,
+            c.engine,
+            c.elapsed_ns,
+            c.prof.events_fired,
+            c.prof.events_cancelled,
+            c.prof.heap_high_water,
+            c.plan_wall_ns,
+            c.sim_wall_ns,
+            eps,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// One (scenario, strategy) measurement.
@@ -163,6 +326,7 @@ fn run_cell_inner(
             registry: None,
             trace: true,
             prof: Some(prof),
+            engine: s.engine,
         },
     );
     let _analyze_scope = prof.scope("analyze");

@@ -107,6 +107,7 @@ fn off_policy_is_byte_identical_to_static_runner() {
         registry: None,
         trace: true,
         prof: None,
+        ..Observe::default()
     };
     let fixed = run_multitenant(&jobs, &spec.machine, spec.faults.as_ref(), obs());
     let off = run_multitenant_adaptive(
@@ -135,6 +136,7 @@ fn adaptive_runs_replay_deterministically() {
                 registry: None,
                 trace: true,
                 prof: None,
+                ..Observe::default()
             },
         )
     };

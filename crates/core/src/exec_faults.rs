@@ -181,7 +181,10 @@ pub fn simulate_adaptive(
             spec,
             pipeline,
             exchange,
-            Observe::default(),
+            Observe {
+                engine: obs.engine,
+                ..Observe::default()
+            },
             Some(&probe),
         )
     });
@@ -268,7 +271,10 @@ pub fn simulate_adaptive(
             spec,
             pipeline,
             exchange,
-            Observe::default(),
+            Observe {
+                engine: obs.engine,
+                ..Observe::default()
+            },
             None,
         );
         let horizon = clean.report.elapsed.as_nanos();
@@ -1001,9 +1007,8 @@ mod tests {
                 Exchange::Direct,
                 &fault,
                 Observe {
-                    registry: None,
                     trace: true,
-                    prof: None,
+                    ..Observe::default()
                 },
             )
         };

@@ -20,7 +20,7 @@
 use crate::plan::{CollectivePlan, Round, SyncMode};
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{Fabric, ProcessMap, Rank};
-use mcio_des::{Activity, ActivityId, SimDuration, SimTime, Simulation};
+use mcio_des::{Activity, ActivityId, SharePolicy, SimDuration, SimTime, Simulation};
 use mcio_faults::{FaultEvent, FaultSpec};
 use mcio_obs::{Registry, TraceCollector};
 use mcio_pfs::{Pfs, RetryMark, Rw};
@@ -251,9 +251,8 @@ pub fn trace_plan(
         Pipeline::Serial,
         Exchange::Direct,
         Observe {
-            registry: None,
             trace: true,
-            prof: None,
+            ..Observe::default()
         },
         None,
     );
@@ -291,6 +290,13 @@ pub struct Observe<'a> {
     /// `des-run`, `trace-emit`) into this profiler. Wall-clock data:
     /// never enters the timing report or any byte-diffed document.
     pub prof: Option<&'a mcio_prof::Prof>,
+    /// Service discipline for every simulated resource (fabric links,
+    /// memory buses, OSTs). The default, [`SharePolicy::Fifo`], keeps
+    /// the classic store-and-forward engine; [`SharePolicy::FairShare`]
+    /// switches to the amortized processor-sharing engine. On workloads
+    /// where no resource is ever shared the two produce byte-identical
+    /// reports (see `crates/core/tests/engine_equiv.rs`).
+    pub engine: SharePolicy,
 }
 
 /// Simulate with metrics recording (and optionally tracing) enabled.
@@ -318,7 +324,7 @@ pub(crate) fn simulate_inner(
     faults: Option<&FaultInjection<'_>>,
 ) -> SimRun {
     let build_scope = obs.prof.map(|p| p.scope("build-activity-graph"));
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::with_policy(obs.engine);
     if obs.trace {
         sim.enable_trace();
     }

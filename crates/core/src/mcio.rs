@@ -111,7 +111,7 @@ pub fn plan(
                     continue;
                 }
                 let window = Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
-                build_window(&masked, a.rank, window, &mut round);
+                build_window(masked.ranks.iter(), masked.rw, a.rank, window, &mut round);
             }
             if !round.is_empty() {
                 rounds.push(round);
@@ -152,9 +152,12 @@ pub fn plan(
     }
 }
 
-/// A copy of `req` in which every rank outside `members` requests
-/// nothing and member extents lose the bytes in `claimed` (owned by an
-/// earlier group). `members` must be sorted.
+/// The view of `req` restricted to `members` (in member order — which
+/// is rank order, since `members` is sorted), with member extents
+/// losing the bytes in `claimed` (owned by an earlier group). Only the
+/// group's own ranks are materialized: copying all ranks per group is
+/// quadratic in the rank count at per-node group sizes, and the window
+/// builder never looks beyond the group anyway.
 fn mask_request(
     req: &CollectiveRequest,
     members: &[Rank],
@@ -162,23 +165,16 @@ fn mask_request(
 ) -> CollectiveRequest {
     CollectiveRequest {
         rw: req.rw,
-        ranks: req
-            .ranks
+        ranks: members
             .iter()
-            .map(|rr| {
-                if members.binary_search(&rr.rank).is_ok() {
-                    if claimed.is_empty() {
-                        rr.clone()
-                    } else {
-                        RankRequest {
-                            rank: rr.rank,
-                            extents: subtract(&rr.extents, claimed),
-                        }
-                    }
+            .map(|&m| {
+                let rr = &req.ranks[m.0];
+                if claimed.is_empty() {
+                    rr.clone()
                 } else {
                     RankRequest {
                         rank: rr.rank,
-                        extents: Vec::new(),
+                        extents: subtract(&rr.extents, claimed),
                     }
                 }
             })

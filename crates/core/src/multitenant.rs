@@ -38,7 +38,7 @@ use crate::exec_sim::{
 use crate::plan::CollectivePlan;
 use mcio_cluster::spec::ClusterSpec;
 use mcio_cluster::{Fabric, ProcessMap};
-use mcio_des::{Activity, SimDuration, SimTime, Simulation};
+use mcio_des::{Activity, SharePolicy, SimDuration, SimTime, Simulation};
 use mcio_faults::FaultSpec;
 use mcio_obs::TraceCollector;
 use mcio_pfs::{OstId, Pfs};
@@ -203,8 +203,9 @@ fn probe_shared_windows(
     jobs: &[TenantJob],
     spec: &ClusterSpec,
     faults: &FaultSpec,
+    engine: SharePolicy,
 ) -> Vec<Vec<RoundWindow>> {
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::with_policy(engine);
     let fabric = Fabric::build(&mut sim, spec);
     let mut pfs = Pfs::build(&mut sim, spec);
     pfs.apply_faults(&mut sim, faults);
@@ -271,7 +272,7 @@ pub fn run_multitenant_adaptive(
     };
 
     let build_scope = obs.prof.map(|p| p.scope("build-activity-graph"));
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::with_policy(obs.engine);
     // The OST-overlap metric needs service records, so multi-job runs
     // always trace the DES (the Chrome JSON is still only rendered on
     // request). Single-job runs keep the solo code path bit-for-bit.
@@ -292,7 +293,12 @@ pub fn run_multitenant_adaptive(
     // every round actually lands under contention.
     let shared_probe: Vec<Vec<RoundWindow>> =
         if jobs.iter().any(|j| controller_ran(j.plan.strategy)) {
-            probe_shared_windows(jobs, spec, faults.expect("controller_ran implies faults"))
+            probe_shared_windows(
+                jobs,
+                spec,
+                faults.expect("controller_ran implies faults"),
+                obs.engine,
+            )
         } else {
             Vec::new()
         };
@@ -346,7 +352,10 @@ pub fn run_multitenant_adaptive(
                 spec,
                 job.pipeline,
                 job.exchange,
-                Observe::default(),
+                Observe {
+                    engine: obs.engine,
+                    ..Observe::default()
+                },
                 None,
             );
             let horizon = clean.report.elapsed.as_nanos();
@@ -501,7 +510,10 @@ pub fn run_multitenant_adaptive(
             spec,
             job.pipeline,
             job.exchange,
-            Observe::default(),
+            Observe {
+                engine: obs.engine,
+                ..Observe::default()
+            },
             None,
         )
         .report

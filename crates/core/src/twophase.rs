@@ -91,13 +91,45 @@ pub fn plan(
         let end = (start + fd_size).min(hull.end());
         let fd = Extent::from_bounds(start, end);
         let buffer = cfg.cb_buffer.min(mem.budget(rank)).max(1);
-        let data_bytes: u64 = req.ranks.iter().map(|r| r.bytes_in(&fd)).sum();
         aggregators.push(AggregatorAssignment {
             rank,
             fd,
             buffer,
-            data_bytes,
+            data_bytes: 0,
         });
+    }
+
+    // One pass over the ranks charges each extent to the file domains and
+    // round windows it touches. Domains tile the hull contiguously, so an
+    // extent's domain range is a closed index interval — no per-domain
+    // rank scan, which is quadratic in the rank count and unusable at the
+    // exascale_2018 machine's 10^6 ranks.
+    let mut window_ranks: Vec<Vec<Vec<u32>>> = aggregators
+        .iter()
+        .map(|a| vec![Vec::new(); a.rounds()])
+        .collect();
+    for (ri, rr) in req.ranks.iter().enumerate() {
+        for e in &rr.extents {
+            if e.is_empty() {
+                continue;
+            }
+            let a_lo = ((e.offset - hull.offset) / fd_size) as usize;
+            let a_hi = (((e.end() - 1 - hull.offset) / fd_size) as usize).min(naggs - 1);
+            for ai in a_lo..=a_hi {
+                let (fd, buffer) = (aggregators[ai].fd, aggregators[ai].buffer);
+                let Some(clip) = e.intersect(&fd) else {
+                    continue;
+                };
+                aggregators[ai].data_bytes += clip.len;
+                let r_lo = ((clip.offset - fd.offset) / buffer) as usize;
+                let r_hi = ((clip.end() - 1 - fd.offset) / buffer) as usize;
+                for bucket in &mut window_ranks[ai][r_lo..=r_hi] {
+                    if bucket.last() != Some(&(ri as u32)) {
+                        bucket.push(ri as u32);
+                    }
+                }
+            }
+        }
     }
 
     // ROMIO's ntimes: the global number of rounds is the maximum any
@@ -111,13 +143,22 @@ pub fn plan(
     let mut rounds = Vec::with_capacity(ntimes);
     for r in 0..ntimes {
         let mut round = Round::default();
-        for a in &aggregators {
+        for (a, agg_windows) in aggregators.iter().zip(&window_ranks) {
             let win_start = a.fd.offset + r as u64 * a.buffer;
             if win_start >= a.fd.end() {
-                continue; // this aggregator is already done
+                continue; // this aggregator is already done (r >= its rounds)
             }
             let window = Extent::from_bounds(win_start, (win_start + a.buffer).min(a.fd.end()));
-            build_window(req, a.rank, window, &mut round);
+            let Some(candidates) = agg_windows.get(r) else {
+                continue;
+            };
+            build_window(
+                candidates.iter().map(|&ri| &req.ranks[ri as usize]),
+                req.rw,
+                a.rank,
+                window,
+                &mut round,
+            );
         }
         rounds.push(round);
     }
@@ -138,16 +179,25 @@ pub fn plan(
 /// Emit the messages and the I/O op of one aggregator window into
 /// `round`. Shared with the memory-conscious planner: the inner loop of
 /// the two-phase exchange is identical; the strategies differ in *who*
-/// aggregates *what*, not in the per-window mechanics.
-pub(crate) fn build_window(req: &CollectiveRequest, agg: Rank, window: Extent, round: &mut Round) {
+/// aggregates *what*, not in the per-window mechanics. `ranks` must be
+/// in rank order (message order is part of the plan's identity); ranks
+/// with no data inside `window` are skipped, so passing a superset of
+/// the touching ranks is fine.
+pub(crate) fn build_window<'a>(
+    ranks: impl Iterator<Item = &'a crate::request::RankRequest>,
+    rw: Rw,
+    agg: Rank,
+    window: Extent,
+    round: &mut Round,
+) {
     let mut all_extents: Vec<Extent> = Vec::new();
-    for rr in &req.ranks {
+    for rr in ranks {
         let extents = rr.extents_in(&window);
         if extents.is_empty() {
             continue;
         }
         all_extents.extend(extents.iter().copied());
-        let (src, dst) = match req.rw {
+        let (src, dst) = match rw {
             Rw::Write => (rr.rank, agg),
             Rw::Read => (agg, rr.rank),
         };

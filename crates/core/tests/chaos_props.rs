@@ -130,6 +130,7 @@ fn run_adaptive(
             registry: None,
             trace,
             prof: None,
+            ..Observe::default()
         },
     )
 }
@@ -235,12 +236,12 @@ proptest! {
 
         let (obs_report, obs_trace) = simulate_observed(
             &plan, &map, &cluster, pipeline, Exchange::Direct,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
         let off = simulate_adaptive(
             &plan, &map, &cluster, &mem, pipeline, Exchange::Direct, &empty,
             AdaptivePolicy::Off,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
         prop_assert_eq!(off.report.elapsed, obs_report.elapsed,
             "Off + empty plan must not perturb the schedule");

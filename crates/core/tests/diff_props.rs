@@ -163,7 +163,7 @@ proptest! {
 
         let (report, trace) = simulate_observed(
             &plan, &map, &cluster, pipeline, exchange,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
         // The empty spec still carries a seed and retry policy; with no
         // events they must never influence the run.
@@ -171,7 +171,7 @@ proptest! {
         prop_assert!(empty.is_empty());
         let out = simulate_faulted(
             &plan, &map, &cluster, &mem, pipeline, exchange, &empty,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
 
         prop_assert!(out.completed);

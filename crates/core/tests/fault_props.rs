@@ -53,6 +53,7 @@ fn run_faulted(
             registry: None,
             trace,
             prof: None,
+            ..Observe::default()
         },
     )
 }

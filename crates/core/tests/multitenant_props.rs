@@ -119,7 +119,7 @@ proptest! {
 
         let (solo_report, solo_trace) = simulate_observed(
             &plan, &map, &cluster, pipeline, exchange,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
         let mt = run_multitenant(
             &[TenantJob::new("only", plan.clone(), map.clone())
@@ -127,7 +127,7 @@ proptest! {
                 .exchange(exchange)],
             &cluster,
             None,
-            Observe { registry: None, trace: true, prof: None },
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() },
         );
 
         prop_assert_eq!(mt.jobs.len(), 1);
@@ -184,7 +184,7 @@ proptest! {
         }
 
         let mt = run_multitenant(&jobs, &cluster, None,
-            Observe { registry: None, trace: false, prof: None });
+            Observe { registry: None, trace: false, prof: None, ..Observe::default() });
 
         prop_assert_eq!(mt.jobs.len(), k);
         for (ji, outcome) in mt.jobs.iter().enumerate() {
@@ -234,9 +234,9 @@ proptest! {
             .collect();
 
         let a = run_multitenant(&jobs, &cluster, None,
-            Observe { registry: None, trace: true, prof: None });
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() });
         let b = run_multitenant(&jobs, &cluster, None,
-            Observe { registry: None, trace: true, prof: None });
+            Observe { registry: None, trace: true, prof: None, ..Observe::default() });
         prop_assert_eq!(&a.jobs, &b.jobs, "job outcomes must replay identically");
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(&a.trace, &b.trace, "trace bytes must replay identically");

@@ -58,6 +58,7 @@ fn observed_run(req: &CollectiveRequest, mc: bool) -> (Arc<Registry>, String, u6
             registry: Some(&reg),
             trace: true,
             prof: None,
+            ..Observe::default()
         },
     );
     (reg, trace.expect("trace requested"), plan_io_bytes)

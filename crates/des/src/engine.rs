@@ -2,7 +2,7 @@
 //! runs it to completion, producing a [`RunReport`].
 
 use crate::activity::{Activity, ActivityId, ActivityState};
-use crate::resource::{Bandwidth, Job, Resource, ResourceId, ResourceUsage};
+use crate::resource::{Bandwidth, Job, Resource, ResourceId, ResourceUsage, SharePolicy};
 use crate::time::{SimDuration, SimTime};
 use mcio_obs::{Histogram, Registry, TraceCollector};
 use std::cmp::Reverse;
@@ -38,8 +38,13 @@ enum Event {
     Ready(ActivityId),
     /// The activity should join the queue of its `next_stage` resource.
     EnterStage(ActivityId),
-    /// The resource finished serving this activity's current stage.
+    /// The resource finished serving this activity's current stage
+    /// (FIFO resources: one event per job).
     StageServed(ActivityId),
+    /// A fair-share resource's earliest active transfer completes. Each
+    /// fair resource keeps at most one of these pending; arrivals and
+    /// departures cancel and re-predict it (indexed cancellation).
+    FairComplete(ResourceId),
 }
 
 /// One recorded service interval: `activity` occupied `resource` from
@@ -56,6 +61,11 @@ pub struct ServiceRecord {
     pub end: SimTime,
 }
 
+/// One event-heap entry: `(time, sequence, slot, generation, class)`.
+/// `sequence` makes the ordering total; `class` is informational (at
+/// equal time and order, completions sort before arrivals).
+type HeapEntry = (SimTime, u64, usize, u64, u8);
+
 /// A discrete-event simulation under construction.
 ///
 /// Add resources and activities, wire dependencies with
@@ -64,9 +74,22 @@ pub struct ServiceRecord {
 pub struct Simulation {
     resources: Vec<Resource>,
     activities: Vec<ActivityState>,
-    /// Event heap keyed by (time, sequence) for determinism.
-    heap: BinaryHeap<Reverse<(SimTime, u64, usize, u8)>>,
-    events: Vec<Event>,
+    /// Event heap keyed by (time, sequence) for determinism; entries
+    /// carry the slot generation they were pushed with, so cancelled
+    /// (re-generated) slots are skipped on pop.
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Pooled event slots: `(event, generation)`. Slots are recycled
+    /// through `free_slots`, bumping the generation each time, so the
+    /// pool's footprint tracks *concurrent* events rather than total
+    /// events scheduled.
+    events: Vec<(Event, u64)>,
+    /// Recycled slot indices available for the next `push_event`.
+    free_slots: Vec<usize>,
+    /// Monotone event sequence counter (heap tiebreak). Independent of
+    /// slot indices, which are reused.
+    next_seq: u64,
+    /// Service discipline applied to newly registered resources.
+    default_policy: SharePolicy,
     /// Service-interval trace, when enabled.
     trace: Option<Vec<ServiceRecord>>,
     /// Engine health counters (event count, heap depth distribution).
@@ -89,11 +112,14 @@ pub struct EngineStats {
     /// `EnterStage`/`StageServed` scheduled while running).
     pub events_scheduled: u64,
     /// Events scheduled and then retracted before firing. The FIFO
-    /// engine never cancels (always 0 today); the counter exists so the
-    /// fair-sharing rewrite — which re-predicts completion times on
-    /// every arrival/departure — reports against the same schema.
+    /// engine never cancels (always 0); fair-share resources re-predict
+    /// their single next-completion event on every arrival/departure,
+    /// cancelling the stale prediction. At the end of a run
+    /// `events_scheduled == events_processed + events_cancelled`.
     pub events_cancelled: u64,
-    /// High-water mark of the pending-event heap.
+    /// High-water mark of the pending-event heap. Cancelled entries
+    /// stay in the heap (lazily skipped on pop), so this measures the
+    /// physical heap including stale entries.
     pub max_queue_depth: usize,
     /// High-water mark of pending `Ready` events: how many activities
     /// were released but not yet started at the worst moment (the
@@ -104,9 +130,24 @@ pub struct EngineStats {
 }
 
 impl Simulation {
-    /// An empty simulation.
+    /// An empty simulation serving resources FIFO.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty simulation whose resources default to `policy`
+    /// ([`Simulation::add_resource_with_policy`] overrides per
+    /// resource).
+    pub fn with_policy(policy: SharePolicy) -> Self {
+        Simulation {
+            default_policy: policy,
+            ..Self::default()
+        }
+    }
+
+    /// The service discipline newly registered resources receive.
+    pub fn default_policy(&self) -> SharePolicy {
+        self.default_policy
     }
 
     /// Record every resource service interval; the run report will carry
@@ -115,22 +156,36 @@ impl Simulation {
         self.trace = Some(Vec::new());
     }
 
-    /// Register a FIFO bandwidth resource with one service slot.
+    /// Register a bandwidth resource with one service slot, under the
+    /// simulation's default policy.
     pub fn add_resource(&mut self, name: impl Into<String>, bw: Bandwidth) -> ResourceId {
         self.add_resource_with_capacity(name, bw, 1)
     }
 
-    /// Register a FIFO bandwidth resource with `capacity` parallel
-    /// service slots (each slot serves at the full bandwidth).
+    /// Register a bandwidth resource with `capacity` parallel service
+    /// slots (each slot serves at the full bandwidth), under the
+    /// simulation's default policy.
     pub fn add_resource_with_capacity(
         &mut self,
         name: impl Into<String>,
         bw: Bandwidth,
         capacity: usize,
     ) -> ResourceId {
+        self.add_resource_with_policy(name, bw, capacity, self.default_policy)
+    }
+
+    /// Register a bandwidth resource under an explicit service
+    /// discipline, overriding the simulation default.
+    pub fn add_resource_with_policy(
+        &mut self,
+        name: impl Into<String>,
+        bw: Bandwidth,
+        capacity: usize,
+        policy: SharePolicy,
+    ) -> ResourceId {
         let id = ResourceId(self.resources.len());
         self.resources
-            .push(Resource::with_capacity(name, bw, capacity));
+            .push(Resource::with_policy(name, bw, capacity, policy));
         id
     }
 
@@ -174,15 +229,17 @@ impl Simulation {
         self.resources.len()
     }
 
-    fn push_event(&mut self, t: SimTime, ev: Event) {
-        let seq = self.events.len() as u64;
-        let idx = self.events.len();
+    /// Schedule `ev` at `t`. Returns the slot handle `(index,
+    /// generation)` that [`Simulation::cancel_event`] accepts.
+    fn push_event(&mut self, t: SimTime, ev: Event) -> (usize, u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         // The priority tuple carries a class byte so that, at equal time and
         // insertion order, completions at a resource are handled before new
         // arrivals; `seq` already makes ordering total so the class byte is
         // informational only.
         let class = match ev {
-            Event::StageServed(_) => 0,
+            Event::StageServed(_) | Event::FairComplete(_) => 0,
             Event::EnterStage(_) => 1,
             Event::Ready(_) => 2,
         };
@@ -192,8 +249,30 @@ impl Simulation {
             self.engine_stats.max_ready_set =
                 self.engine_stats.max_ready_set.max(self.pending_ready);
         }
-        self.events.push(ev);
-        self.heap.push(Reverse((t, seq, idx, class)));
+        let (idx, gen) = match self.free_slots.pop() {
+            Some(idx) => {
+                let gen = self.events[idx].1.wrapping_add(1);
+                self.events[idx] = (ev, gen);
+                (idx, gen)
+            }
+            None => {
+                self.events.push((ev, 0));
+                (self.events.len() - 1, 0)
+            }
+        };
+        self.heap.push(Reverse((t, seq, idx, gen, class)));
+        (idx, gen)
+    }
+
+    /// Retract a scheduled event before it fires. The heap entry stays
+    /// (and is skipped on pop via its stale generation); the slot is
+    /// recycled immediately.
+    fn cancel_event(&mut self, handle: (usize, u64)) {
+        let (idx, gen) = handle;
+        debug_assert_eq!(self.events[idx].1, gen, "cancelling a dead event");
+        self.events[idx].1 = gen.wrapping_add(1);
+        self.free_slots.push(idx);
+        self.engine_stats.events_cancelled += 1;
     }
 
     /// Run the simulation to completion.
@@ -212,14 +291,24 @@ impl Simulation {
         }
 
         let mut now = SimTime::ZERO;
-        while let Some(Reverse((t, _seq, idx, _class))) = self.heap.pop() {
+        while let Some(Reverse((t, _seq, idx, gen, _class))) = self.heap.pop() {
+            if self.events[idx].1 != gen {
+                // Cancelled (counted when retracted); skip lazily. The
+                // slot may already be serving a different live event.
+                continue;
+            }
+            let ev = self.events[idx].0;
+            // Recycle the slot before dispatch so events scheduled by
+            // this very event can reuse it.
+            self.events[idx].1 = gen.wrapping_add(1);
+            self.free_slots.push(idx);
             debug_assert!(t >= now, "time went backwards");
             now = t;
             self.engine_stats.events_processed += 1;
             let depth = self.heap.len();
             self.engine_stats.max_queue_depth = self.engine_stats.max_queue_depth.max(depth);
             self.engine_stats.queue_depth.observe(depth as u64);
-            match self.events[idx] {
+            match ev {
                 Event::Ready(a) => {
                     debug_assert!(self.activities[a.0].started.is_none());
                     self.pending_ready -= 1;
@@ -246,14 +335,20 @@ impl Simulation {
                         self.push_event(done, Event::StageServed(next_job.activity));
                     }
                     // This activity leaves the stage; honor post-latency.
-                    let latency =
-                        self.activities[a.0].stages[self.activities[a.0].next_stage].latency_after;
-                    self.activities[a.0].next_stage += 1;
-                    if latency.is_zero() {
-                        self.advance(a, now);
-                    } else {
-                        self.push_event(now + latency, Event::EnterStage(a));
+                    self.leave_stage(a, now);
+                }
+                Event::FairComplete(rid) => {
+                    // This event *was* the resource's pending prediction;
+                    // it fired, so just drop the stored handle.
+                    self.resources[rid.0].take_pending();
+                    let (job, _admitted, trace_slot) = self.resources[rid.0].fair_complete(now);
+                    if let (Some(trace), Some(slot)) = (self.trace.as_mut(), trace_slot) {
+                        trace[slot].end = now;
                     }
+                    // The active set shrank: re-predict the resource's
+                    // next completion before moving the activity on.
+                    self.reschedule_fair(rid, now);
+                    self.leave_stage(job.activity, now);
                 }
             }
         }
@@ -298,24 +393,72 @@ impl Simulation {
         let st = &self.activities[a.0];
         if st.next_stage >= st.stages.len() {
             self.complete(a, now);
-        } else {
-            let stage = st.stages[st.next_stage];
-            let job = Job {
-                activity: a,
-                bytes: stage.bytes,
-                overhead: stage.overhead,
-            };
-            if let Some(done) = self.resources[stage.resource.0].enqueue(now, job) {
-                if let Some(trace) = &mut self.trace {
+            return;
+        }
+        let stage = st.stages[st.next_stage];
+        let job = Job {
+            activity: a,
+            bytes: stage.bytes,
+            overhead: stage.overhead,
+        };
+        let rid = stage.resource;
+        match self.resources[rid.0].policy() {
+            SharePolicy::Fifo => {
+                if let Some(done) = self.resources[rid.0].enqueue(now, job) {
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(ServiceRecord {
+                            resource: rid,
+                            activity: a,
+                            start: now,
+                            end: done,
+                        });
+                    }
+                    self.push_event(done, Event::StageServed(a));
+                }
+            }
+            SharePolicy::FairShare => {
+                // Record the trace span now (the FIFO engine records at
+                // service start, which under processor sharing is the
+                // admission instant) and backpatch its end on
+                // completion.
+                let trace_slot = self.trace.as_mut().map(|trace| {
                     trace.push(ServiceRecord {
-                        resource: stage.resource,
+                        resource: rid,
                         activity: a,
                         start: now,
-                        end: done,
+                        end: now,
                     });
-                }
-                self.push_event(done, Event::StageServed(a));
+                    trace.len() - 1
+                });
+                self.resources[rid.0].fair_arrive(now, job, trace_slot);
+                self.reschedule_fair(rid, now);
             }
+        }
+    }
+
+    /// The activity's current stage is done: honor the stage's
+    /// post-service latency, then advance.
+    fn leave_stage(&mut self, a: ActivityId, now: SimTime) {
+        let latency = self.activities[a.0].stages[self.activities[a.0].next_stage].latency_after;
+        self.activities[a.0].next_stage += 1;
+        if latency.is_zero() {
+            self.advance(a, now);
+        } else {
+            self.push_event(now + latency, Event::EnterStage(a));
+        }
+    }
+
+    /// Re-predict a fair-share resource's next completion: retract the
+    /// stale prediction (if any) and schedule a fresh one for the
+    /// current active set.
+    fn reschedule_fair(&mut self, rid: ResourceId, now: SimTime) {
+        if let Some(handle) = self.resources[rid.0].take_pending() {
+            self.cancel_event(handle);
+        }
+        if let Some(done) = self.resources[rid.0].fair_next_completion() {
+            debug_assert!(done >= now, "fair completion predicted in the past");
+            let handle = self.push_event(done, Event::FairComplete(rid));
+            self.resources[rid.0].set_pending(handle);
         }
     }
 
@@ -399,11 +542,14 @@ impl RunReport {
         &self.engine_stats
     }
 
-    /// Peak FIFO queue length aggregated per resource *class* (the name
-    /// with its node/OST index stripped: `node3.membus` → `membus`,
-    /// `ost17` → `ost`), sorted by class name. Classes that never
-    /// queued a job report 0; resources that never served one are
-    /// skipped entirely, matching [`RunReport::record_into`].
+    /// Peak active transfer set size aggregated per resource *class*
+    /// (the name with its node/OST index stripped: `node3.membus` →
+    /// `membus`, `ost17` → `ost`), sorted by class name. "Active" means
+    /// holding a service slot under FIFO (≤ capacity) and any admitted
+    /// transfer under fair sharing, so the number measures concurrency
+    /// pressure on the class under either engine. Resources that never
+    /// served a job are skipped entirely, matching
+    /// [`RunReport::record_into`].
     pub fn class_max_queues(&self) -> Vec<(String, u64)> {
         let mut per_class: std::collections::BTreeMap<String, u64> =
             std::collections::BTreeMap::new();
@@ -412,7 +558,7 @@ impl RunReport {
                 continue;
             }
             let entry = per_class.entry(resource_class(&u.name)).or_insert(0);
-            *entry = (*entry).max(u.max_queue_len as u64);
+            *entry = (*entry).max(u.max_active as u64);
         }
         per_class.into_iter().collect()
     }
@@ -471,7 +617,7 @@ impl RunReport {
         reg.describe(
             "des.engine.events_cancelled",
             "1",
-            "events retracted before firing (0 for the FIFO engine)",
+            "events retracted before firing (fair-share re-predictions; 0 for FIFO)",
         );
         reg.describe(
             "des.engine.max_ready_set",
@@ -481,7 +627,7 @@ impl RunReport {
         reg.describe(
             "des.engine.class_max_queue",
             "1",
-            "peak FIFO queue length per resource class",
+            "peak active transfer set per resource class",
         );
         reg.describe(
             "des.resource.busy_ns",
@@ -498,7 +644,12 @@ impl RunReport {
         reg.describe(
             "des.resource.max_queue",
             "1",
-            "peak FIFO queue length per resource",
+            "peak jobs beyond the slot count per resource (FIFO queue / fair-share overflow)",
+        );
+        reg.describe(
+            "des.resource.max_active",
+            "1",
+            "peak simultaneously served transfers per resource",
         );
         reg.describe(
             "des.resource.wait_ns",
@@ -554,6 +705,7 @@ impl RunReport {
             reg.inc("des.resource.jobs", labels, u.jobs_served);
             reg.set_gauge("des.resource.utilization", labels, u.utilization(makespan));
             reg.set_gauge("des.resource.max_queue", labels, u.max_queue_len as f64);
+            reg.set_gauge("des.resource.max_active", labels, u.max_active as f64);
             reg.merge_histogram("des.resource.wait_ns", labels, &u.wait_hist);
         }
     }
@@ -619,10 +771,11 @@ pub struct EngineProfile {
     pub events_scheduled: u64,
     /// Events popped and processed by the run loop.
     pub events_fired: u64,
-    /// Events retracted before firing (always 0 for the FIFO engine;
-    /// reserved for the fair-sharing rewrite).
+    /// Events retracted before firing: fair-share next-completion
+    /// re-predictions (always 0 for pure-FIFO runs).
     pub events_cancelled: u64,
-    /// Peak pending-event heap depth.
+    /// Peak pending-event heap depth (physical heap, including
+    /// lazily-skipped cancelled entries).
     pub heap_high_water: u64,
     /// Peak count of released-but-unstarted activities (DAG frontier
     /// width as the engine saw it).
@@ -631,8 +784,8 @@ pub struct EngineProfile {
     pub activities: u64,
     /// Resources registered (including ones the process map left idle).
     pub resources: u64,
-    /// Peak FIFO queue length per resource class, sorted by class name
-    /// ([`resource_class`]); idle resources are skipped.
+    /// Peak active transfer set per resource class, sorted by class
+    /// name ([`resource_class`]); idle resources are skipped.
     pub class_max_queue: Vec<(String, u64)>,
 }
 

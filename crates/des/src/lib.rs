@@ -3,15 +3,24 @@
 //! A small, dependency-free discrete-event simulation (DES) core used by the
 //! memory-conscious collective I/O reproduction to model an extreme-scale
 //! machine: network interfaces, per-node memory buses, and parallel file
-//! system servers are all **FIFO bandwidth resources**, and the work a
-//! collective I/O operation performs is an **activity graph** — activities
-//! with precedence dependencies, each passing through an ordered sequence of
+//! system servers are all **bandwidth resources**, and the work a collective
+//! I/O operation performs is an **activity graph** — activities with
+//! precedence dependencies, each passing through an ordered sequence of
 //! resource stages (store-and-forward).
 //!
-//! The engine is fully deterministic: ties in the event queue are broken by
-//! insertion sequence number, and resource queues are strict FIFO. Running
-//! the same activity graph twice yields bit-identical schedules, which the
-//! test suite relies on.
+//! Each resource serves under a [`SharePolicy`]: classic FIFO queueing (one
+//! event per job), or amortized fair sharing, where all admitted transfers
+//! progress concurrently and the engine keeps a single next-completion
+//! event per resource, re-predicted via indexed cancellation on every
+//! arrival and departure — event volume then scales with
+//! arrivals/departures instead of in-flight requests, which is what makes
+//! full-machine exascale runs tractable.
+//!
+//! The engine is fully deterministic under both policies: ties in the event
+//! queue are broken by insertion sequence number, FIFO queues are strict
+//! FIFO, and fair-share ties break by admission order. Running the same
+//! activity graph twice yields bit-identical schedules, which the test
+//! suite relies on.
 //!
 //! ## Model
 //!
@@ -55,6 +64,6 @@ pub use activity::{Activity, ActivityId, Stage};
 pub use engine::{
     resource_class, EngineProfile, EngineStats, RunReport, ServiceRecord, SimError, Simulation,
 };
-pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage, ServiceWindow};
+pub use resource::{Bandwidth, Resource, ResourceId, ResourceUsage, ServiceWindow, SharePolicy};
 pub use stats::OnlineStats;
 pub use time::{SimDuration, SimTime};
