@@ -25,6 +25,9 @@
 //!   runs (pid-5 replan lanes): what the controller did, when, and
 //!   why (retune / defer / demote / resplit decisions with their
 //!   recorded inputs).
+//! * [`sched`] — job-stream scheduler attribution for `mcio-sched`
+//!   runs (pid-6 lanes): queue depth over time, every dispatch with
+//!   its wait and backfill status, and admission-control deferrals.
 //!
 //! The `mcio_cli analyze` subcommand and the `perf_suite` benchmark
 //! harness are thin shells over this crate.
@@ -35,6 +38,7 @@ pub mod critical_path;
 pub mod diff;
 pub mod replan;
 pub mod report;
+pub mod sched;
 pub mod stragglers;
 pub mod tenants;
 pub mod timeline;
@@ -47,9 +51,10 @@ pub use critical_path::{
 pub use diff::{diff_critical_paths, diff_models, RunDiff, SeriesDelta};
 pub use replan::{replan_actions, ReplanAction};
 pub use report::{analyze, compare, Analysis, ClassStat, Comparison, PhaseTotals};
+pub use sched::{sched_section, SchedDispatch, SchedSection};
 pub use stragglers::{format_rounds, stragglers, Straggler, StragglerKind};
 pub use tenants::{tenant_paths, TenantPath};
 pub use timeline::{default_bucket_ns, timeline, Series, SeriesKind, Timeline};
 pub use trace_model::{
-    ResourceClass, TraceModel, PID_REPLAN, PID_RESOURCES, PID_ROUNDS, PID_TENANTS,
+    ResourceClass, TraceModel, PID_REPLAN, PID_RESOURCES, PID_ROUNDS, PID_SCHED, PID_TENANTS,
 };

@@ -10,6 +10,7 @@ use crate::critical_path::{
     aggregator_io, chain_summaries, critical_path, phase_sums, AggIo, ChainSummary, CriticalPath,
 };
 use crate::replan::{replan_actions, ReplanAction};
+use crate::sched::{sched_section, SchedSection};
 use crate::stragglers::{stragglers, Straggler};
 use crate::tenants::{tenant_paths, TenantPath};
 use crate::trace_model::{ResourceClass, TraceModel, PID_RESOURCES};
@@ -71,6 +72,9 @@ pub struct Analysis {
     /// (empty for non-adaptive runs, and then omitted from both
     /// renderings).
     pub replans: Vec<ReplanAction>,
+    /// Job-stream scheduler decisions from the pid-6 lanes (`None`
+    /// for non-scheduled runs, and then omitted from both renderings).
+    pub sched: Option<SchedSection>,
     /// How many chains/aggregators the text report prints.
     pub top_k: usize,
 }
@@ -124,6 +128,7 @@ pub fn analyze(model: &TraceModel, top_k: usize) -> Analysis {
         tenants: tenant_paths(model),
         stragglers: stragglers(model),
         replans: replan_actions(model),
+        sched: sched_section(model),
         top_k,
     }
 }
@@ -281,7 +286,34 @@ impl Analysis {
                 );
             }
         }
-        out.push_str("\n  ]\n}\n");
+        if let Some(sc) = &self.sched {
+            // Object section, so it owns the closing brace of the
+            // document when present.
+            out.push_str("\n  ],\n  \"sched\": {\n");
+            let _ = writeln!(out, "    \"max_queue_depth\": {},", sc.max_queue_depth);
+            let _ = writeln!(out, "    \"backfills\": {},", sc.backfills);
+            let _ = writeln!(out, "    \"admission_defers\": {},", sc.admission_defers);
+            out.push_str("    \"dispatches\": [");
+            for (i, d) in sc.dispatches.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n      {{\"job\": \"{}\", \"start_ns\": {}, \"dur_ns\": {}, \
+                     \"nodes\": {}, \"wait_ns\": {}, \"backfill\": {}}}",
+                    escape_json(&d.job),
+                    d.start_ns,
+                    d.dur_ns,
+                    d.nodes,
+                    d.wait_ns,
+                    d.backfill
+                );
+            }
+            out.push_str("\n    ]\n  }\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
         out
     }
 
@@ -425,6 +457,35 @@ impl Analysis {
             let _ = writeln!(out, "\n== replan ==");
             for r in &self.replans {
                 let _ = writeln!(out, "{}", r.describe());
+            }
+        }
+
+        if let Some(sc) = &self.sched {
+            let _ = writeln!(out, "\n== scheduler ==");
+            let _ = writeln!(
+                out,
+                "dispatches {}, backfills {}, admission defers {}, peak queue depth {}",
+                sc.dispatches.len(),
+                sc.backfills,
+                sc.admission_defers,
+                sc.max_queue_depth
+            );
+            let _ = writeln!(
+                out,
+                "{:<16} {:>12} {:>12} {:>12} {:>6} {:>9}",
+                "job", "start ms", "run ms", "wait ms", "nodes", "backfill"
+            );
+            for d in sc.dispatches.iter().take(self.top_k) {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12.3} {:>12.3} {:>12.3} {:>6} {:>9}",
+                    d.job,
+                    ms(d.start_ns),
+                    ms(d.dur_ns),
+                    ms(d.wait_ns),
+                    d.nodes,
+                    if d.backfill { "*" } else { "" }
+                );
             }
         }
         out
@@ -728,6 +789,70 @@ mod tests {
         assert!(text.contains("== replan =="), "{text}");
         assert!(text.contains("defer defer.g0.r2"), "{text}");
         assert!(text.contains("stretch 2.10"), "{text}");
+    }
+
+    #[test]
+    fn sched_sections_appear_only_for_scheduled_traces() {
+        // Non-scheduled trace: no sched key, no scheduler text
+        // section, so earlier reports are byte-identical to before.
+        let quiet = analyze(&model(), 5);
+        assert!(quiet.sched.is_none());
+        assert!(!quiet.to_json().contains("\"sched\""));
+        assert!(!quiet.to_text().contains("== scheduler =="));
+
+        let tc = TraceCollector::new();
+        tc.name_thread(PID_RESOURCES, 0, "ost0");
+        tc.span("io.rank0", "ost0", PID_RESOURCES, 0, 0, 1000);
+        tc.name_process(crate::trace_model::PID_SCHED, "scheduler");
+        tc.name_thread(crate::trace_model::PID_SCHED, 0, "queue");
+        tc.name_thread(crate::trace_model::PID_SCHED, 1, "dispatch");
+        tc.span_with_args(
+            "depth",
+            "queue",
+            crate::trace_model::PID_SCHED,
+            0,
+            0,
+            400,
+            &[("depth", "2")],
+        );
+        tc.span_with_args(
+            "g0000",
+            "dispatch",
+            crate::trace_model::PID_SCHED,
+            1,
+            400,
+            600,
+            &[("nodes", "4"), ("wait_ns", "400"), ("backfill", "1")],
+        );
+        let scheduled = analyze(&TraceModel::from_collector(&tc), 5);
+        let sc = scheduled.sched.as_ref().expect("sched section extracted");
+        assert_eq!(sc.max_queue_depth, 2);
+        assert_eq!(sc.backfills, 1);
+
+        let doc = json::parse(&scheduled.to_json()).expect("sched report is valid JSON");
+        let sched = doc.get("sched").unwrap();
+        assert_eq!(
+            sched.get("max_queue_depth").and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+        let dispatches = sched.get("dispatches").unwrap().as_array().unwrap();
+        assert_eq!(dispatches.len(), 1);
+        assert_eq!(
+            dispatches[0].get("job").and_then(JsonValue::as_str),
+            Some("g0000")
+        );
+        assert!(
+            matches!(dispatches[0].get("backfill"), Some(JsonValue::Bool(true))),
+            "backfill renders as a JSON bool"
+        );
+
+        let text = scheduled.to_text();
+        assert!(text.contains("== scheduler =="), "{text}");
+        assert!(
+            text.contains("dispatches 1, backfills 1, admission defers 0, peak queue depth 2"),
+            "{text}"
+        );
+        assert!(text.contains("g0000"), "{text}");
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub const PID_TENANTS: u64 = 4;
 /// span args. Static (`AdaptivePolicy::Off`) runs emit no pid-5 lanes.
 pub const PID_REPLAN: u64 = 5;
 
+/// Chrome-trace `pid` of the job-stream scheduler lanes emitted by
+/// `mcio-sched` runs: `tid` 0 carries queue-depth occupancy intervals,
+/// `tid` 1 one span per dispatch decision (args: nodes, wait,
+/// backfill), `tid` 2 admission-control deferrals. Single-job runs
+/// emit no pid-6 lanes.
+pub const PID_SCHED: u64 = 6;
+
 /// Coarse class of a machine resource, keyed off its lane name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ResourceClass {

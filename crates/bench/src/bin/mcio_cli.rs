@@ -62,6 +62,20 @@
 //! slowdown and OST-overlap interference metrics:
 //! `mcio_cli multitenant --spec FILE [--out FILE] [--trace FILE]`.
 //!
+//! The `schedule` subcommand replays a job-arrival trace (the
+//! `mcio.jobtrace.v1` DSL — see `docs/scheduling.md`) through the
+//! queue scheduler: jobs wait for free nodes, dispatch under
+//! `--policy fcfs|backfill|priority` (FCFS; conservative backfill;
+//! priority-with-aging), optionally gated by `--admission` (defer
+//! dispatches whose predicted interference exceeds the slowdown /
+//! OST-overlap budgets, read live from the tenant gauges), and emits
+//! the byte-stable `mcio.schedule.v1` document with per-job wait /
+//! turnaround / slowdown and stream makespan:
+//! `mcio_cli schedule --trace FILE [--policy P] [--admission]
+//! [--out FILE] [--jobs N] [--chrome FILE] [--metrics FILE]` —
+//! same output bytes at any `--jobs` value; `--chrome` adds the pid-6
+//! scheduler lanes `analyze` renders as the scheduler section.
+//!
 //! `run`, `sweep`, and `multitenant` all take `--prof FILE`: profile
 //! the *simulator itself* and write the `mcio.prof.v1` sidecar — the
 //! deterministic section (engine counters per cell) is byte-identical
@@ -89,6 +103,7 @@ use mcio_core::{
 use mcio_faults::FaultSpec;
 use mcio_obs::{MetricsFormat, Registry};
 use mcio_prof::{DetCell, PlanCacheStats, Prof, ProfReport, WorkerRow};
+use mcio_sched::{render_schedule, run_schedule, JobTrace, Policy, SchedConfig};
 use mcio_workloads::{science, CollPerf, Ior};
 use std::collections::HashMap;
 use std::process::exit;
@@ -147,6 +162,10 @@ const MT_FLAGS: &[&str] = &["help"];
 const PROF_OPTS: &[&str] = &["top"];
 /// Boolean flags in prof mode.
 const PROF_FLAGS: &[&str] = &["help", "det"];
+/// Flags that take a value in schedule mode.
+const SCHED_OPTS: &[&str] = &["trace", "policy", "out", "jobs", "chrome", "metrics"];
+/// Boolean flags in schedule mode.
+const SCHED_FLAGS: &[&str] = &["help", "admission"];
 
 /// Parse `--key value` / `--flag` argument lists against an explicit
 /// whitelist. Anything else is a usage error: exit 2.
@@ -207,10 +226,14 @@ fn main() {
             args.remove(0);
             run_prof(&args);
         }
+        Some("schedule") => {
+            args.remove(0);
+            run_schedule_cmd(&args);
+        }
         Some(first) if !first.starts_with("--") => {
             eprintln!(
                 "mcio_cli: unknown subcommand `{first}` (expected `analyze`, `sweep`, \
-                 `multitenant`, `diff`, `prof`, or run flags)"
+                 `multitenant`, `diff`, `prof`, `schedule`, or run flags)"
             );
             exit(2);
         }
@@ -816,6 +839,118 @@ fn run_multitenant_cmd(args: &[String]) {
     }
 }
 
+/// `mcio_cli schedule --trace FILE [--policy fcfs|backfill|priority]
+/// [--admission] [--out FILE] [--jobs N] [--chrome FILE]
+/// [--metrics FILE]`
+///
+/// Replays a `mcio.jobtrace.v1` job stream through the queue
+/// scheduler and emits the byte-stable `mcio.schedule.v1` document —
+/// to `--out` when given, to stdout otherwise. `--jobs` only fans the
+/// solo-baseline precompute; the document bytes never depend on it.
+fn run_schedule_cmd(args: &[String]) {
+    let (opts, flags) = parse_args(args, SCHED_OPTS, SCHED_FLAGS, "schedule");
+    if flags.iter().any(|f| f == "help") {
+        println!(
+            "usage: mcio_cli schedule --trace FILE [--policy fcfs|backfill|priority] \
+             [--admission] [--out FILE] [--jobs N] [--chrome FILE] [--metrics FILE]"
+        );
+        exit(0);
+    }
+    let Some(path) = opts.get("trace") else {
+        eprintln!("mcio_cli schedule: --trace FILE is required");
+        exit(2);
+    };
+    let policy = {
+        let raw = opts.get("policy").map(String::as_str).unwrap_or("fcfs");
+        Policy::parse(raw).unwrap_or_else(|| {
+            eprintln!("mcio_cli schedule: --policy must be fcfs|backfill|priority, got `{raw}`");
+            exit(2);
+        })
+    };
+    let jobs: usize = {
+        let raw = opts.get("jobs").map(String::as_str).unwrap_or("1");
+        match raw.parse() {
+            Ok(j) if j >= 1 => j,
+            _ => {
+                eprintln!("mcio_cli schedule: --jobs must be a positive integer, got `{raw}`");
+                exit(1);
+            }
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli schedule: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    let trace = match JobTrace::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mcio_cli schedule: {path}: {e}");
+            exit(1);
+        }
+    };
+    let cfg = SchedConfig {
+        policy,
+        admission: flags.iter().any(|f| f == "admission"),
+        jobs,
+        collect_trace: opts.contains_key("chrome"),
+    };
+    let registry = opts.get("metrics").map(|_| Registry::shared());
+    let s = run_schedule(&trace, &cfg, registry.as_ref());
+    if let Some(chrome_path) = opts.get("chrome") {
+        let json = s.trace.as_deref().expect("trace was requested");
+        if let Err(e) = std::fs::write(chrome_path, json) {
+            eprintln!("mcio_cli schedule: cannot write trace to {chrome_path}: {e}");
+            exit(1);
+        }
+        eprintln!("mcio_cli schedule: scheduler trace written to {chrome_path}");
+    }
+    if let Some(metrics_path) = opts.get("metrics") {
+        let registry = registry.as_ref().expect("metrics registry was created");
+        let fmt = MetricsFormat::parse("json").expect("json is a metrics format");
+        if let Err(e) = std::fs::write(metrics_path, fmt.render(&registry.snapshot())) {
+            eprintln!("mcio_cli schedule: cannot write metrics to {metrics_path}: {e}");
+            exit(1);
+        }
+        eprintln!("mcio_cli schedule: metrics written to {metrics_path}");
+    }
+    let doc = render_schedule(&s);
+    match opts.get("out") {
+        Some(out_path) => {
+            if let Err(e) = std::fs::write(out_path, &doc) {
+                eprintln!("mcio_cli schedule: cannot write {out_path}: {e}");
+                exit(1);
+            }
+            for j in &s.jobs {
+                println!(
+                    "{:<12} wait {:>10.3} ms  turnaround {:>10.3} ms  slowdown {:>7.3}x  \
+                     {:>2} nodes{}",
+                    j.name,
+                    j.wait_ns as f64 / 1e6,
+                    j.turnaround_ns as f64 / 1e6,
+                    j.slowdown,
+                    j.nodes,
+                    if j.backfilled { "  [backfill]" } else { "" },
+                );
+            }
+            println!(
+                "policy {}: makespan {:.3} ms, p50 slowdown {:.3}, p99 slowdown {:.3}, \
+                 {} backfills, {} deferrals",
+                s.policy.label(),
+                s.makespan_ns as f64 / 1e6,
+                s.p50_slowdown,
+                s.p99_slowdown,
+                s.backfills,
+                s.admission_deferrals,
+            );
+            println!("wrote {out_path}");
+        }
+        None => print!("{doc}"),
+    }
+}
+
 fn run_sim(args: &[String]) {
     let (opts, flags) = parse_args(args, RUN_OPTS, RUN_FLAGS, "run");
     if flags.iter().any(|f| f == "help") {
@@ -831,6 +966,7 @@ fn run_sim(args: &[String]) {
              \x20 sweep        parallel deterministic parameter grid\n\
              \x20 multitenant  N concurrent jobs on one shared machine\n\
              \x20 prof         pretty-print a mcio.prof.v1 profile sidecar\n\
+             \x20 schedule     replay a job-arrival trace through the queue scheduler\n\
              \n\
              run flags: --workload ior|collperf|checkpoint, --ranks N, --ppn N,\n\
              \x20 --per-proc BYTES, --segments N, --scale N, --buffer BYTES,\n\

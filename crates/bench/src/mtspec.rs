@@ -138,30 +138,7 @@ pub fn parse_duration(s: &str) -> Result<SimDuration, String> {
 }
 
 fn parse_machine(value: &str) -> Result<ClusterSpec, String> {
-    match value {
-        "testbed" => Ok(ClusterSpec::ttu_testbed()),
-        "exascale" => Ok(ClusterSpec::exascale_2018()),
-        other => {
-            let Some(dims) = other.strip_prefix("small:") else {
-                return Err(format!(
-                    "machine must be testbed|exascale|small:<nodes>x<cores>, got `{other}`"
-                ));
-            };
-            let (n, c) = dims
-                .split_once('x')
-                .ok_or_else(|| format!("small machine needs <nodes>x<cores>, got `{dims}`"))?;
-            let nodes: usize = n
-                .parse()
-                .map_err(|_| format!("bad node count `{n}` in machine directive"))?;
-            let cores: usize = c
-                .parse()
-                .map_err(|_| format!("bad core count `{c}` in machine directive"))?;
-            if nodes == 0 || cores == 0 {
-                return Err("machine dimensions must be positive".to_string());
-            }
-            Ok(ClusterSpec::small(nodes, cores))
-        }
-    }
+    ClusterSpec::parse_compact(value)
 }
 
 fn parse_job(rest: &str, line_no: usize) -> Result<JobSpec, String> {

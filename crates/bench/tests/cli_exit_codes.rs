@@ -634,6 +634,122 @@ fn faults_unknown_ost_exits_1_with_one_line_error() {
 }
 
 #[test]
+fn schedule_unknown_flag_exits_2() {
+    let out = run(&["schedule", "--trace", "x.jobtrace", "--verbose"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown flag --verbose"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn schedule_requires_trace_flag() {
+    let out = run(&["schedule"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--trace FILE is required"));
+}
+
+#[test]
+fn schedule_bad_policy_exits_2() {
+    let out = run(&["schedule", "--trace", "x.jobtrace", "--policy", "sjf"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--policy must be fcfs|backfill|priority"),
+        "{err}"
+    );
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn schedule_jobs_zero_exits_1() {
+    let out = run(&["schedule", "--trace", "x.jobtrace", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("--jobs must be a positive integer"));
+}
+
+#[test]
+fn schedule_missing_trace_file_exits_1_with_one_line_error() {
+    let out = run(&["schedule", "--trace", "/no/such/stream.jobtrace"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot read"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn schedule_malformed_trace_exits_1_with_one_line_error() {
+    let path = tmp("sched_garbage.jobtrace");
+    std::fs::write(&path, "machine small:4x2\njob a arrival=soon\n").unwrap();
+    let out = run(&["schedule", "--trace", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("bad duration"), "{err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line error, got: {err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+#[test]
+fn schedule_unwritable_out_exits_1_without_panic() {
+    let path = tmp("sched_tiny.jobtrace");
+    std::fs::write(
+        &path,
+        "machine small:2x2\njob a arrival=0 ranks=2 ppn=2 per_proc=32K segments=1 buffer=32K\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "schedule",
+        "--trace",
+        path.to_str().unwrap(),
+        "--out",
+        "/nonexistent-dir/schedule.json",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr(&out);
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+}
+
+/// End-to-end: schedule a two-job stream with `--chrome`, then analyze
+/// the trace — the report must grow the scheduler section.
+#[test]
+fn schedule_chrome_trace_feeds_analyze_scheduler_section() {
+    let spec = tmp("sched_e2e.jobtrace");
+    let chrome = tmp("sched_e2e.trace.json");
+    std::fs::write(
+        &spec,
+        "machine small:2x2\n\
+         job a arrival=0 ranks=4 ppn=2 per_proc=64K segments=1 buffer=32K\n\
+         job b arrival=1us ranks=4 ppn=2 per_proc=64K segments=1 buffer=32K\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "schedule",
+        "--trace",
+        spec.to_str().unwrap(),
+        "--chrome",
+        chrome.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&spec).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\n  \"schema\": \"mcio.schedule.v1\",\n"),
+        "{stdout}"
+    );
+
+    let out = run(&["analyze", "--trace", chrome.to_str().unwrap()]);
+    std::fs::remove_file(&chrome).ok();
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== scheduler =="), "{text}");
+    assert!(text.contains("dispatches 2"), "{text}");
+}
+
+#[test]
 fn bad_adaptive_policy_exits_2() {
     let mut args = TINY.to_vec();
     args.extend_from_slice(&["--adaptive", "turbo"]);

@@ -1,0 +1,89 @@
+//! Golden-snapshot test for the `scheduler_suite` text report.
+//!
+//! The committed fixture (`tests/fixtures/sched_small.jobtrace`) is a
+//! five-job mixed-size stream crafted so conservative backfill
+//! strictly beats FCFS, and the golden
+//! (`tests/fixtures/sched_report.txt`) is the exact text
+//! `scheduler_suite --trace sched_small.jobtrace` prints for it. Any
+//! change to the scheduler's math or the report layout shows up here
+//! as a readable diff; regenerate the golden with that command when
+//! the change is intentional.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn scheduler_suite_report_matches_committed_golden() {
+    let trace = fixture("sched_small.jobtrace");
+    let golden = std::fs::read_to_string(fixture("sched_report.txt")).expect("golden exists");
+    let out = Command::new(env!("CARGO_BIN_EXE_scheduler_suite"))
+        .args(["--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("spawn scheduler_suite");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        text, golden,
+        "scheduler_suite text output drifted from the committed golden \
+         (regenerate tests/fixtures/sched_report.txt if intentional)"
+    );
+}
+
+/// The CLI surface over the same fixture: backfill strictly beats
+/// FCFS on makespan, and the rendered document is byte-identical at
+/// any `--jobs` value.
+#[test]
+fn cli_schedule_backfill_beats_fcfs_on_the_fixture() {
+    let trace = fixture("sched_small.jobtrace");
+    let doc = |policy: &str, jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_mcio_cli"))
+            .args([
+                "schedule",
+                "--trace",
+                trace.to_str().unwrap(),
+                "--policy",
+                policy,
+                "--jobs",
+                jobs,
+            ])
+            .output()
+            .expect("spawn mcio_cli schedule");
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).expect("document is UTF-8")
+    };
+    let makespan = |doc: &str| -> u64 {
+        doc.lines()
+            .find_map(|l| l.trim().strip_prefix("\"makespan_ns\": "))
+            .and_then(|v| v.trim_end_matches(',').parse().ok())
+            .expect("document carries makespan_ns")
+    };
+    let fcfs = doc("fcfs", "1");
+    let backfill = doc("backfill", "1");
+    assert!(
+        makespan(&backfill) < makespan(&fcfs),
+        "backfill {} ns is not strictly better than fcfs {} ns",
+        makespan(&backfill),
+        makespan(&fcfs)
+    );
+    assert_eq!(
+        backfill,
+        doc("backfill", "8"),
+        "schedule document depends on --jobs"
+    );
+}

@@ -267,6 +267,36 @@ impl ClusterSpec {
         }
     }
 
+    /// Parse the compact machine notation shared by the multi-tenant
+    /// spec DSL and the job-trace scheduler format:
+    /// `testbed` | `exascale` | `small:<nodes>x<cores>`.
+    pub fn parse_compact(value: &str) -> Result<Self, String> {
+        match value {
+            "testbed" => Ok(ClusterSpec::ttu_testbed()),
+            "exascale" => Ok(ClusterSpec::exascale_2018()),
+            other => {
+                let Some(dims) = other.strip_prefix("small:") else {
+                    return Err(format!(
+                        "machine must be testbed|exascale|small:<nodes>x<cores>, got `{other}`"
+                    ));
+                };
+                let (n, c) = dims
+                    .split_once('x')
+                    .ok_or_else(|| format!("small machine needs <nodes>x<cores>, got `{dims}`"))?;
+                let nodes: usize = n
+                    .parse()
+                    .map_err(|_| format!("bad node count `{n}` in machine directive"))?;
+                let cores: usize = c
+                    .parse()
+                    .map_err(|_| format!("bad core count `{c}` in machine directive"))?;
+                if nodes == 0 || cores == 0 {
+                    return Err("machine dimensions must be positive".to_string());
+                }
+                Ok(ClusterSpec::small(nodes, cores))
+            }
+        }
+    }
+
     /// A laptop-sized cluster for tests and examples: `nodes` nodes with
     /// `cores` cores each and modest bandwidths, so simulations stay tiny.
     pub fn small(nodes: usize, cores: usize) -> Self {
@@ -326,6 +356,27 @@ mod tests {
         assert!((ex.pfs_write_bandwidth() - 20e12).abs() < 1e6);
         let pt = ClusterSpec::petascale_2010();
         assert!((pt.pfs_write_bandwidth() - 0.2e12).abs() < 1e6);
+    }
+
+    #[test]
+    fn compact_notation_parses_presets_and_small_dims() {
+        assert_eq!(ClusterSpec::parse_compact("testbed").unwrap().nodes, 640);
+        assert_eq!(
+            ClusterSpec::parse_compact("exascale").unwrap().name,
+            "exascale-2018"
+        );
+        let small = ClusterSpec::parse_compact("small:8x2").unwrap();
+        assert_eq!((small.nodes, small.node.cores), (8, 2));
+        for (bad, needle) in [
+            ("tiny", "must be testbed|exascale"),
+            ("small:8", "needs <nodes>x<cores>"),
+            ("small:ax2", "bad node count"),
+            ("small:8xb", "bad core count"),
+            ("small:0x2", "must be positive"),
+        ] {
+            let err = ClusterSpec::parse_compact(bad).unwrap_err();
+            assert!(err.contains(needle), "`{bad}` -> `{err}`");
+        }
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The byte-stable `mcio.schedule.v1` document.
+//!
+//! [`render_schedule`] builds the JSON by hand — fixed key order,
+//! `{:.6}` floats, no map iteration — so the bytes are a pure function
+//! of the [`Schedule`] and any worker-thread fan-out reproduces them
+//! exactly. [`parse_schedule`] reads one back through the strict JSON
+//! parser of `mcio-obs`, taking only the keys it knows and ignoring
+//! unknown top-level keys, the same forward-compatibility convention
+//! `mcio.analyze.v1` follows.
+
+use crate::scheduler::Schedule;
+use mcio_obs::json::{self, JsonValue};
+use mcio_obs::trace::escape_json;
+use std::fmt::Write as _;
+
+/// Render the canonical `mcio.schedule.v1` document.
+pub fn render_schedule(s: &Schedule) -> String {
+    let mut out = String::from("{\n  \"schema\": \"mcio.schedule.v1\",\n");
+    let _ = writeln!(out, "  \"machine\": \"{}\",", escape_json(&s.machine));
+    let _ = writeln!(out, "  \"machine_nodes\": {},", s.machine_nodes);
+    let _ = writeln!(out, "  \"policy\": \"{}\",", s.policy.label());
+    let _ = writeln!(out, "  \"admission\": {},", s.admission);
+    let _ = writeln!(out, "  \"jobs\": {},", s.jobs.len());
+    let _ = writeln!(out, "  \"makespan_ns\": {},", s.makespan_ns);
+    let _ = writeln!(out, "  \"mean_wait_ns\": {},", s.mean_wait_ns);
+    let _ = writeln!(out, "  \"p50_slowdown\": {:.6},", s.p50_slowdown);
+    let _ = writeln!(out, "  \"p99_slowdown\": {:.6},", s.p99_slowdown);
+    let _ = writeln!(out, "  \"dispatches\": {},", s.dispatches);
+    let _ = writeln!(out, "  \"backfills\": {},", s.backfills);
+    let _ = writeln!(out, "  \"admission_deferrals\": {},", s.admission_deferrals);
+    let _ = writeln!(out, "  \"max_queue_depth\": {},", s.max_queue_depth);
+    out.push_str("  \"per_job\": [\n");
+    for (i, j) in s.jobs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"job\": \"{}\", \"arrival_ns\": {}, \"dispatch_ns\": {}, \"end_ns\": {}, \
+             \"wait_ns\": {}, \"turnaround_ns\": {}, \"run_ns\": {}, \"solo_ns\": {}, \
+             \"slowdown\": {:.6}, \"nodes\": {}, \"node_offset\": {}, \"deferrals\": {}, \
+             \"backfilled\": {}}}",
+            escape_json(&j.name),
+            j.arrival_ns,
+            j.dispatch_ns,
+            j.end_ns,
+            j.wait_ns,
+            j.turnaround_ns,
+            j.run_ns,
+            j.solo_ns,
+            j.slowdown,
+            j.nodes,
+            j.node_offset,
+            j.deferrals,
+            j.backfilled,
+        );
+        out.push_str(if i + 1 < s.jobs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One `per_job` row of a parsed document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDocJob {
+    /// Job name.
+    pub job: String,
+    /// Arrival time, nanoseconds.
+    pub arrival_ns: u64,
+    /// Dispatch time, nanoseconds.
+    pub dispatch_ns: u64,
+    /// Completion time, nanoseconds.
+    pub end_ns: u64,
+    /// Queue wait, nanoseconds.
+    pub wait_ns: u64,
+    /// Arrival-to-completion span, nanoseconds.
+    pub turnaround_ns: u64,
+    /// Job slowdown (turnaround over solo).
+    pub slowdown: f64,
+}
+
+/// An `mcio.schedule.v1` document read back from disk: the summary
+/// plus per-job rows. Unknown top-level and per-job keys are ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDoc {
+    /// Compact machine label.
+    pub machine: String,
+    /// Policy label.
+    pub policy: String,
+    /// Whether admission control was on.
+    pub admission: bool,
+    /// Completion of the last job, nanoseconds.
+    pub makespan_ns: u64,
+    /// Mean queue wait, nanoseconds.
+    pub mean_wait_ns: u64,
+    /// Median job slowdown.
+    pub p50_slowdown: f64,
+    /// 99th-percentile job slowdown.
+    pub p99_slowdown: f64,
+    /// Dispatch count.
+    pub dispatches: u64,
+    /// Backfill count.
+    pub backfills: u64,
+    /// Admission deferral count.
+    pub admission_deferrals: u64,
+    /// Peak queue depth.
+    pub max_queue_depth: u64,
+    /// Per-job rows in document order.
+    pub per_job: Vec<ScheduleDocJob>,
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+}
+
+fn req_f64(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+}
+
+/// Parse an `mcio.schedule.v1` document. Unknown keys are ignored so
+/// later schema additions keep old readers working.
+pub fn parse_schedule(text: &str) -> Result<ScheduleDoc, String> {
+    let root = json::parse(text).map_err(|e| e.to_string())?;
+    let schema = req_str(&root, "schema")?;
+    if schema != "mcio.schedule.v1" {
+        return Err(format!(
+            "not an mcio.schedule.v1 document (schema `{schema}`)"
+        ));
+    }
+    let admission = match root.get("admission") {
+        Some(JsonValue::Bool(b)) => *b,
+        _ => return Err("missing or non-boolean `admission`".to_string()),
+    };
+    let mut per_job = Vec::new();
+    let rows = root
+        .get("per_job")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing `per_job` array")?;
+    for row in rows {
+        per_job.push(ScheduleDocJob {
+            job: req_str(row, "job")?,
+            arrival_ns: req_u64(row, "arrival_ns")?,
+            dispatch_ns: req_u64(row, "dispatch_ns")?,
+            end_ns: req_u64(row, "end_ns")?,
+            wait_ns: req_u64(row, "wait_ns")?,
+            turnaround_ns: req_u64(row, "turnaround_ns")?,
+            slowdown: req_f64(row, "slowdown")?,
+        });
+    }
+    Ok(ScheduleDoc {
+        machine: req_str(&root, "machine")?,
+        policy: req_str(&root, "policy")?,
+        admission,
+        makespan_ns: req_u64(&root, "makespan_ns")?,
+        mean_wait_ns: req_u64(&root, "mean_wait_ns")?,
+        p50_slowdown: req_f64(&root, "p50_slowdown")?,
+        p99_slowdown: req_f64(&root, "p99_slowdown")?,
+        dispatches: req_u64(&root, "dispatches")?,
+        backfills: req_u64(&root, "backfills")?,
+        admission_deferrals: req_u64(&root, "admission_deferrals")?,
+        max_queue_depth: req_u64(&root, "max_queue_depth")?,
+        per_job,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{run_schedule, SchedConfig};
+    use crate::trace::JobTrace;
+
+    fn rendered() -> String {
+        let trace = JobTrace::parse(
+            "machine small:4x2\n\
+             job a arrival=0 ranks=4 ppn=2 per_proc=64K segments=1 buffer=64K\n\
+             job b arrival=1us ranks=4 ppn=2 per_proc=64K segments=1 buffer=64K\n",
+        )
+        .expect("trace parses");
+        render_schedule(&run_schedule(&trace, &SchedConfig::default(), None))
+    }
+
+    #[test]
+    fn document_round_trips() {
+        let doc = rendered();
+        assert!(doc.starts_with("{\n  \"schema\": \"mcio.schedule.v1\",\n"));
+        let parsed = parse_schedule(&doc).expect("parses back");
+        assert_eq!(parsed.machine, "small:4x2");
+        assert_eq!(parsed.policy, "fcfs");
+        assert_eq!(parsed.dispatches, 2);
+        assert_eq!(parsed.per_job.len(), 2);
+        assert_eq!(parsed.per_job[0].job, "a");
+        assert_eq!(
+            parsed.makespan_ns,
+            parsed.per_job.iter().map(|j| j.end_ns).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn unknown_top_level_keys_are_ignored() {
+        let doc = rendered();
+        let extended = doc.replacen(
+            "  \"schema\": \"mcio.schedule.v1\",\n",
+            "  \"schema\": \"mcio.schedule.v1\",\n  \"future_knob\": {\"x\": [1, 2]},\n",
+            1,
+        );
+        let a = parse_schedule(&doc).expect("original parses");
+        let b = parse_schedule(&extended).expect("extended still parses");
+        assert_eq!(a, b, "unknown keys change nothing");
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_schedule("not json").is_err());
+        let err = parse_schedule("{\"schema\": \"mcio.analyze.v1\", \"admission\": false}")
+            .expect_err("wrong schema");
+        assert!(err.contains("mcio.schedule.v1"), "{err}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Trace-driven job-stream scheduling: the batch/queue tier above
+//! [`mcio_core::run_multitenant`].
+//!
+//! The paper tunes one collective job; a production machine runs a
+//! *stream* of them. This crate replays job arrivals from a
+//! line-oriented `mcio.jobtrace.v1` file ([`trace`]), keeps a pending
+//! queue, and dispatches jobs onto one shared fabric+PFS machine as
+//! nodes free up, with three pluggable policies ([`policy`]):
+//!
+//! * **FCFS** — strict arrival order, head-of-line blocking and all;
+//! * **conservative backfill** — a short job may jump ahead only when
+//!   its predicted completion cannot delay the queue head's reserved
+//!   start;
+//! * **priority-with-aging** — higher priority first, but waiting time
+//!   buys rank ([`policy::AGING_QUANTUM_NS`] nanoseconds of age per
+//!   priority level), so no job starves.
+//!
+//! Each dispatch *commits* the job by re-simulating the resident jobs
+//! plus the newcomer in one shared DES ([`scheduler`]), so the
+//! newcomer's runtime reflects live OST/NIC contention. Optional
+//! admission control reads the `tenant.slowdown` /
+//! `tenant.ost_overlap_frac` gauges of that very simulation and defers
+//! dispatch while predicted interference exceeds a budget.
+//!
+//! Everything is deterministic: the event loop is sequential virtual
+//! time, the only parallelism is the index-ordered solo-baseline
+//! precompute ([`mcio_sweep::run_indexed`]), so the rendered
+//! `mcio.schedule.v1` document ([`doc`]) is byte-identical at any
+//! worker count.
+
+pub mod doc;
+pub mod policy;
+pub mod scheduler;
+pub mod trace;
+
+/// The trace process id of the scheduler lanes (pid 1 = resources,
+/// 2 = rounds, 3 = faults, 4 = tenants, 5 = replan). Lane 0 carries
+/// queue-depth intervals, lane 1 dispatch decisions, lane 2 admission
+/// deferrals.
+pub const PID_SCHED: u64 = 6;
+
+pub use doc::{parse_schedule, render_schedule, ScheduleDoc};
+pub use policy::{Policy, AGING_QUANTUM_NS};
+pub use scheduler::{run_schedule, JobResult, Reservation, SchedConfig, SchedEvent, Schedule};
+pub use trace::{JobTrace, TraceJob};

@@ -1,0 +1,82 @@
+//! The pluggable dispatch policies and the aging arithmetic.
+
+/// Nanoseconds of queue age worth one priority level: a job with
+/// priority `p` that has waited `w` nanoseconds ranks as
+/// `p * AGING_QUANTUM_NS + w`. A low-priority job therefore overtakes
+/// a job `d` levels above it after waiting `d` quanta longer — the
+/// no-starvation bound the property tests exercise.
+pub const AGING_QUANTUM_NS: u64 = 1_000_000;
+
+/// A dispatch policy of the job-stream scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Strict arrival order; the head blocks until it fits.
+    Fcfs,
+    /// FCFS, but a waiting job may jump ahead when its predicted
+    /// completion cannot delay the queue head's reserved start.
+    Backfill,
+    /// Highest effective priority first, with aging
+    /// ([`AGING_QUANTUM_NS`]); the top job blocks until it fits.
+    Priority,
+}
+
+impl Policy {
+    /// Parse a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fcfs" => Some(Policy::Fcfs),
+            "backfill" => Some(Policy::Backfill),
+            "priority" => Some(Policy::Priority),
+            _ => None,
+        }
+    }
+
+    /// The canonical label (`fcfs`, `backfill`, `priority`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::Backfill => "backfill",
+            Policy::Priority => "priority",
+        }
+    }
+
+    /// All policies, in canonical report order.
+    pub const ALL: [Policy; 3] = [Policy::Fcfs, Policy::Backfill, Policy::Priority];
+}
+
+/// Effective rank of a queued job under priority-with-aging: exact
+/// integer arithmetic, no floats, so ordering is total and replayable.
+pub fn priority_key(prio: u64, now_ns: u64, arrival_ns: u64) -> u128 {
+    prio as u128 * AGING_QUANTUM_NS as u128 + now_ns.saturating_sub(arrival_ns) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in Policy::ALL {
+            assert_eq!(Policy::parse(p.label()), Some(p));
+        }
+        assert_eq!(Policy::parse("sjf"), None);
+    }
+
+    #[test]
+    fn aging_overtakes_exactly_at_the_quantum_bound() {
+        // prio 0 arrived at 0; prio 3 arrives at t. Both keys grow at
+        // the same rate, so the ranking depends only on the arrival
+        // gap: the old job wins iff t exceeds 3 quanta.
+        let now = 10 * AGING_QUANTUM_NS;
+        let tie = 3 * AGING_QUANTUM_NS;
+        assert!(priority_key(0, now, 0) <= priority_key(3, now, tie));
+        assert!(priority_key(0, now, 0) > priority_key(3, now, tie + 1));
+    }
+
+    #[test]
+    fn key_saturates_below_arrival() {
+        // A dispatch loop never asks for now < arrival, but the key
+        // must not underflow if it ever does.
+        assert_eq!(priority_key(2, 0, 10), 2 * AGING_QUANTUM_NS as u128);
+    }
+}
